@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Beyond timing, these
+benches *regenerate the paper's artifacts*: each table/figure bench
+writes its rendered output to ``benchmarks/out/`` and prints it, so a
+complete run reproduces Table I, Table II and Figure 20.
+"""
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def out_dir():
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return OUT_DIR
+
+
+def emit(out_dir: str, name: str, text: str) -> None:
+    path = os.path.join(out_dir, name)
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the compiler components (frontend, dependence
+tester, inliners, interpreter) on realistic inputs."""
+
+import pytest
+
+from repro.analysis.affine import extract
+from repro.analysis.dependence import DependenceTester, LoopCtx
+from repro.annotations import AnnotationInliner, ReverseInliner
+from repro.fortran.parser import parse_expression, parse_source
+from repro.fortran.unparser import unparse
+from repro.perfect import get_benchmark
+from repro.polaris import Polaris
+from repro.program import Program
+from repro.runtime import Interpreter
+
+
+@pytest.fixture(scope="module")
+def dyfesm_source():
+    return "\n".join(get_benchmark("dyfesm").sources.values())
+
+
+def test_parse_speed(benchmark, dyfesm_source):
+    tree = benchmark(parse_source, dyfesm_source)
+    assert tree.units
+
+
+def test_unparse_roundtrip_speed(benchmark, dyfesm_source):
+    tree = parse_source(dyfesm_source)
+    text = benchmark(unparse, tree)
+    assert "PROGRAM DYFESM" in text
+
+
+def test_dependence_tester_speed(benchmark):
+    tester = DependenceTester()
+    loops = [LoopCtx("K", 1, 100), LoopCtx("J", 1, 16)]
+    a = [extract(parse_expression("J"), ["K", "J"]),
+         extract(parse_expression("64*IB+K"), ["K", "J"])]
+    dirs = {"K": "<", "J": "*"}
+
+    def run_many():
+        hits = 0
+        for _ in range(500):
+            if tester.may_depend(a, a, loops, dirs):
+                hits += 1
+        return hits
+
+    assert benchmark(run_many) == 0  # all independent
+
+
+def test_polaris_speed(benchmark):
+    bench = get_benchmark("arc2d")
+
+    def analyze():
+        prog = bench.program()
+        return Polaris().run(prog)
+
+    report = benchmark(analyze)
+    assert report.verdicts
+
+
+def test_annotation_roundtrip_speed(benchmark):
+    bench = get_benchmark("dyfesm")
+    registry = bench.registry()
+
+    def roundtrip():
+        prog = bench.program()
+        AnnotationInliner(registry).run(prog)
+        Polaris().run(prog)
+        return ReverseInliner(registry).run(prog)
+
+    rev = benchmark(roundtrip)
+    assert rev.reversed_count == 2  # one FSMP site + one ASSEM site
+
+
+def test_interpreter_speed(benchmark):
+    prog = get_benchmark("flo52q").program()
+
+    def execute():
+        return Interpreter(prog).run()
+
+    result = benchmark(execute)
+    assert result.output

@@ -1,0 +1,20 @@
+"""Regenerates Table I (benchmark summary) and times the suite loader."""
+
+from benchmarks.conftest import emit
+from repro.experiments.table1 import render_table1, table1_rows
+from repro.perfect import all_benchmarks
+
+
+def test_table1(benchmark, out_dir):
+    rows = benchmark(table1_rows)
+    assert len(rows) == 12
+    emit(out_dir, "table1.txt", render_table1())
+
+
+def test_suite_parses(benchmark):
+    def load_all():
+        return [b.program() for b in all_benchmarks()]
+
+    programs = benchmark(load_all)
+    assert len(programs) == 12
+    assert all(p.main is not None for p in programs)

@@ -1,0 +1,53 @@
+"""Regenerates Table II: parallelized-loop counts and code sizes under the
+three inlining configurations, for all 12 benchmarks.
+
+The timed section is one representative full pipeline (DYFESM, the
+heaviest application); the full table is generated once per session and
+written to ``benchmarks/out/table2.txt``.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.table2 import render_table2, table2_row, table2_rows
+from repro.perfect import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table2_rows()
+
+
+def test_table2_generation(rows, out_dir, benchmark):
+    text = benchmark(render_table2, rows)
+    emit(out_dir, "table2.txt", text)
+    assert len(rows) == 12
+
+
+def test_table2_shape_claims(rows, benchmark):
+    """The paper's aggregate claims hold in shape."""
+    benchmark(render_table2, rows)
+    ann_extra = sum(r.configs["annotation"].par_extra for r in rows)
+    conv_extra = sum(r.configs["conventional"].par_extra for r in rows)
+    conv_loss = sum(r.configs["conventional"].par_loss for r in rows)
+    ann_loss = sum(r.configs["annotation"].par_loss for r in rows)
+    helped = sum(1 for r in rows if r.configs["annotation"].par_extra > 0)
+    assert ann_loss == 0                 # annotation never loses loops
+    assert ann_extra > conv_extra        # 37 vs 12 in the paper
+    assert conv_loss > 0                 # 90 in the paper
+    assert 4 <= helped < 12              # 6 of 12 in the paper
+
+    # conventional inlining grows code; annotation-based stays ~flat
+    conv_growth = sum(r.lines["conventional"] for r in rows) / \
+        sum(r.lines["none"] for r in rows)
+    ann_growth = sum(r.lines["annotation"] for r in rows) / \
+        sum(r.lines["none"] for r in rows)
+    assert conv_growth > 1.01
+    assert ann_growth < conv_growth
+    assert ann_growth < 1.10
+
+
+def test_pipeline_speed_dyfesm(benchmark):
+    bench = get_benchmark("dyfesm")
+    row = benchmark(table2_row, bench)
+    assert row.configs["annotation"].par_extra >= 2

@@ -1,0 +1,79 @@
+"""Figures 10-11 and 14: indirect one-to-one subscripts and `unique`.
+
+Shows why ``RHSB(ICOND(I,ID))`` defeats dependence analysis, and how the
+``unique`` operator's injective linear lowering makes the surrounding
+loop parallel — including the ablation showing the lowering base must
+exceed the inner subscript range.
+
+Run:  python examples/indirect_subscripts.py
+"""
+
+from repro.annotations import AnnotationInliner, AnnotationRegistry
+from repro.annotations.translate import TranslateOptions
+from repro.fortran.unparser import unparse
+from repro.polaris import Polaris
+from repro.program import Program
+
+SOURCE = """
+      PROGRAM DRV
+      COMMON /R/ RHSB(9999), XE(16)
+      COMMON /C/ ICOND(16,500)
+      DO 3 ID = 1, 500
+        DO 3 I = 1, 16
+          ICOND(I,ID) = (ID-1)*16 + I
+    3 CONTINUE
+      DO 30 K = 1, 60
+        CALL ASSEM(K)
+   30 CONTINUE
+      END
+      SUBROUTINE ASSEM(ID)
+      COMMON /R/ RHSB(9999), XE(16)
+      COMMON /C/ ICOND(16,500)
+      DO 10 I = 1, 16
+        RHSB(ICOND(I,ID)) = RHSB(ICOND(I,ID)) + XE(I)
+   10 CONTINUE
+      END
+"""
+
+ANNOTATIONS = """
+# ICOND holds a one-to-one map: (ID, I) addresses a unique element
+subroutine ASSEM(ID) {
+  do (I = 1:16)
+    RHSB[unique(ID, I)] = unknown(RHSB[unique(ID, I)], XE[I]);
+}
+"""
+
+
+def k_loop_verdict(program):
+    report = Polaris().run(program)
+    return [v for v in report.verdicts
+            if v.unit == "DRV" and v.var == "K"][0]
+
+
+def main() -> None:
+    registry = AnnotationRegistry.from_text(ANNOTATIONS)
+
+    v = k_loop_verdict(Program.from_source(SOURCE))
+    print(f"no inlining          : {v.describe()}")
+
+    for base in (4, 64):
+        prog = Program.from_source(SOURCE)
+        AnnotationInliner(registry,
+                          TranslateOptions(unique_base=base)).run(prog)
+        v = k_loop_verdict(prog)
+        print(f"annotation (base {base:4d}): {v.describe()}")
+
+    print()
+    print("With base 64 the unique() lowering is injective over the inner")
+    print("range (I in 1..16), so the Banerjee bounds separate iterations;")
+    print("base 4 is not injective and the analysis stays conservative —")
+    print("the DESIGN.md ablation, demonstrated.")
+    print()
+    prog = Program.from_source(SOURCE)
+    AnnotationInliner(registry).run(prog)
+    print("The lowered call site (unique -> 64*ID + I):")
+    print(unparse(prog.unit("DRV")))
+
+
+if __name__ == "__main__":
+    main()

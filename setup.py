@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no `wheel` package, so the
+PEP-517 editable-install path (which builds a wheel) is unavailable.  This
+shim lets ``pip install -e . --no-use-pep517 --no-build-isolation`` (and
+plain ``pip install -e .`` configured via setup.cfg) fall back to
+``setup.py develop``, which needs only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,7 @@
+"""Program analysis substrate: symbolic algebra, affine subscript
+extraction, data dependence testing, loop utilities, def/use, side-effect
+summaries, privatization and reduction recognition.
+
+These are the analyses a Polaris-class auto-parallelizer needs; the
+parallelizer in :mod:`repro.polaris` composes them.
+"""

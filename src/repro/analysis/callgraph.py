@@ -1,0 +1,86 @@
+"""Interprocedural call graph construction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.fortran import ast
+from repro.fortran.intrinsics import is_intrinsic
+from repro.program import Program
+
+
+@dataclass
+class CallGraph:
+    """Caller -> callee edges over procedure names (upper case).
+
+    ``unknown`` collects names invoked but not defined in the program
+    (external library routines) — the calls conventional inlining cannot
+    touch but annotations can summarize.
+    """
+
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    unknown: Set[str] = field(default_factory=set)
+
+    def callees(self, name: str) -> Set[str]:
+        return self.edges.get(name.upper(), set())
+
+    def callers_of(self, name: str) -> Set[str]:
+        name = name.upper()
+        return {u for u, vs in self.edges.items() if name in vs}
+
+    def is_recursive(self, name: str) -> bool:
+        """Is ``name`` on a call-graph cycle (including self-recursion)?"""
+        name = name.upper()
+        seen: Set[str] = set()
+        stack = list(self.callees(name))
+        while stack:
+            n = stack.pop()
+            if n == name:
+                return True
+            if n in seen:
+                continue
+            seen.add(n)
+            stack.extend(self.callees(n))
+        return False
+
+    def topological_bottom_up(self) -> List[str]:
+        """Procedures ordered callees-first; members of cycles appear in an
+        arbitrary (but deterministic) position within their cycle."""
+        order: List[str] = []
+        state: Dict[str, int] = {}  # 0 visiting, 1 done
+
+        def visit(n: str) -> None:
+            if state.get(n) is not None:
+                return
+            state[n] = 0
+            for callee in sorted(self.callees(n)):
+                if state.get(callee) != 0:
+                    visit(callee)
+            state[n] = 1
+            order.append(n)
+
+        for n in sorted(self.edges):
+            visit(n)
+        return order
+
+
+def _called_names(unit: ast.ProgramUnit) -> Set[str]:
+    names: Set[str] = set()
+    for s in ast.walk_stmts(unit.body):
+        if isinstance(s, ast.CallStmt):
+            names.add(s.name.upper())
+    for e in ast.walk_all_exprs(unit.body):
+        if isinstance(e, ast.FuncRef) and not is_intrinsic(e.name):
+            names.add(e.name.upper())
+    return names
+
+
+def build_callgraph(program: Program) -> CallGraph:
+    graph = CallGraph()
+    defined = {u.name for u in program.units}
+    for unit in program.units:
+        callees = _called_names(unit)
+        graph.edges[unit.name] = callees
+        graph.unknown |= callees - defined
+    return graph

@@ -1,0 +1,159 @@
+"""Exact (coupled-subscript) dependence testing via Fourier-Motzkin
+elimination.
+
+The per-dimension tests in :mod:`repro.analysis.dependence` treat each
+subscript position independently, which loses *coupling*: the classic
+example is ``A(I+J, I-J)`` against itself under an ``I``-carried
+direction — each dimension individually admits solutions, but the joint
+system
+
+    i + j = i' + j'
+    i - j = i' - j'
+    i + 1 <= i'
+
+is infeasible.  This module builds the joint linear system over all
+iteration variables (one copy per side, direction constraints, loop
+bounds where known) and decides *rational* feasibility exactly by
+Fourier-Motzkin elimination, with the per-dimension GCD tests supplying
+the integrality component (the classic "Banerjee + GCD" exactness recipe
+that the Power/Omega line of work refined).
+
+Rational infeasibility soundly implies integer infeasibility, so a
+``False`` from :meth:`ExactTester.may_depend` is a proof of independence.
+Rational feasibility is conservatively reported as a (possible)
+dependence.
+
+Exposed through :class:`repro.analysis.dependence.DependenceTester` via
+``use_exact=True``; the coarse tests run first because they are cheaper
+and usually sufficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.affine import AffineForm
+from repro.analysis.dependence import LoopCtx
+
+#: one linear constraint: sum(coeffs[v] * v) + const >= 0
+Constraint = Tuple[Dict[str, Fraction], Fraction]
+
+_MAX_CONSTRAINTS = 2000  # FM can blow up quadratically per elimination
+
+
+def _combine(a: Constraint, b: Constraint, var: str) -> Constraint:
+    """Positive combination of ``a`` (coeff > 0) and ``b`` (coeff < 0)
+    eliminating ``var``."""
+    ca, consta = a
+    cb, constb = b
+    pa = ca[var]
+    pb = -cb[var]
+    coeffs: Dict[str, Fraction] = {}
+    for v in set(ca) | set(cb):
+        if v == var:
+            continue
+        c = ca.get(v, Fraction(0)) * pb + cb.get(v, Fraction(0)) * pa
+        if c:
+            coeffs[v] = c
+    return coeffs, consta * pb + constb * pa
+
+
+def feasible(constraints: Sequence[Constraint]) -> bool:
+    """Rational feasibility of a conjunction of linear inequalities."""
+    work: List[Constraint] = [(dict(c), Fraction(k))
+                              for c, k in constraints]
+    while True:
+        variables = sorted({v for c, _ in work for v in c})
+        if not variables:
+            break
+        # eliminate the variable appearing in the fewest constraints
+        var = min(variables,
+                  key=lambda v: sum(1 for c, _ in work if v in c))
+        pos = [c for c in work if c[0].get(var, 0) > 0]
+        neg = [c for c in work if c[0].get(var, 0) < 0]
+        rest = [c for c in work if not c[0].get(var, 0)]
+        combined = [_combine(p, n, var) for p in pos for n in neg]
+        work = rest + combined
+        if len(work) > _MAX_CONSTRAINTS:
+            return True  # give up conservatively: cannot disprove
+        # drop trivially-true constraints, detect trivially-false ones
+        pruned: List[Constraint] = []
+        for coeffs, const in work:
+            if not coeffs:
+                if const < 0:
+                    return False
+                continue
+            pruned.append((coeffs, const))
+        work = pruned
+    return all(const >= 0 for coeffs, const in work if not coeffs) \
+        if work else True
+
+
+@dataclass
+class ExactTester:
+    """Joint-system dependence test over a loop nest."""
+
+    def may_depend(self,
+                   subs_a: Sequence[Optional[AffineForm]],
+                   subs_b: Sequence[Optional[AffineForm]],
+                   loops: Sequence[LoopCtx],
+                   dirs: Dict[str, str]) -> bool:
+        """Conservative joint test; mirrors
+        :meth:`repro.analysis.dependence.DependenceTester.may_depend`.
+
+        Returns True (dependence possible) whenever any dimension is
+        non-affine or has a symbolic constant difference — the exact
+        machinery needs a fully numeric system.
+        """
+        if len(subs_a) != len(subs_b):
+            return True
+        constraints: List[Constraint] = []
+        for fa, fb in zip(subs_a, subs_b):
+            if fa is None or fb is None:
+                return True
+            delta = (fb.remainder - fa.remainder).constant_value()
+            if delta is None:
+                return True
+            # sum_a a_k i_k - sum_b b_k i'_k = delta  (two inequalities)
+            coeffs: Dict[str, Fraction] = {}
+            for v, c in fa.coeffs.items():
+                if c:
+                    coeffs["i:" + v] = coeffs.get("i:" + v,
+                                                  Fraction(0)) + c
+            for v, c in fb.coeffs.items():
+                if c:
+                    coeffs["j:" + v] = coeffs.get("j:" + v,
+                                                  Fraction(0)) - c
+            if not coeffs:
+                if delta != 0:
+                    return False  # ZIV disproof
+                continue
+            constraints.append((dict(coeffs), Fraction(-delta)))
+            constraints.append(({v: -c for v, c in coeffs.items()},
+                                Fraction(delta)))
+
+        for lp in loops:
+            vi, vj = "i:" + lp.var.upper(), "j:" + lp.var.upper()
+            d = dirs.get(lp.var, "*")
+            if d == "=":
+                constraints.append(({vi: Fraction(1), vj: Fraction(-1)},
+                                    Fraction(0)))
+                constraints.append(({vi: Fraction(-1), vj: Fraction(1)},
+                                    Fraction(0)))
+            elif d == "<":
+                # i + 1 <= i'   <=>   i' - i - 1 >= 0
+                constraints.append(({vj: Fraction(1), vi: Fraction(-1)},
+                                    Fraction(-1)))
+            elif d == ">":
+                constraints.append(({vi: Fraction(1), vj: Fraction(-1)},
+                                    Fraction(-1)))
+            for v in (vi, vj):
+                if lp.lower is not None:
+                    constraints.append(({v: Fraction(1)},
+                                        Fraction(-lp.lower)))
+                if lp.upper is not None:
+                    constraints.append(({v: Fraction(-1)},
+                                        Fraction(lp.upper)))
+        return feasible(constraints)

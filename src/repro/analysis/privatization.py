@@ -1,0 +1,291 @@
+"""Scalar classification and array kill (privatization) analysis.
+
+Given a candidate parallel loop, the parallelizer must decide for every
+variable written in the body whether the writes create loop-carried
+dependences or whether the variable is privatizable:
+
+* a **scalar** is privatizable when, on every execution path through one
+  iteration, its first access is a write (``WRITE_FIRST``).  A scalar read
+  before any write carries a dependence (``READ_FIRST``) unless it is a
+  recognized reduction;
+* an **array** is privatizable when every read in the iteration is covered
+  by an earlier *unconditional* write region of the same iteration — the
+  classic array kill analysis.  Writes aggregated over inner loops use
+  region projection (:mod:`repro.analysis.regions`).
+
+Both kinds use *lastprivate* semantics: Polaris "peels the last iteration"
+(Section III-B4 of the paper) so the sequential final values survive; our
+runtime simulator implements the same contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.regions import Region, project_over_loop, ref_region
+from repro.fortran import ast
+from repro.fortran.symbols import SymbolTable
+
+
+class ScalarClass(Enum):
+    READ_ONLY = "read-only"
+    WRITE_FIRST = "write-first"  # privatizable
+    READ_FIRST = "read-first"    # loop-carried unless a reduction
+    CONDITIONAL_WRITE = "conditional-write"  # written on some paths only;
+    # last-value recovery is not computable, so conservatively serial
+
+
+class _State(Enum):
+    UNSEEN = 0
+    WRITTEN = 1
+    READ_FIRST = 2
+
+
+def classify_scalars(body: Sequence[ast.Stmt],
+                     table: SymbolTable) -> Dict[str, ScalarClass]:
+    """Classify every scalar accessed in ``body`` (one loop iteration)."""
+    states: Dict[str, _State] = {}
+    reads: Set[str] = set()
+    writes: Set[str] = set()
+    _scan(list(body), table, states, reads, writes)
+    out: Dict[str, ScalarClass] = {}
+    for name in reads | writes:
+        st = states.get(name, _State.UNSEEN)
+        if name not in writes:
+            out[name] = ScalarClass.READ_ONLY
+        elif st is _State.READ_FIRST:
+            out[name] = ScalarClass.READ_FIRST
+        elif st is _State.WRITTEN:
+            out[name] = ScalarClass.WRITE_FIRST
+        else:
+            # written only on some paths and never read before the write:
+            # lastprivate copy-out from the final iteration would be wrong
+            # whenever the final iteration skips the write, so Polaris (and
+            # we) keep such loops serial unless the scalar is a reduction
+            out[name] = ScalarClass.CONDITIONAL_WRITE
+    return out
+
+
+def _read(name: str, states: Dict[str, _State], reads: Set[str]) -> None:
+    reads.add(name)
+    if states.get(name, _State.UNSEEN) is _State.UNSEEN:
+        states[name] = _State.READ_FIRST
+
+
+def _write(name: str, states: Dict[str, _State], writes: Set[str]) -> None:
+    writes.add(name)
+    if states.get(name, _State.UNSEEN) is _State.UNSEEN:
+        states[name] = _State.WRITTEN
+
+
+def _expr_scan(e: Optional[ast.Expr], table: SymbolTable,
+               states: Dict[str, _State], reads: Set[str]) -> None:
+    if e is None:
+        return
+    for n in ast.walk_expr(e):
+        if isinstance(n, ast.Var) and not table.is_array(n.name):
+            _read(n.name.upper(), states, reads)
+
+
+def _scan(body: List[ast.Stmt], table: SymbolTable,
+          states: Dict[str, _State], reads: Set[str],
+          writes: Set[str]) -> None:
+    for s in body:
+        if isinstance(s, ast.Assign):
+            _expr_scan(s.value, table, states, reads)
+            if isinstance(s.target, ast.ArrayRef):
+                for sub in s.target.subs:
+                    _expr_scan(sub, table, states, reads)
+            if isinstance(s.target, ast.Var) and not table.is_array(
+                    s.target.name):
+                _write(s.target.name.upper(), states, writes)
+        elif isinstance(s, ast.IfBlock):
+            for cond, _ in s.arms:
+                _expr_scan(cond, table, states, reads)
+            merged: Dict[str, _State] = {}
+            branch_states: List[Dict[str, _State]] = []
+            for _, arm in s.arms:
+                st = dict(states)
+                _scan(arm, table, st, reads, writes)
+                branch_states.append(st)
+            has_else = s.arms[-1][0] is None
+            if not has_else:
+                branch_states.append(dict(states))  # fall-through path
+            keys = set()
+            for st in branch_states:
+                keys |= set(st)
+            for k in keys:
+                vals = {st.get(k, _State.UNSEEN) for st in branch_states}
+                if _State.READ_FIRST in vals:
+                    merged[k] = _State.READ_FIRST
+                elif vals == {_State.WRITTEN}:
+                    merged[k] = _State.WRITTEN
+                elif _State.UNSEEN in vals and _State.WRITTEN in vals:
+                    merged[k] = _State.UNSEEN
+                else:
+                    merged[k] = vals.pop()
+            states.clear()
+            states.update(merged)
+        elif isinstance(s, ast.DoLoop):
+            _expr_scan(s.start, table, states, reads)
+            _expr_scan(s.stop, table, states, reads)
+            _expr_scan(s.step, table, states, reads)
+            _write(s.var.upper(), states, writes)
+            # the body may run zero times: merge like a conditional branch
+            st = dict(states)
+            _scan(s.body, table, st, reads, writes)
+            for k in set(st) | set(states):
+                a = states.get(k, _State.UNSEEN)
+                b = st.get(k, _State.UNSEEN)
+                if _State.READ_FIRST in (a, b):
+                    states[k] = _State.READ_FIRST
+                elif a is b:
+                    states[k] = a
+                else:
+                    states[k] = _State.UNSEEN
+        elif isinstance(s, ast.CallStmt):
+            # handled by the parallelizer via side-effect summaries; scan
+            # argument expressions as reads
+            for a in s.args:
+                _expr_scan(a, table, states, reads)
+        elif isinstance(s, ast.IoStmt):
+            for item in s.items:
+                if s.kind == "READ" and isinstance(item, ast.Var) \
+                        and not table.is_array(item.name):
+                    _write(item.name.upper(), states, writes)
+                else:
+                    _expr_scan(item, table, states, reads)
+        elif isinstance(s, (ast.OmpParallelDo,)):
+            _scan([s.loop], table, states, reads, writes)
+        elif isinstance(s, ast.TaggedBlock):
+            _scan(s.body, table, states, reads, writes)
+        # Goto/Continue/Return/Stop: no scalar accesses
+
+
+# ---------------------------------------------------------------------------
+# array kill analysis
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Event:
+    is_write: bool
+    region: Region
+    conditional: bool
+    #: True when the event is an unsubscripted whole-array reference (its
+    #: region is the declared extent, invariant by construction)
+    whole: bool = False
+
+
+def _collect_events(body: Sequence[ast.Stmt], name: str,
+                    table: SymbolTable, conditional: bool,
+                    inner_loops: Tuple[ast.DoLoop, ...],
+                    events: List[_Event]) -> None:
+    info = table.info(name)
+
+    def expr_events(e: Optional[ast.Expr]) -> None:
+        if e is None:
+            return
+        for n in ast.walk_expr(e):
+            if isinstance(n, ast.ArrayRef) and n.name.upper() == name:
+                events.append(_Event(False, _projected(
+                    ref_region(n.subs, info), inner_loops), conditional))
+            elif isinstance(n, ast.Var) and n.name.upper() == name:
+                events.append(_Event(False, Region.whole_array(info),
+                                     conditional, whole=True))
+
+    for s in body:
+        if isinstance(s, ast.Assign):
+            expr_events(s.value)
+            if isinstance(s.target, ast.ArrayRef) \
+                    and s.target.name.upper() == name:
+                for sub in s.target.subs:
+                    expr_events(sub)
+                events.append(_Event(True, _projected(
+                    ref_region(s.target.subs, info), inner_loops),
+                    conditional))
+            elif isinstance(s.target, ast.Var) \
+                    and s.target.name.upper() == name:
+                events.append(_Event(True, Region.whole_array(info),
+                                     conditional, whole=True))
+        elif isinstance(s, ast.IfBlock):
+            for cond, arm in s.arms:
+                expr_events(cond)
+                _collect_events(arm, name, table, True, inner_loops, events)
+        elif isinstance(s, ast.DoLoop):
+            expr_events(s.start)
+            expr_events(s.stop)
+            expr_events(s.step)
+            _collect_events(s.body, name, table, conditional,
+                            inner_loops + (s,), events)
+        elif isinstance(s, ast.CallStmt):
+            for a in s.args:
+                expr_events(a)
+                if isinstance(a, (ast.Var, ast.ArrayRef)) \
+                        and a.name.upper() == name:
+                    # passing the array to a procedure: unknown use
+                    events.append(_Event(False, Region.whole_array(info),
+                                         conditional, whole=True))
+        elif isinstance(s, ast.IoStmt):
+            for item in s.items:
+                expr_events(item)
+        elif isinstance(s, ast.OmpParallelDo):
+            _collect_events([s.loop], name, table, conditional, inner_loops,
+                            events)
+        elif isinstance(s, ast.TaggedBlock):
+            _collect_events(s.body, name, table, conditional, inner_loops,
+                            events)
+
+
+def _projected(region: Region,
+               loops: Tuple[ast.DoLoop, ...]) -> Region:
+    for lp in reversed(loops):
+        region = project_over_loop(region, lp)
+    return region
+
+
+def array_privatizable(name: str, body: Sequence[ast.Stmt],
+                       table: SymbolTable,
+                       loop_var: str = "") -> bool:
+    """Is array ``name`` privatizable for a loop (index ``loop_var``) with
+    body ``body``?
+
+    Three conditions, all conservative:
+
+    1. every read is covered by some earlier unconditional write region of
+       the same iteration (no cross-iteration flow);
+    2. every write is unconditional (otherwise the lastprivate copy-out
+       from the final iteration could miss values the sequential execution
+       produced earlier);
+    3. every write region is invariant in ``loop_var`` (each iteration
+       writes the same region, so the peeled last iteration reproduces the
+       sequential final state).
+    """
+    name = name.upper()
+    loop_var = loop_var.upper()
+    events: List[_Event] = []
+    _collect_events(body, name, table, False, (), events)
+    killed: List[Region] = []
+    for ev in events:
+        if ev.is_write:
+            if ev.conditional:
+                return False
+            if not ev.whole and not _region_invariant(ev.region, loop_var):
+                return False
+            killed.append(ev.region)
+        else:
+            if not any(w.covers(ev.region) for w in killed):
+                return False
+    return True
+
+
+def _region_invariant(region: Region, loop_var: str) -> bool:
+    """All bounds known and free of the candidate loop's index."""
+    for d in region.dims:
+        for bound in (d.lo, d.hi):
+            if bound is None:
+                return False
+            if loop_var and loop_var in bound.names_mentioned():
+                return False
+    return True

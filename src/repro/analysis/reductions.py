@@ -1,0 +1,99 @@
+"""Scalar reduction recognition.
+
+Recognizes the OpenMP-expressible patterns Polaris handles:
+
+* ``S = S + e`` / ``S = S - e``  -> ``REDUCTION(+:S)``
+* ``S = S * e``                  -> ``REDUCTION(*:S)``
+* ``S = MAX(S, e)`` (any arg position) -> ``REDUCTION(MAX:S)``
+* ``S = MIN(S, e)``                     -> ``REDUCTION(MIN:S)``
+
+The reduced scalar must appear nowhere else in the loop body (neither read
+nor written outside its reduction statements), and every reduction
+statement for it must use one consistent operator.  Reduction statements
+may sit inside conditionals or inner loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.analysis.symbolic import from_expr
+from repro.fortran import ast
+from repro.fortran.symbols import SymbolTable
+
+_MINMAX = {"MAX": "MAX", "AMAX1": "MAX", "DMAX1": "MAX", "MAX0": "MAX",
+           "MIN": "MIN", "AMIN1": "MIN", "DMIN1": "MIN", "MIN0": "MIN"}
+
+
+def _reduction_op(s: ast.Stmt, table: SymbolTable) -> Optional[Tuple[str, str]]:
+    """If ``s`` is a reduction statement, return (var, op)."""
+    if not isinstance(s, ast.Assign) or not isinstance(s.target, ast.Var):
+        return None
+    if table.is_array(s.target.name):
+        return None
+    v = s.target.name.upper()
+    rhs = s.value
+    occurrences = sum(1 for n in ast.walk_expr(rhs)
+                      if isinstance(n, ast.Var) and n.name.upper() == v)
+    if occurrences != 1:
+        return None
+    # MIN/MAX may appear as FuncRef (after resolution) or as a parenthesized
+    # name reference (before resolution) — accept both
+    if isinstance(rhs, (ast.FuncRef, ast.ArrayRef)) \
+            and rhs.name.upper() in _MINMAX \
+            and not table.is_array(rhs.name):
+        args = rhs.args if isinstance(rhs, ast.FuncRef) else rhs.subs
+        if any(isinstance(a, ast.Var) and a.name.upper() == v for a in args):
+            return v, _MINMAX[rhs.name.upper()]
+        return None
+    # additive: rhs - v must not mention v
+    delta = from_expr(rhs) - from_expr(ast.Var(v))
+    if v not in delta.names_mentioned():
+        return v, "+"
+    # multiplicative: rhs must be v * e or e * v at the top
+    if isinstance(rhs, ast.BinOp) and rhs.op == "*":
+        for a, b in ((rhs.left, rhs.right), (rhs.right, rhs.left)):
+            if isinstance(a, ast.Var) and a.name.upper() == v:
+                if v not in _names(b):
+                    return v, "*"
+    return None
+
+
+def _names(e: ast.Expr) -> Set[str]:
+    return {n.name.upper() for n in ast.walk_expr(e)
+            if isinstance(n, (ast.Var, ast.ArrayRef, ast.FuncRef))}
+
+
+def find_reductions(body: Sequence[ast.Stmt],
+                    table: SymbolTable) -> Dict[str, str]:
+    """Find scalars used *only* in consistent reduction statements in
+    ``body``.  Returns {var: op} with op in '+', '*', 'MAX', 'MIN'."""
+    candidates: Dict[str, Set[str]] = {}
+    reduction_stmt_ids: Dict[int, str] = {}
+    for s in ast.walk_stmts(body):
+        hit = _reduction_op(s, table)
+        if hit:
+            v, op = hit
+            candidates.setdefault(v, set()).add(op)
+            reduction_stmt_ids[id(s)] = v
+
+    if not candidates:
+        return {}
+
+    # disqualify any candidate touched outside its reduction statements
+    alive = {v for v, ops in candidates.items() if len(ops) == 1}
+    for s in ast.walk_stmts(body):
+        owner = reduction_stmt_ids.get(id(s))
+        for e in ast.stmt_exprs(s):
+            for n in ast.walk_expr(e):
+                if isinstance(n, ast.Var) and n.name.upper() in alive:
+                    v = n.name.upper()
+                    if owner != v:
+                        alive.discard(v)
+        if isinstance(s, ast.Assign) and isinstance(s.target, ast.Var):
+            v = s.target.name.upper()
+            if v in alive and owner != v:
+                alive.discard(v)
+        if isinstance(s, ast.DoLoop) and s.var.upper() in alive:
+            alive.discard(s.var.upper())
+    return {v: next(iter(candidates[v])) for v in alive}

@@ -1,0 +1,15 @@
+"""Annotation-based inlining — the paper's contribution.
+
+* :mod:`repro.annotations.parser` — the Figure-12 annotation language;
+* :mod:`repro.annotations.registry` — annotation database per subroutine;
+* :mod:`repro.annotations.translate` — annotation -> Fortran lowering
+  (``unknown`` -> fresh capture arrays, ``unique`` -> injective linear
+  forms, array regions -> generated loops);
+* :mod:`repro.annotations.inliner` — tagged substitution of call sites;
+* :mod:`repro.annotations.reverse` — the pattern-matching reverse inliner.
+"""
+
+from repro.annotations.inliner import AnnotationInliner  # noqa: F401
+from repro.annotations.parser import parse_annotations  # noqa: F401
+from repro.annotations.registry import AnnotationRegistry  # noqa: F401
+from repro.annotations.reverse import ReverseInliner  # noqa: F401

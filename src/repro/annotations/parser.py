@@ -1,0 +1,375 @@
+"""Parser for the Figure-12 annotation language.
+
+Grammar (from the paper, concrete syntax of Figures 13/14/16):
+
+    file        := annotation*
+    annotation  := 'subroutine' NAME '(' [params] ')' block
+    block       := '{' stmt* '}'
+    stmt        := block
+                 | 'if' '(' expr ')' stmt ['else' stmt]
+                 | 'do' '(' NAME '=' expr ':' expr [':' expr] ')' stmt
+                 | 'return' [expr] ';'
+                 | type NAME entity (',' entity)* ';'
+                 | 'dimension' entity (',' entity)* ';'
+                 | targets '=' expr ';'
+    targets     := var | '(' var (',' var)* ')'
+    var         := NAME [ '[' subscripts ']' ]
+    type        := 'integer' | 'real' | 'double' | 'logical'
+
+Expressions are Fortran-like with C-style comparison spellings
+(``==``, ``!=``, ``<`` ...), ``[ ]`` array references whose subscripts may
+be regions (``*`` or ``lo:hi``), intrinsic calls with ``( )``, and the two
+special operators ``unknown(...)`` / ``unique(...)``.  ``#`` starts a
+line comment.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.annotations import ast as aast
+from repro.errors import AnnotationError
+from repro.fortran import ast as fast
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<real>\d+\.\d*([EDed][+-]?\d+)?|\d+[EDed][+-]?\d+|\.\d+)
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z][A-Za-z0-9_$]*)
+  | (?P<op>\*\*|==|!=|<=|>=|&&|\|\||[-+*/<>=(){}\[\],;:!])
+""", re.VERBOSE)
+
+_KEYWORDS = {"SUBROUTINE", "FUNCTION", "IF", "ELSE", "DO", "RETURN",
+             "DIMENSION", "INTEGER", "REAL", "DOUBLE", "LOGICAL",
+             "UNKNOWN", "UNIQUE"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise AnnotationError(
+                f"bad character {text[pos]!r} in annotation source")
+        pos = m.end()
+        if m.lastgroup == "ws" or (m.group().startswith("#")):
+            continue
+        kind = m.lastgroup
+        value = m.group()
+        if kind == "name":
+            value = value.upper()
+            if value in _KEYWORDS:
+                tokens.append(("kw", value))
+                continue
+        tokens.append((kind, value))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.toks = _tokenize(text)
+        self.i = 0
+
+    # -- helpers -------------------------------------------------------
+    def peek(self) -> Tuple[str, str]:
+        return self.toks[self.i]
+
+    def next(self) -> Tuple[str, str]:
+        t = self.toks[self.i]
+        self.i += 1
+        return t
+
+    def at(self, kind: str, value: Optional[str] = None) -> bool:
+        k, v = self.peek()
+        return k == kind and (value is None or v == value)
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        k, v = self.next()
+        if k != kind or (value is not None and v != value):
+            raise AnnotationError(
+                f"expected {value or kind}, found {v!r} in annotation")
+        return v
+
+    # -- annotations -----------------------------------------------------
+    def file(self) -> List[aast.ASubroutine]:
+        out = []
+        while not self.at("eof"):
+            out.append(self.subroutine())
+        return out
+
+    def subroutine(self) -> aast.ASubroutine:
+        self.expect("kw", "SUBROUTINE")
+        name = self.expect("name")
+        self.expect("op", "(")
+        params: List[str] = []
+        if not self.at("op", ")"):
+            params.append(self.expect("name"))
+            while self.at("op", ","):
+                self.next()
+                params.append(self.expect("name"))
+        self.expect("op", ")")
+        body = self.block()
+        return aast.ASubroutine(name, params, body)
+
+    def block(self) -> List[aast.AnnStmt]:
+        self.expect("op", "{")
+        stmts: List[aast.AnnStmt] = []
+        while not self.at("op", "}"):
+            stmts.extend(self.statement())
+        self.expect("op", "}")
+        return stmts
+
+    def statement_or_block(self) -> List[aast.AnnStmt]:
+        if self.at("op", "{"):
+            return self.block()
+        return self.statement()
+
+    def statement(self) -> List[aast.AnnStmt]:
+        k, v = self.peek()
+        if k == "kw" and v == "IF":
+            self.next()
+            self.expect("op", "(")
+            cond = self.expression()
+            self.expect("op", ")")
+            then = self.statement_or_block()
+            els: List[aast.AnnStmt] = []
+            if self.at("kw", "ELSE"):
+                self.next()
+                els = self.statement_or_block()
+            return [aast.AIf(cond, then, els)]
+        if k == "kw" and v == "DO":
+            self.next()
+            self.expect("op", "(")
+            var = self.expect("name")
+            self.expect("op", "=")
+            start = self.expression()
+            self.expect("op", ":")
+            stop = self.expression()
+            step = None
+            if self.at("op", ":"):
+                self.next()
+                step = self.expression()
+            self.expect("op", ")")
+            body = self.statement_or_block()
+            return [aast.ADo(var, start, stop, step, body)]
+        if k == "kw" and v == "RETURN":
+            self.next()
+            value = None
+            if not self.at("op", ";"):
+                value = self.expression()
+            self.expect("op", ";")
+            return [aast.AReturn(value)]
+        if k == "kw" and v in ("INTEGER", "REAL", "DOUBLE", "LOGICAL"):
+            self.next()
+            typename = {"DOUBLE": "DOUBLE PRECISION"}.get(v, v)
+            entities = self.entity_list()
+            self.expect("op", ";")
+            return [aast.ADecl(typename, entities)]
+        if k == "kw" and v == "DIMENSION":
+            self.next()
+            entities = self.entity_list()
+            self.expect("op", ";")
+            return [aast.ADecl("", entities)]
+        # assignment
+        targets = self.target_list()
+        self.expect("op", "=")
+        value = self.expression()
+        self.expect("op", ";")
+        return [aast.AAssign(targets, value)]
+
+    def entity_list(self) -> List[fast.Entity]:
+        entities = [self.entity()]
+        while self.at("op", ","):
+            self.next()
+            entities.append(self.entity())
+        return entities
+
+    def entity(self) -> fast.Entity:
+        name = self.expect("name")
+        dims: Optional[Tuple[fast.Dim, ...]] = None
+        if self.at("op", "["):
+            self.next()
+            out: List[fast.Dim] = []
+            while True:
+                if self.at("op", "*"):
+                    self.next()
+                    out.append(fast.Dim(fast.IntLit(1), None))
+                else:
+                    e = self.expression()
+                    if self.at("op", ":"):
+                        self.next()
+                        hi = self.expression()
+                        out.append(fast.Dim(e, hi))
+                    else:
+                        out.append(fast.Dim(fast.IntLit(1), e))
+                if self.at("op", ","):
+                    self.next()
+                    continue
+                break
+            self.expect("op", "]")
+            dims = tuple(out)
+        return fast.Entity(name, dims)
+
+    def target_list(self) -> Tuple[fast.Expr, ...]:
+        if self.at("op", "("):
+            self.next()
+            targets = [self.var_ref()]
+            while self.at("op", ","):
+                self.next()
+                targets.append(self.var_ref())
+            self.expect("op", ")")
+            return tuple(targets)
+        return (self.var_ref(),)
+
+    def var_ref(self) -> fast.Expr:
+        name = self.expect("name")
+        if self.at("op", "["):
+            return self._finish_bracket_ref(name)
+        return fast.Var(name)
+
+    # -- expressions ---------------------------------------------------
+    def expression(self) -> fast.Expr:
+        return self._or()
+
+    def _or(self) -> fast.Expr:
+        e = self._and()
+        while self.at("op", "||"):
+            self.next()
+            e = fast.BinOp(".OR.", e, self._and())
+        return e
+
+    def _and(self) -> fast.Expr:
+        e = self._not()
+        while self.at("op", "&&"):
+            self.next()
+            e = fast.BinOp(".AND.", e, self._not())
+        return e
+
+    def _not(self) -> fast.Expr:
+        if self.at("op", "!") and not self.at("op", "!="):
+            self.next()
+            return fast.UnOp(".NOT.", self._not())
+        return self._rel()
+
+    _REL = {"==": "==", "!=": "/=", "<": "<", "<=": "<=",
+            ">": ">", ">=": ">="}
+
+    def _rel(self) -> fast.Expr:
+        e = self._add()
+        k, v = self.peek()
+        if k == "op" and v in self._REL:
+            self.next()
+            return fast.BinOp(self._REL[v], e, self._add())
+        return e
+
+    def _add(self) -> fast.Expr:
+        if self.at("op", "-"):
+            self.next()
+            e: fast.Expr = fast.UnOp("-", self._mul())
+        elif self.at("op", "+"):
+            self.next()
+            e = self._mul()
+        else:
+            e = self._mul()
+        while self.at("op", "+") or self.at("op", "-"):
+            _, op = self.next()
+            e = fast.BinOp(op, e, self._mul())
+        return e
+
+    def _mul(self) -> fast.Expr:
+        e = self._pow()
+        while self.at("op", "*") or self.at("op", "/"):
+            _, op = self.next()
+            e = fast.BinOp(op, e, self._pow())
+        return e
+
+    def _pow(self) -> fast.Expr:
+        e = self._primary()
+        if self.at("op", "**"):
+            self.next()
+            return fast.BinOp("**", e, self._pow())
+        return e
+
+    def _primary(self) -> fast.Expr:
+        k, v = self.peek()
+        if k == "int":
+            self.next()
+            return fast.IntLit(int(v))
+        if k == "real":
+            self.next()
+            kind = "DOUBLE" if ("D" in v.upper()) else "REAL"
+            return fast.RealLit(float(v.upper().replace("D", "E")), kind, v)
+        if k == "op" and v == "(":
+            self.next()
+            e = self.expression()
+            self.expect("op", ")")
+            return e
+        if k == "kw" and v in ("UNKNOWN", "UNIQUE"):
+            self.next()
+            self.expect("op", "(")
+            args: List[fast.Expr] = []
+            if not self.at("op", ")"):
+                args.append(self.expression())
+                while self.at("op", ","):
+                    self.next()
+                    args.append(self.expression())
+            self.expect("op", ")")
+            cls = aast.Unknown if v == "UNKNOWN" else aast.Unique
+            return cls(tuple(args))
+        if k == "name":
+            self.next()
+            if self.at("op", "["):
+                return self._finish_bracket_ref(v)
+            if self.at("op", "("):
+                # intrinsic-style call, e.g. ABS(...)
+                self.next()
+                args = []
+                if not self.at("op", ")"):
+                    args.append(self.expression())
+                    while self.at("op", ","):
+                        self.next()
+                        args.append(self.expression())
+                self.expect("op", ")")
+                return fast.FuncRef(v, tuple(args))
+            return fast.Var(v)
+        raise AnnotationError(f"unexpected token {v!r} in annotation "
+                              f"expression")
+
+    def _finish_bracket_ref(self, name: str) -> fast.ArrayRef:
+        self.expect("op", "[")
+        subs: List[fast.Expr] = []
+        while True:
+            if self.at("op", "*"):
+                self.next()
+                subs.append(fast.RangeExpr(None, None))
+            else:
+                e = self.expression()
+                if self.at("op", ":"):
+                    self.next()
+                    hi = self.expression()
+                    subs.append(fast.RangeExpr(e, hi))
+                else:
+                    subs.append(e)
+            if self.at("op", ","):
+                self.next()
+                continue
+            break
+        self.expect("op", "]")
+        return fast.ArrayRef(name, tuple(subs))
+
+
+def parse_annotations(text: str) -> List[aast.ASubroutine]:
+    """Parse annotation source text into a list of subroutine summaries."""
+    return _Parser(text).file()
+
+
+def parse_annotation_expr(text: str) -> fast.Expr:
+    """Parse a standalone annotation expression (used by tests)."""
+    p = _Parser(text)
+    e = p.expression()
+    if not p.at("eof"):
+        raise AnnotationError(f"trailing tokens in {text!r}")
+    return e

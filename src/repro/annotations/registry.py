@@ -1,0 +1,47 @@
+"""Annotation database.
+
+Maps subroutine names to their :class:`~repro.annotations.ast.ASubroutine`
+summaries.  The experiments attach one registry per benchmark application;
+the annotation inliner and the reverse inliner both consult it (the
+reverse inliner regenerates translation templates from the same source of
+truth, which is what makes round-tripping deterministic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.annotations.ast import ASubroutine
+from repro.annotations.parser import parse_annotations
+from repro.errors import AnnotationError
+
+
+@dataclass
+class AnnotationRegistry:
+    annotations: Dict[str, ASubroutine] = field(default_factory=dict)
+
+    @staticmethod
+    def from_text(text: str) -> "AnnotationRegistry":
+        reg = AnnotationRegistry()
+        for ann in parse_annotations(text):
+            reg.add(ann)
+        return reg
+
+    def add(self, ann: ASubroutine) -> None:
+        name = ann.name.upper()
+        if name in self.annotations:
+            raise AnnotationError(f"duplicate annotation for {name}")
+        self.annotations[name] = ann
+
+    def get(self, name: str) -> Optional[ASubroutine]:
+        return self.annotations.get(name.upper())
+
+    def __contains__(self, name: str) -> bool:
+        return name.upper() in self.annotations
+
+    def __iter__(self) -> Iterator[ASubroutine]:
+        return iter(self.annotations.values())
+
+    def names(self) -> List[str]:
+        return sorted(self.annotations)

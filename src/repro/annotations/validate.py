@@ -1,0 +1,77 @@
+"""Static consistency checks for annotations.
+
+The paper notes (Section III-D) that annotation soundness is the user's
+responsibility and is verified at runtime; these checks catch the
+*mechanical* mistakes early:
+
+* the annotation's formal list must match the subroutine's (when the
+  source is available);
+* every array formal used with subscripts needs a ``dimension``
+  declaration in the annotation;
+* subscript counts must match declared ranks;
+* ``unique`` needs integer-valued operands (we check they are not real
+  literals);
+* ``return`` is rejected in subroutine annotations.
+
+Runtime verification proper lives in :mod:`repro.runtime.difftest`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.annotations import ast as aast
+from repro.annotations.ast import walk_ann_exprs
+from repro.fortran import ast as fast
+from repro.program import Program
+
+
+def validate_annotation(ann: aast.ASubroutine,
+                        program: Optional[Program] = None) -> List[str]:
+    """Return a list of problem descriptions (empty when clean)."""
+    problems: List[str] = []
+    name = ann.name.upper()
+    dims = ann.declared_dims()
+    params = {p.upper() for p in ann.params}
+
+    if program is not None and program.has_unit(name):
+        unit = program.unit(name)
+        declared = [p.upper() for p in unit.params]
+        if declared != [p.upper() for p in ann.params]:
+            problems.append(
+                f"{name}: annotation formals {ann.params} do not match "
+                f"the subroutine's {unit.params}")
+
+    # return statements
+    def scan_return(stmts) -> None:
+        for s in stmts:
+            if isinstance(s, aast.AReturn):
+                problems.append(f"{name}: 'return' in a subroutine "
+                                f"annotation")
+            elif isinstance(s, aast.AIf):
+                scan_return(s.then)
+                scan_return(s.els)
+            elif isinstance(s, aast.ADo):
+                scan_return(s.body)
+
+    scan_return(ann.body)
+
+    for e in walk_ann_exprs(ann.body):
+        if isinstance(e, fast.ArrayRef):
+            ref = e.name.upper()
+            if ref in params and ref not in dims:
+                problems.append(
+                    f"{name}: formal {ref} used with subscripts but has "
+                    f"no dimension declaration")
+            elif ref in dims and len(e.subs) != len(dims[ref]):
+                problems.append(
+                    f"{name}: {ref} referenced with {len(e.subs)} "
+                    f"subscripts but declared with {len(dims[ref])}")
+        elif isinstance(e, aast.Unique):
+            if not e.args:
+                problems.append(f"{name}: unique() with no operands")
+            for a in e.args:
+                if isinstance(a, fast.RealLit):
+                    problems.append(
+                        f"{name}: unique() operand must be integer-valued")
+    return problems

@@ -1,0 +1,280 @@
+"""Command-line interface.
+
+::
+
+    python -m repro parallelize in.f [in2.f ...] [--annotations a.ann]
+                                [--config annotation] [--output out.f]
+    python -m repro report      in.f ... [--annotations a.ann]
+    python -m repro run         in.f ... [--machine intel-mac] [--inputs 1 2]
+    python -m repro verify      in.f ... --annotations a.ann
+    python -m repro generate    in.f ...           # derive annotations
+    python -m repro check       in.f ... --annotations a.ann  # soundness
+    python -m repro table1 | table2 | figure20     # paper artifacts
+    python -m repro bench NAME                     # one PERFECT substitute
+
+``parallelize`` runs the paper's full Figure-15 pipeline and writes (or
+prints) the optimized source: the original program plus OpenMP
+directives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.program import Program
+
+_MACHINES = {"intel-mac": None, "amd-opteron": None, "serial": None}
+
+
+def _load_program(paths: Sequence[str]) -> Program:
+    sources: Dict[str, str] = {}
+    for path in paths:
+        with open(path) as fh:
+            sources[path] = fh.read()
+    return Program.from_sources(sources)
+
+
+def _load_registry(path: Optional[str]):
+    from repro.annotations import AnnotationRegistry
+    if not path:
+        return AnnotationRegistry()
+    with open(path) as fh:
+        return AnnotationRegistry.from_text(fh.read())
+
+
+def _machine(name: str):
+    from repro.runtime.machine import AMD_OPTERON, INTEL_MAC
+    return {"intel-mac": INTEL_MAC, "amd-opteron": AMD_OPTERON,
+            "serial": None}[name]
+
+
+def _pipeline(program: Program, registry, config: str):
+    from repro.annotations import AnnotationInliner, ReverseInliner
+    from repro.inlining import ConventionalInliner
+    from repro.polaris import Polaris
+    if config == "conventional":
+        ConventionalInliner().run(program)
+    elif config == "annotation":
+        AnnotationInliner(registry).run(program)
+    report = Polaris().run(program)
+    if config == "annotation":
+        ReverseInliner(registry).run(program)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_parallelize(args) -> int:
+    program = _load_program(args.files)
+    registry = _load_registry(args.annotations)
+    report = _pipeline(program, registry, args.config)
+    text = "".join(program.unparse().values())
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output} "
+              f"({report.parallel_count()} loops parallelized)")
+    else:
+        print(text, end="")
+    if args.report:
+        print(report.describe(), file=sys.stderr)
+    return 0
+
+
+def cmd_report(args) -> int:
+    program = _load_program(args.files)
+    registry = _load_registry(args.annotations)
+    report = _pipeline(program, registry, args.config)
+    print(report.describe())
+    print(f"\n{report.parallel_count()} loops parallelized")
+    reasons = report.reasons_histogram()
+    if reasons:
+        print("serial loops by reason:",
+              ", ".join(f"{k}={v}" for k, v in sorted(reasons.items())))
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.runtime import Interpreter
+    program = _load_program(args.files)
+    machine = _machine(args.machine)
+    interp = Interpreter(program, machine=machine,
+                         honor_directives=machine is not None,
+                         inputs=[float(x) for x in args.inputs])
+    result = interp.run()
+    for line in result.output:
+        print(line)
+    if result.stop_message:
+        print(f"STOP '{result.stop_message}'", file=sys.stderr)
+    print(f"[simulated cost: {result.cost:.0f} work units"
+          + (f" on {args.machine}" if machine else " (serial)") + "]",
+          file=sys.stderr)
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.runtime import diff_test
+    program = _load_program(args.files)
+    registry = _load_registry(args.annotations)
+    report = _pipeline(program, registry, args.config)
+    result = diff_test(program, _machine("intel-mac"),
+                       inputs=[float(x) for x in args.inputs])
+    print(f"{report.parallel_count()} loops parallelized; "
+          f"verification: {result.explain()}")
+    return 0 if result.passed else 1
+
+
+def cmd_generate(args) -> int:
+    from repro.annotations.generate import generate_all, render_annotation
+    program = _load_program(args.files)
+    results = generate_all(program)
+    failures = 0
+    for name, res in results.items():
+        if res.ok:
+            print(f"# {name}: derived automatically"
+                  + (f" ({res.omitted_error_checks} error-handling "
+                     f"conditionals omitted)" if res.omitted_error_checks
+                     else ""))
+            print(render_annotation(res.annotation))
+            print()
+        else:
+            failures += 1
+            print(f"# {name}: NOT derivable — {res.reason}")
+    return 0 if failures == 0 else 2
+
+
+def cmd_check(args) -> int:
+    from repro.annotations.soundness import check_registry
+    program = _load_program(args.files)
+    registry = _load_registry(args.annotations)
+    reports = check_registry(program, registry)
+    bad = 0
+    for name, rep in sorted(reports.items()):
+        status = "SOUND" if rep.sound else "UNSOUND"
+        print(f"{name}: {status}")
+        for v in rep.violations:
+            bad += 1
+            print(f"  violation: {v}")
+        for w in rep.warnings:
+            print(f"  warning:   {w}")
+    return 0 if bad == 0 else 1
+
+
+def cmd_diagnose(args) -> int:
+    from repro.polaris.explain import diagnose_program
+    program = _load_program(args.files)
+    for diag in diagnose_program(program):
+        if args.all or not diag.parallel:
+            print(diag.describe())
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.experiments.table1 import render_table1
+    print(render_table1())
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from repro.experiments.table2 import render_table2
+    print(render_table2())
+    return 0
+
+
+def cmd_figure20(args) -> int:
+    from repro.experiments.figure20 import figure20_all, render_figure20
+    print(render_figure20(figure20_all()))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.experiments.figure20 import figure20_cells, render_figure20
+    from repro.experiments.table2 import render_table2, table2_row
+    from repro.perfect import get_benchmark
+    bench = get_benchmark(args.name)
+    print(render_table2([table2_row(bench)]))
+    print()
+    print(render_figure20(figure20_cells(bench)))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Annotation-based inlining for interprocedural "
+                    "parallelization (ICPP 2011 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_files(p, annotations=True):
+        p.add_argument("files", nargs="+", help="Fortran 77 source files")
+        if annotations:
+            p.add_argument("--annotations", help="annotation file")
+            p.add_argument("--config", default="annotation",
+                           choices=("none", "conventional", "annotation"))
+
+    p = sub.add_parser("parallelize", help="inline, parallelize, reverse")
+    add_files(p)
+    p.add_argument("--output", "-o", help="output file (default stdout)")
+    p.add_argument("--report", action="store_true",
+                   help="print the per-loop report to stderr")
+    p.set_defaults(fn=cmd_parallelize)
+
+    p = sub.add_parser("report", help="per-loop parallelization report")
+    add_files(p)
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("run", help="execute a program on the simulator")
+    add_files(p, annotations=False)
+    p.add_argument("--machine", default="serial",
+                   choices=sorted(_MACHINES))
+    p.add_argument("--inputs", nargs="*", default=[],
+                   help="values consumed by READ statements")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("verify",
+                       help="parallelize and differential-test the result")
+    add_files(p)
+    p.add_argument("--inputs", nargs="*", default=[])
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("generate",
+                       help="derive annotations automatically")
+    add_files(p, annotations=False)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("check",
+                       help="statically check annotation soundness")
+    add_files(p)
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("diagnose",
+                       help="explain every obstacle keeping loops serial")
+    add_files(p, annotations=False)
+    p.add_argument("--all", action="store_true",
+                   help="include parallelizable loops in the listing")
+    p.set_defaults(fn=cmd_diagnose)
+
+    for name, fn in (("table1", cmd_table1), ("table2", cmd_table2),
+                     ("figure20", cmd_figure20)):
+        p = sub.add_parser(name, help=f"regenerate the paper's {name}")
+        p.set_defaults(fn=fn)
+
+    p = sub.add_parser("bench", help="full report for one benchmark")
+    p.add_argument("name")
+    p.set_defaults(fn=cmd_bench)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Evaluation harness: the three-configuration pipeline, Table I/II and
+Figure 20 generators, and the empirical tuning pass."""
+
+from repro.experiments.pipeline import (Config, PipelineResult,  # noqa: F401
+                                        run_config, run_all_configs)

@@ -1,0 +1,74 @@
+"""Figure 20 — runtime speedups of the automatically parallelized
+benchmarks on the two machine models, under the three inlining
+configurations, with empirical tuning applied (exactly the paper's
+measurement protocol).
+
+Speedup = serial simulated time / tuned parallel simulated time, per
+benchmark x machine x configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.pipeline import CONFIGS, run_all_configs
+from repro.experiments.reporting import bar_chart
+from repro.experiments.tuning import TuningResult, tune
+from repro.perfect import all_benchmarks
+from repro.perfect.suite import Benchmark
+from repro.runtime.machine import AMD_OPTERON, INTEL_MAC, MachineModel
+
+MACHINES = (INTEL_MAC, AMD_OPTERON)
+
+
+@dataclass
+class SpeedupCell:
+    benchmark: str
+    machine: str
+    config: str
+    tuning: TuningResult
+
+    @property
+    def speedup(self) -> float:
+        return self.tuning.speedup
+
+
+def figure20_cells(benchmark: Benchmark,
+                   machines: Sequence[MachineModel] = MACHINES,
+                   ) -> List[SpeedupCell]:
+    results = run_all_configs(benchmark)
+    cells: List[SpeedupCell] = []
+    for machine in machines:
+        for config in CONFIGS:
+            # tuning mutates the program: use a fresh clone per machine
+            program = results[config].program.clone()
+            tuning = tune(program, machine, benchmark.inputs)
+            cells.append(SpeedupCell(benchmark.name, machine.name, config,
+                                     tuning))
+    return cells
+
+
+def figure20_all(machines: Sequence[MachineModel] = MACHINES,
+                 benchmarks: Optional[List[Benchmark]] = None,
+                 ) -> List[SpeedupCell]:
+    benchmarks = benchmarks if benchmarks is not None else all_benchmarks()
+    cells: List[SpeedupCell] = []
+    for b in benchmarks:
+        cells.extend(figure20_cells(b, machines))
+    return cells
+
+
+def render_figure20(cells: List[SpeedupCell]) -> str:
+    by_machine: Dict[str, List[SpeedupCell]] = {}
+    for c in cells:
+        by_machine.setdefault(c.machine, []).append(c)
+    sections: List[str] = []
+    for machine, group in by_machine.items():
+        labels = [f"{c.benchmark:8s} {c.config}" for c in group]
+        values = [c.speedup for c in group]
+        sections.append(bar_chart(
+            labels, values,
+            title=f"FIGURE 20: speedups on {machine} "
+                  f"(serial time / tuned parallel time)"))
+    return "\n\n".join(sections)

@@ -1,0 +1,141 @@
+"""The three-configuration evaluation pipeline (paper Figure 15 + the
+Table II measurement protocol).
+
+For one benchmark the pipeline runs:
+
+* ``none`` — Polaris directly (no inlining);
+* ``conventional`` — the Polaris default inliner, then Polaris;
+* ``annotation`` — annotation-based inlining, Polaris, reverse inlining.
+
+Counting protocol (the paper's): each *original* loop (origin identity)
+counts once; a loop counts as parallelized in a configuration when any of
+its copies in an *execution-reachable* unit received a directive.  A
+procedure whose every call site was inlined away is dead code — its
+still-parallelizable original no longer executes, which is exactly how
+conventional inlining manifests ``#par-loss``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.loops import assign_origins
+from repro.annotations.inliner import (AnnotationInlineResult,
+                                       AnnotationInliner)
+from repro.annotations.registry import AnnotationRegistry
+from repro.annotations.reverse import ReverseInliner, ReverseResult
+from repro.annotations.translate import TranslateOptions
+from repro.inlining.conventional import ConventionalInliner, InlineResult
+from repro.inlining.heuristics import InlinePolicy
+from repro.perfect.suite import Benchmark
+from repro.polaris import Polaris, PolarisOptions, Report
+from repro.program import Program
+
+CONFIGS = ("none", "conventional", "annotation")
+
+
+@dataclass
+class Config:
+    kind: str = "none"
+    polaris: PolarisOptions = field(default_factory=PolarisOptions)
+    inline_policy: InlinePolicy = field(default_factory=InlinePolicy)
+    translate: TranslateOptions = field(default_factory=TranslateOptions)
+
+
+@dataclass
+class PipelineResult:
+    config: str
+    program: Program
+    report: Report
+    code_lines: int
+    conventional_result: Optional[InlineResult] = None
+    annotation_result: Optional[AnnotationInlineResult] = None
+    reverse_result: Optional[ReverseResult] = None
+
+    def parallel_origins(self) -> Set[str]:
+        """Origins parallelized in execution-reachable units."""
+        reachable = _reachable_units(self.program)
+        return {v.origin for v in self.report.verdicts
+                if v.parallelized and v.origin is not None
+                and v.unit in reachable}
+
+
+def _reachable_units(program: Program) -> Set[str]:
+    graph = build_callgraph(program)
+    roots = [u.name for u in program.units if u.kind == "PROGRAM"]
+    seen: Set[str] = set(roots)
+    stack = list(roots)
+    while stack:
+        name = stack.pop()
+        for callee in graph.callees(name):
+            if callee not in seen:
+                seen.add(callee)
+                stack.append(callee)
+    return seen
+
+
+def prepare_base(benchmark: Benchmark) -> Program:
+    """Parse the benchmark and stamp loop origins (done once, before any
+    configuration clones the program, so origins are comparable)."""
+    program = benchmark.program()
+    for unit in program.units:
+        assign_origins(unit)
+    return program
+
+
+def run_config(benchmark: Benchmark, config: Config,
+               base: Optional[Program] = None) -> PipelineResult:
+    base = base if base is not None else prepare_base(benchmark)
+    program = base.clone()
+    conventional_result = None
+    annotation_result = None
+    reverse_result = None
+
+    if config.kind == "conventional":
+        policy = config.inline_policy
+        if benchmark.library_units:
+            policy = _policy_with_unavailable(policy,
+                                              benchmark.library_units)
+        conventional_result = ConventionalInliner(policy).run(program)
+    elif config.kind == "annotation":
+        registry = benchmark.registry()
+        annotation_result = AnnotationInliner(
+            registry, config.translate).run(program)
+
+    report = Polaris(config.polaris).run(program)
+
+    if config.kind == "annotation":
+        reverse_result = ReverseInliner(benchmark.registry(),
+                                        config.translate).run(program)
+
+    return PipelineResult(config.kind, program, report,
+                          program.total_lines(),
+                          conventional_result, annotation_result,
+                          reverse_result)
+
+
+def run_all_configs(benchmark: Benchmark,
+                    polaris: Optional[PolarisOptions] = None,
+                    ) -> Dict[str, PipelineResult]:
+    base = prepare_base(benchmark)
+    polaris = polaris or PolarisOptions()
+    out: Dict[str, PipelineResult] = {}
+    for kind in CONFIGS:
+        out[kind] = run_config(benchmark, Config(kind, polaris), base)
+    return out
+
+
+def _policy_with_unavailable(policy: InlinePolicy,
+                             unavailable) -> InlinePolicy:
+    """Wrap a policy so library procedures count as source-unavailable."""
+    class _Wrapped(InlinePolicy):
+        def rejection_reason(self, program, graph, callee_name, in_loop):
+            if callee_name.upper() in unavailable:
+                return "no-source"
+            return InlinePolicy.rejection_reason(self, program, graph,
+                                                 callee_name, in_loop)
+
+    return _Wrapped(policy.max_statements, policy.allow_io,
+                    policy.allow_calls, policy.require_loop_context)

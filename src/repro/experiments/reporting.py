@@ -1,0 +1,38 @@
+"""Plain-text rendering of tables and bar charts for the terminal."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def text_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+               title: str = "") -> str:
+    cols = [[str(h)] + [str(r[i]) for r in rows]
+            for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in col) for col in cols]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in rows:
+        lines.append(" | ".join(str(c).ljust(w)
+                                for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              title: str = "", width: int = 40,
+              fmt: str = "{:.3f}") -> str:
+    """Horizontal ASCII bars (Figure 20 style: one bar per config)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    vmax = max(values) if values else 1.0
+    label_w = max((len(l) for l in labels), default=0)
+    for label, v in zip(labels, values):
+        n = int(round(width * v / vmax)) if vmax > 0 else 0
+        lines.append(f"{label.ljust(label_w)} | "
+                     f"{'#' * n} {fmt.format(v)}")
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Table I — summary of the PERFECT benchmarks."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.experiments.reporting import text_table
+from repro.perfect import all_benchmarks
+
+
+def table1_rows() -> List[Tuple[str, str]]:
+    return [(b.name, b.description) for b in all_benchmarks()]
+
+
+def render_table1() -> str:
+    return text_table(["Applications", "Descriptions"], table1_rows(),
+                      title="TABLE I: SUMMARY OF THE PERFECT BENCHMARKS")

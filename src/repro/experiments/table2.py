@@ -1,0 +1,80 @@
+"""Table II — automatically parallelized loops under the three inlining
+configurations.
+
+For every benchmark, runs the full pipeline per configuration and
+reports, exactly as the paper does:
+
+* ``#par-loops`` — distinct original loops parallelized (in
+  execution-reachable code);
+* ``#par-loss`` — loops parallelizable with no inlining but not in this
+  configuration;
+* ``#par-extra`` — loops parallelized beyond the no-inlining baseline;
+* ``lines`` — source lines after optimization (comments removed; the
+  structural OpenMP directives count, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.pipeline import run_all_configs
+from repro.experiments.reporting import text_table
+from repro.perfect import all_benchmarks
+from repro.perfect.suite import Benchmark
+from repro.polaris import PolarisOptions
+from repro.polaris.report import ConfigComparison
+
+
+@dataclass
+class Table2Row:
+    benchmark: str
+    #: per config: ConfigComparison
+    configs: Dict[str, ConfigComparison]
+    lines: Dict[str, int]
+
+
+def table2_row(benchmark: Benchmark,
+               polaris: Optional[PolarisOptions] = None) -> Table2Row:
+    results = run_all_configs(benchmark, polaris)
+    baseline = results["none"].parallel_origins()
+    configs = {kind: ConfigComparison.against_baseline(
+        baseline, r.parallel_origins()) for kind, r in results.items()}
+    lines = {kind: r.code_lines for kind, r in results.items()}
+    return Table2Row(benchmark.name, configs, lines)
+
+
+def table2_rows(polaris: Optional[PolarisOptions] = None) -> List[Table2Row]:
+    return [table2_row(b, polaris) for b in all_benchmarks()]
+
+
+def render_table2(rows: Optional[List[Table2Row]] = None) -> str:
+    rows = rows if rows is not None else table2_rows()
+    headers = ["Application",
+               "none:par", "none:lines",
+               "conv:par", "conv:loss", "conv:extra", "conv:lines",
+               "annot:par", "annot:loss", "annot:extra", "annot:lines"]
+    body = []
+    totals = {k: 0 for k in ("np", "cp", "cl", "ce", "ap", "al", "ae")}
+    for r in rows:
+        n, c, a = (r.configs[k] for k in ("none", "conventional",
+                                          "annotation"))
+        body.append([r.benchmark, n.par_loops, r.lines["none"],
+                     c.par_loops, c.par_loss, c.par_extra,
+                     r.lines["conventional"],
+                     a.par_loops, a.par_loss, a.par_extra,
+                     r.lines["annotation"]])
+        totals["np"] += n.par_loops
+        totals["cp"] += c.par_loops
+        totals["cl"] += c.par_loss
+        totals["ce"] += c.par_extra
+        totals["ap"] += a.par_loops
+        totals["al"] += a.par_loss
+        totals["ae"] += a.par_extra
+    body.append(["TOTAL", totals["np"], "", totals["cp"], totals["cl"],
+                 totals["ce"], "", totals["ap"], totals["al"],
+                 totals["ae"], ""])
+    return text_table(
+        headers, body,
+        title="TABLE II: AUTOMATICALLY PARALLELIZED LOOPS "
+              "(no-inlining / conventional / annotation-based)")

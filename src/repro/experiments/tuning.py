@@ -1,0 +1,105 @@
+"""Empirical performance tuning (paper Section IV-B).
+
+"To avoid degradation of performance by excessive parallelization of
+loops, we used empirical performance tuning to disable a selected set of
+loops from being parallelized if their parallelization incurs a slowdown
+of the overall execution time."
+
+Greedy procedure on the optimized program: measure the simulated time;
+for each parallel directive (worst offenders first: smallest loops), try
+running with that directive disabled; keep the removal whenever it
+improves end-to-end time.  Operates on the final (reverse-inlined) AST,
+so it applies identically to all three configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.fortran import ast
+from repro.program import Program
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.machine import MachineModel
+
+
+@dataclass
+class TuningResult:
+    initial_cost: float
+    tuned_cost: float
+    serial_cost: float
+    disabled: List[str] = field(default_factory=list)
+    kept: List[str] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_cost / self.tuned_cost if self.tuned_cost else 1.0
+
+    @property
+    def untuned_speedup(self) -> float:
+        return (self.serial_cost / self.initial_cost
+                if self.initial_cost else 1.0)
+
+
+def _directive_sites(program: Program):
+    """(container list, index, OmpParallelDo) for every directive."""
+    sites = []
+
+    def scan(body: List[ast.Stmt]) -> None:
+        for i, s in enumerate(body):
+            if isinstance(s, ast.OmpParallelDo):
+                sites.append((body, i, s))
+                scan(s.loop.body)
+            else:
+                for child in ast.stmt_children(s):
+                    scan(child)
+
+    for unit in program.units:
+        scan(unit.body)
+    return sites
+
+
+def _measure(program: Program, machine: Optional[MachineModel],
+             inputs: Sequence[float]):
+    interp = Interpreter(program, machine=machine,
+                         honor_directives=machine is not None,
+                         inputs=list(inputs))
+    cost = interp.run().cost
+    return cost, interp.omp_stats
+
+
+def tune(program: Program, machine: MachineModel,
+         inputs: Sequence[float] = (), max_rounds: int = 4) -> TuningResult:
+    """Disable harmful directives in place.
+
+    Instead of re-measuring per directive (one execution each), a single
+    instrumented run yields every directive's accumulated serial-body vs
+    parallel cost; every directive whose parallel execution is not a net
+    win is disabled, and the process repeats (disabling an outer region
+    changes the fork costs of the regions nested inside it) until a
+    fixed point, typically 2-3 executions total.
+    """
+    serial, _ = _measure(program, None, inputs)
+    initial, stats = _measure(program, machine, inputs)
+    best = initial
+    disabled: List[str] = []
+    for _ in range(max_rounds):
+        harmful_ids = {key for key, (s_cost, p_cost) in stats.items()
+                       if p_cost >= s_cost}
+        if not harmful_ids:
+            break
+        changed = False
+        for body, idx, omp in _directive_sites(program):
+            if isinstance(body[idx], ast.OmpParallelDo) \
+                    and id(body[idx]) in harmful_ids:
+                label = f"{omp.loop.var}@{getattr(omp.loop, 'origin', '?')}"
+                body[idx] = omp.loop
+                disabled.append(label)
+                changed = True
+        if not changed:
+            break
+        best, stats = _measure(program, machine, inputs)
+    kept = [f"{omp.loop.var}@{getattr(omp.loop, 'origin', '?')}"
+            for body, idx, omp in _directive_sites(program)
+            if isinstance(body[idx], ast.OmpParallelDo)]
+    return TuningResult(initial, best, serial, disabled, kept)

@@ -1,0 +1,47 @@
+"""Catalogue of the Fortran 77 intrinsic functions the subset supports.
+
+The table drives three consumers:
+
+* the resolution pass (:mod:`repro.fortran.symbols`), which turns
+  ``NAME(args)`` into :class:`~repro.fortran.ast.FuncRef` for these names;
+* the dependence analyzer, which treats intrinsic calls as pure;
+* the interpreter, which binds each name to a Python implementation
+  (:mod:`repro.runtime.intrinsics`).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+#: every intrinsic name recognized by the frontend (all are pure)
+INTRINSIC_NAMES: FrozenSet[str] = frozenset({
+    # type conversion
+    "INT", "IFIX", "IDINT", "REAL", "FLOAT", "SNGL", "DBLE", "NINT", "IDNINT",
+    # truncation / remainder
+    "AINT", "ANINT", "MOD", "AMOD", "DMOD",
+    # sign / magnitude
+    "ABS", "IABS", "DABS", "SIGN", "ISIGN", "DSIGN", "DIM", "IDIM", "DDIM",
+    # extrema (variadic)
+    "MAX", "MAX0", "AMAX1", "DMAX1", "AMAX0", "MAX1",
+    "MIN", "MIN0", "AMIN1", "DMIN1", "AMIN0", "MIN1",
+    # algebraic / transcendental
+    "SQRT", "DSQRT", "EXP", "DEXP", "LOG", "ALOG", "DLOG",
+    "LOG10", "ALOG10", "DLOG10",
+    "SIN", "DSIN", "COS", "DCOS", "TAN", "DTAN",
+    "ASIN", "DASIN", "ACOS", "DACOS", "ATAN", "DATAN", "ATAN2", "DATAN2",
+    "SINH", "DSINH", "COSH", "DCOSH", "TANH", "DTANH",
+    # double-of products
+    "DPROD",
+    # character (minimal)
+    "LEN", "ICHAR", "CHAR",
+})
+
+#: intrinsics whose result is INTEGER regardless of argument types
+INTEGER_RESULT: FrozenSet[str] = frozenset({
+    "INT", "IFIX", "IDINT", "NINT", "IDNINT", "IABS", "ISIGN", "IDIM",
+    "MOD", "MAX0", "MIN0", "LEN", "ICHAR", "MAX1", "MIN1",
+})
+
+
+def is_intrinsic(name: str) -> bool:
+    return name.upper() in INTRINSIC_NAMES

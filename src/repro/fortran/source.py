@@ -1,0 +1,199 @@
+"""Fixed-form Fortran 77 source handling.
+
+Fixed form rules implemented here:
+
+* columns 1-5: statement label (digits);
+* column 6: any non-blank, non-zero character marks a continuation line;
+* columns 7-72: the statement field (columns beyond 72 are ignored);
+* a ``C``, ``c`` or ``*`` in column 1 marks a comment line; ``!`` starts an
+  inline comment in our (slightly extended) dialect;
+* blank lines are ignored.
+
+Two kinds of *structured comments* are preserved rather than discarded,
+because downstream passes depend on them:
+
+* OpenMP directives: lines whose comment body starts with ``$OMP``
+  (i.e. ``C$OMP`` / ``!$OMP``), and
+* inline tags produced by the annotation-based inliner: comment bodies
+  starting with ``@INLINE`` (``C@INLINE BEGIN ...`` / ``C@INLINE END ...``).
+
+The reader produces :class:`LogicalLine` objects: label, joined statement
+text (continuations merged), attached directives, and the originating line
+number (for diagnostics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import LexError, SourceLocation
+
+#: maximum significant column of the statement field
+STATEMENT_FIELD_END = 72
+
+
+@dataclass
+class Directive:
+    """A structured comment that must survive parsing and unparsing.
+
+    ``kind`` is ``"omp"`` for OpenMP directives and ``"tag"`` for inline
+    annotation tags.  ``text`` is the body with the sentinel stripped, e.g.
+    ``"PARALLEL DO"`` or ``"BEGIN MATMLT 3 PP(1,1,KS-1)|PHIT(1,1)|..."``.
+    """
+
+    kind: str
+    text: str
+    line: int = 0
+
+
+@dataclass
+class LogicalLine:
+    """One logical Fortran statement after continuation merging."""
+
+    label: Optional[int]
+    text: str
+    line: int  # first physical line number (1-based)
+    filename: str = "<string>"
+    #: directives encountered immediately before this statement
+    leading: List[Directive] = field(default_factory=list)
+
+    @property
+    def location(self) -> SourceLocation:
+        return SourceLocation(self.filename, self.line)
+
+
+def _classify_comment(body: str, line_no: int) -> Optional[Directive]:
+    """Return a Directive if a comment body is structured, else None."""
+    stripped = body.strip()
+    upper = stripped.upper()
+    if upper.startswith("$OMP"):
+        return Directive("omp", stripped[4:].strip(), line_no)
+    if upper.startswith("@INLINE"):
+        return Directive("tag", stripped[7:].strip(), line_no)
+    return None
+
+
+def read_logical_lines(text: str, filename: str = "<string>") -> List[LogicalLine]:
+    """Split fixed-form source text into logical lines.
+
+    Continuation lines are appended to the statement field of the previous
+    logical line.  Structured comments are attached to the *following*
+    statement as ``leading`` directives (matching how OpenMP directives
+    annotate the loop that follows them); structured comments at end of
+    file are attached to a synthetic empty logical line so they are not
+    lost.
+    """
+    logical: List[LogicalLine] = []
+    pending: List[Directive] = []
+    current: Optional[LogicalLine] = None
+
+    def flush() -> None:
+        nonlocal current
+        if current is not None:
+            current.text = current.text.rstrip()
+            logical.append(current)
+            current = None
+
+    for idx, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        first = line[0] if line else " "
+        # full-line comments
+        if first in ("C", "c", "*", "!"):
+            directive = _classify_comment(line[1:], idx)
+            if directive is not None:
+                flush()
+                pending.append(directive)
+            continue
+        # strip inline '!' comments (outside character literals)
+        line = _strip_inline_comment(line)
+        if not line.strip():
+            continue
+        if len(line) < 6:
+            line = line.ljust(6)
+        label_field = line[0:5]
+        cont_field = line[5]
+        stmt_field = line[6:STATEMENT_FIELD_END]
+        if cont_field not in (" ", "0"):
+            # continuation line
+            if current is None:
+                raise LexError(
+                    "continuation line with no statement to continue",
+                    SourceLocation(filename, idx),
+                )
+            if pending:
+                raise LexError(
+                    "directive between a statement and its continuation",
+                    SourceLocation(filename, idx),
+                )
+            current.text += stmt_field.rstrip()
+            continue
+        flush()
+        label: Optional[int] = None
+        if label_field.strip():
+            if not label_field.strip().isdigit():
+                raise LexError(
+                    f"bad statement label {label_field.strip()!r}",
+                    SourceLocation(filename, idx),
+                )
+            label = int(label_field.strip())
+        current = LogicalLine(
+            label=label,
+            text=stmt_field.rstrip(),
+            line=idx,
+            filename=filename,
+            leading=pending,
+        )
+        pending = []
+    flush()
+    if pending:
+        # trailing directives: attach to a synthetic end-marker line
+        logical.append(
+            LogicalLine(label=None, text="", line=pending[0].line,
+                        filename=filename, leading=pending)
+        )
+    return logical
+
+
+def _strip_inline_comment(line: str) -> str:
+    """Remove a trailing ``! ...`` comment, respecting quoted strings."""
+    in_quote: Optional[str] = None
+    for i, ch in enumerate(line):
+        if in_quote:
+            if ch == in_quote:
+                in_quote = None
+        elif ch in ("'", '"'):
+            in_quote = ch
+        elif ch == "!" and i != 0:
+            return line[:i]
+    return line
+
+
+def condense(stmt: str) -> str:
+    """Remove blanks and upper-case a statement field, outside strings.
+
+    Fixed-form Fortran treats blanks in the statement field as
+    insignificant; the classic implementation strategy (used by PCF-era
+    compilers, including Polaris) is to condense the statement before
+    classification and tokenization.  Quoted character literals keep their
+    spacing and case.
+    """
+    out: List[str] = []
+    in_quote: Optional[str] = None
+    for ch in stmt:
+        if in_quote:
+            out.append(ch)
+            if ch == in_quote:
+                in_quote = None
+        elif ch in ("'", '"'):
+            in_quote = ch
+            out.append(ch)
+        elif ch == " " or ch == "\t":
+            continue
+        else:
+            out.append(ch.upper())
+    if in_quote:
+        raise LexError(f"unterminated character literal in {stmt!r}")
+    return "".join(out)

@@ -1,0 +1,49 @@
+"""Token definitions for the Fortran 77 lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    NAME = auto()        # identifiers (no reserved words in Fortran 77)
+    INT = auto()         # 123
+    REAL = auto()        # 1.5, 1.5E3, 2.D0
+    STRING = auto()      # 'text'
+    LOGICAL = auto()     # .TRUE. / .FALSE.
+    OP = auto()          # + - * / ** = < > etc. and dot-operators
+    LPAREN = auto()
+    RPAREN = auto()
+    COMMA = auto()
+    COLON = auto()
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    pos: int = 0  # character offset in the condensed statement
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r})"
+
+
+#: Fortran dot-delimited operators and logical literals, longest first so the
+#: lexer can match greedily.
+DOT_OPERATORS = (
+    ".FALSE.", ".TRUE.",
+    ".NEQV.", ".EQV.",
+    ".AND.", ".NOT.",
+    ".OR.",
+    ".GE.", ".GT.", ".LE.", ".LT.", ".EQ.", ".NE.",
+)
+
+#: canonical spelling used in the AST for each operator token
+DOT_OP_CANONICAL = {
+    ".EQ.": "==", ".NE.": "/=", ".LT.": "<", ".LE.": "<=",
+    ".GT.": ">", ".GE.": ">=",
+    ".AND.": ".AND.", ".OR.": ".OR.", ".NOT.": ".NOT.",
+    ".EQV.": ".EQV.", ".NEQV.": ".NEQV.",
+}

@@ -1,0 +1,13 @@
+"""Conventional procedure inlining — the paper's baseline.
+
+Implements the Polaris default strategy (Section II): inline a call site
+when the callee is small (<= 150 statements), contains no I/O and no
+further procedure calls, and the site sits inside a loop nest.  The
+binding rules in :mod:`repro.inlining.binding` faithfully reproduce the
+two pathologies of Section II-A: forward substitution of indirect
+(subscripted) actuals into the callee's subscripts, and linearization of
+mismatched array shapes across the *whole caller*.
+"""
+
+from repro.inlining.conventional import ConventionalInliner, InlineResult  # noqa: F401
+from repro.inlining.heuristics import InlinePolicy  # noqa: F401

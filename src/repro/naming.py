@@ -1,0 +1,28 @@
+"""Naming conventions for compiler-generated entities.
+
+Annotation translation creates capture arrays (``GU1$A3``), region loop
+variables (``Z2$A3``) and renamed locals (``T$A3``), all carrying the
+``$A<site>`` suffix.  The parallelizer gives capture arrays special
+treatment (iteration-scratch: private by construction, dead after the
+tagged block), so the convention lives here, below both packages.
+
+The conventional inliner uses distinct suffixes (``$I<site>`` for renamed
+locals, ``$A<site>`` would collide with annotation sites only if both
+inliners ran on one program, which the pipeline never does).
+"""
+
+from __future__ import annotations
+
+GENERATED_SUFFIX_MARKER = "$A"
+PATTERN_PREFIX = "PAT$"
+
+
+def is_generated_name(name: str) -> bool:
+    """Names created by annotation translation."""
+    return GENERATED_SUFFIX_MARKER in name.upper()
+
+
+def is_capture_array(name: str) -> bool:
+    """``unknown()`` capture arrays: written then read within one
+    iteration of any enclosing loop, dead afterwards."""
+    return name.upper().startswith("GU") and is_generated_name(name)

@@ -1,0 +1,19 @@
+"""Synthetic PERFECT Club benchmark substitutes.
+
+The real PERFECT Club suite is not redistributable, so each application
+here is a from-scratch Fortran 77 program reproducing the *structure* the
+paper's evaluation depends on: the physics is simplified, but the call
+graphs, loop nests, array-access idioms (indirect one-to-one subscripts,
+reshaped parameters, opaque compositional subroutines, global temporary
+arrays, error-checking I/O) match the situations Sections II and III
+catalogue.  Every benchmark is executable by the interpreter, carries a
+small problem size (matching the paper's observation that PERFECT inputs
+are too small to profit much from parallelization), and ships annotations
+for the subroutines a developer would plausibly summarize.
+
+Use :func:`repro.perfect.suite.get_benchmark` /
+:func:`repro.perfect.suite.all_benchmarks`.
+"""
+
+from repro.perfect.suite import (Benchmark, all_benchmarks,  # noqa: F401
+                                 benchmark_names, get_benchmark)

@@ -1,0 +1,98 @@
+"""ADM — pseudospectral air pollution simulation.
+
+Its advection step calls ``ADVCHK``, which contains the Section II-B2
+idiom: a debugging/error conditional that WRITEs a diagnostic and STOPs
+on a CFL violation.  The I/O makes the callee ineligible for
+conventional inlining and keeps the column loop serial without inlining.
+The annotation omits the error path (the paper's relaxed
+exception-handling policy: pre-tested inputs never trigger it), so the
+column loop parallelizes under annotation inlining only.
+"""
+
+from repro.perfect.suite import Benchmark
+
+_MAIN = """
+      PROGRAM ADM
+      COMMON /AIR/ C(64,40), W(64,40), DKZ(64)
+      COMMON /CTL/ DT, CFLMAX
+      NX = 64
+      NZ = 40
+      DT = 0.05
+      CFLMAX = 0.0
+      DO 5 K = 1, NZ
+        DO 5 I = 1, NX
+          C(I,K) = I*0.01 + K*0.002
+          W(I,K) = 0.4 + K*0.001
+    5 CONTINUE
+      DO 8 I = 1, 64
+        DKZ(I) = 0.3
+    8 CONTINUE
+C ... vertical advection with the CFL check per column ...
+      DO 30 I = 1, NX
+        CALL ADVCHK(I, NZ)
+   30 CONTINUE
+C ... horizontal smoothing (pure kernel) ...
+      DO 40 K = 1, NZ
+        DO 38 I = 2, 63
+          W(I,K) = W(I,K)*0.5 + (C(I-1,K) + C(I+1,K))*0.25
+   38   CONTINUE
+   40 CONTINUE
+C ... horizontal diffusion sweep ...
+      DO 44 K = 1, NZ
+        DO 43 I = 2, 63
+          C(I,K) = C(I,K) + (C(I-1,K) - 2.0*C(I,K) + C(I+1,K))*0.1
+   43   CONTINUE
+   44 CONTINUE
+C ... emission history: a genuine time recurrence (serial everywhere) ...
+      EMIT = 0.0
+      DO 46 K = 1, NZ
+        EMIT = EMIT*0.9 + C(1,K)
+        W(1,K) = EMIT
+   46 CONTINUE
+C ... total burden (reduction) ...
+      TOTAL = 0.0
+      DO 50 K = 1, NZ
+        DO 48 I = 1, NX
+          TOTAL = TOTAL + C(I,K)
+   48   CONTINUE
+   50 CONTINUE
+      WRITE(6,*) TOTAL, C(5,7)
+      END
+"""
+
+_ADVCHK = """
+      SUBROUTINE ADVCHK(I, NZ)
+C ... advect one column; abort on a CFL violation (error checking the
+C     paper's Section II-B2 says conservative compilers must respect) ...
+      COMMON /AIR/ C(64,40), W(64,40), DKZ(64)
+      COMMON /CTL/ DT, CFLMAX
+      CFL = W(I,1)*DT*DKZ(I)
+      IF (CFL.GT.1.0) THEN
+        WRITE(6,*) I, CFL
+        STOP 'CFL VIOLATION'
+      END IF
+      DO 10 K = 1, NZ
+        C(I,K) = C(I,K)*(1.0 - CFL) + CFL*0.5
+   10 CONTINUE
+      RETURN
+      END
+"""
+
+_ANNOTATIONS = """
+# ADVCHK updates column I of the concentration field; the CFL error
+# conditional is deliberately omitted (never triggered on pre-tested
+# inputs, and replicated diagnostics would be acceptable anyway).
+subroutine ADVCHK(I, NZ) {
+  real CFL;
+  CFL = unknown(W[I, 1], DT, DKZ[I]);
+  do (K = 1:NZ)
+    C[I, K] = unknown(C[I, K], CFL);
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="ADM",
+    description="Pseudospectral air pollution simulation",
+    sources={"adm_main.f": _MAIN, "adm_advchk.f": _ADVCHK},
+    annotations=_ANNOTATIONS,
+)

@@ -1,0 +1,105 @@
+"""ARC2D — two-dimensional fluid solver of the Euler equations.
+
+Carries the Figure 4/5 linearization pathology: the implicit-step worker
+``STEP`` holds the flow variables as formals with *symbolic* extents and
+invokes ``MATMLT``, whose formals are declared one-dimensional.
+Conventional inlining must linearize ``PP``/``PHIT``/``TM1`` across the
+whole of ``STEP`` — every unrelated loop that touches them acquires
+``index * symbolic-extent`` subscripts no dependence test can analyze
+(``#par-loss``).  The annotation declares the true two-dimensional shapes
+(the paper's Figure 16), avoiding linearization entirely and letting the
+stage loop parallelize.
+"""
+
+from repro.perfect.suite import Benchmark
+
+_MAIN = """
+      PROGRAM ARC2D
+      COMMON /FLOW/ PP(4,4,15), PHIT(4,4), TM1(4,4,15), Q(40,40)
+      COMMON /OUTV/ RESID
+      DO 5 J = 1, 4
+        DO 5 I = 1, 4
+          PHIT(I,J) = 0.1*I + 0.01*J
+          DO 5 KS = 1, 15
+            PP(I,J,KS) = I + J*0.5 + KS*0.25
+    5 CONTINUE
+      DO 8 K = 1, 40
+        DO 8 J = 1, 40
+          Q(J,K) = J*0.1 + K*0.05
+    8 CONTINUE
+      CALL STEP(PP, PHIT, TM1, Q, 4, 15, 40)
+C ... residual norm over the mesh (reduction) ...
+      RESID = 0.0
+      DO 90 K = 1, 40
+        DO 85 J = 1, 40
+          RESID = RESID + Q(J,K)*Q(J,K)
+   85   CONTINUE
+   90 CONTINUE
+      WRITE(6,*) RESID, TM1(2,3,7)
+      END
+"""
+
+_STEP = """
+      SUBROUTINE STEP(PP, PHIT, TM1, Q, N1, NS, NQ)
+C ... implicit stage sweep; the flow arrays have symbolic extents, which
+C     is what makes the post-linearization subscripts non-affine ...
+      DIMENSION PP(N1,N1,NS), PHIT(N1,N1), TM1(N1,N1,NS), Q(NQ,NQ)
+C ... stage propagation: each stage writes its own TM1 plane ...
+      DO 15 KS = 2, NS
+        CALL MATMLT(PP(1,1,KS-1), PHIT(1,1), TM1(1,1,KS), N1*N1)
+   15 CONTINUE
+C ... unrelated smoothing sweeps over the same arrays (the paper's
+C     collateral damage: all of these lose parallelism once the arrays
+C     are linearized with symbolic shapes) ...
+      DO 25 J = 1, N1
+        DO 24 I = 1, N1
+          PHIT(I,J) = PHIT(I,J)*0.5 + 0.125
+   24   CONTINUE
+   25 CONTINUE
+      DO 35 KS = 1, NS
+        DO 34 J = 1, N1
+          DO 33 I = 1, N1
+            PP(I,J,KS) = PP(I,J,KS)*0.9 + 0.01
+   33     CONTINUE
+   34   CONTINUE
+   35 CONTINUE
+      DO 45 KS = 1, NS
+        DO 44 J = 1, N1
+          DO 43 I = 1, N1
+            TM1(I,J,KS) = TM1(I,J,KS) + PP(I,J,KS)*0.125
+   43     CONTINUE
+   44   CONTINUE
+   45 CONTINUE
+C ... mesh relaxation on Q (untouched by linearization; stays parallel) ...
+      DO 55 K = 1, NQ
+        DO 54 J = 1, NQ
+          Q(J,K) = Q(J,K)*0.95 + 0.002
+   54   CONTINUE
+   55 CONTINUE
+      RETURN
+      END
+      SUBROUTINE MATMLT(M1, M2, M3, L)
+C ... the paper's Figure 4: formals declared one-dimensional ...
+      DIMENSION M1(L), M2(L), M3(L)
+      DO 22 K = 1, L
+        M3(K) = M1(K)*0.5 + M2(K)*0.25
+   22 CONTINUE
+      RETURN
+      END
+"""
+
+_ANNOTATIONS = """
+# Figure 16: the annotation declares the matrices with their true
+# two-dimensional shapes, so no linearization is ever needed.
+subroutine MATMLT(M1, M2, M3, L) {
+  dimension M1[L], M2[L], M3[L];
+  M3[*] = unknown(M1[*], M2[*]);
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="ARC2D",
+    description="Two-dimensional fluid solver of Euler equations",
+    sources={"arc2d_main.f": _MAIN, "arc2d_step.f": _STEP},
+    annotations=_ANNOTATIONS,
+)

@@ -1,0 +1,89 @@
+"""BDNA — molecular dynamics package for nucleic acid simulation.
+
+Carries the paper's Figure 2/3 pathology in its original form: the
+predictor-corrector initializer ``PCINIT`` is invoked with indirect
+element references into the global coordinate pool ``T`` (offsets read
+from the index array ``IX``).  Conventional inlining substitutes those
+references forward, creating the subscripted subscripts
+``T(IX(7)+I)`` — the loops that were parallelizable inside ``PCINIT``
+(via induction-variable substitution) become serial in the inlined copy
+(``#par-loss``), and the timestep loop stays serial either way.  The
+annotation summarizes ``PCINIT`` as region writes through its formals, so
+annotation-based inlining parallelizes the timestep loop while the
+original ``PCINIT`` loops keep their directives.
+"""
+
+from repro.perfect.suite import Benchmark
+
+_MAIN = """
+      PROGRAM BDNA
+      COMMON /POOL/ T(6000), IX(64)
+      COMMON /FRC/ FX(1000), FY(1000), FZ(1000)
+      COMMON /STATE/ TSTEP, EPOT
+      NSP = 900
+      TSTEP = 0.001
+C ... index map: three disjoint regions of the pool ...
+      IX(7) = 1000
+      IX(8) = 2500
+      IX(9) = 4000
+      DO 5 I = 1, 1000
+        FX(I) = I*0.01
+        FY(I) = I*0.02
+        FZ(I) = I*0.03
+    5 CONTINUE
+C ... force evaluation sweep (pure kernel, parallel everywhere) ...
+      DO 20 I = 1, 1000
+        FX(I) = FX(I)*0.99 + 0.004
+        FY(I) = FY(I)*0.98 + FX(I)*0.01
+        FZ(I) = FZ(I)*0.97 + FY(I)*0.01
+   20 CONTINUE
+C ... potential energy (reduction) ...
+      EPOT = 0.0
+      DO 25 I = 1, 1000
+        EPOT = EPOT + FX(I)*FX(I) + FY(I)*FY(I)
+   25 CONTINUE
+C ... the paper's Figure 3 call site ...
+      DO 30 KS = 1, 8
+        CALL PCINIT(T(IX(7)+1), T(IX(8)+1), T(IX(9)+1), NSP)
+   30 CONTINUE
+      WRITE(6,*) EPOT, T(IX(7)+1), T(IX(9)+NSP)
+      END
+"""
+
+_PCINIT = """
+      SUBROUTINE PCINIT(X2, Y2, Z2, NSP)
+C ... the paper's Figure 2: induction variable plus assumed-size formals;
+C     the J loop parallelizes after induction substitution because the
+C     three formals cannot alias each other ...
+      DIMENSION X2(*), Y2(*), Z2(*)
+      COMMON /FRC/ FX(1000), FY(1000), FZ(1000)
+      COMMON /STATE/ TSTEP, EPOT
+      I = 0
+      DO 200 J = 1, NSP
+        I = I + 1
+        X2(I) = FX(I)*TSTEP**2/2.0
+        Y2(I) = FY(I)*TSTEP**2/2.0
+        Z2(I) = FZ(I)*TSTEP**2/2.0
+  200 CONTINUE
+      RETURN
+      END
+"""
+
+_ANNOTATIONS = """
+# PCINIT writes exactly the first NSP elements of each of its (non-
+# aliased) array arguments, from the force arrays and the timestep.
+subroutine PCINIT(X2, Y2, Z2, NSP) {
+  dimension X2[NSP], Y2[NSP], Z2[NSP];
+  X2[*] = unknown(FX[1], TSTEP);
+  Y2[*] = unknown(FY[1], TSTEP);
+  Z2[*] = unknown(FZ[1], TSTEP);
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="BDNA",
+    description="Molecular dynamics package for the simulation of "
+                "nucleic acids",
+    sources={"bdna_main.f": _MAIN, "bdna_pcinit.f": _PCINIT},
+    annotations=_ANNOTATIONS,
+)

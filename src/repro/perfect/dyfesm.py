@@ -1,0 +1,216 @@
+"""DYFESM — structural dynamics benchmark (finite element method).
+
+The paper's flagship application: it contains all three Section II-B
+"missed opportunity" idioms in their original form:
+
+* ``FSMP`` — the opaque compositional subroutine of Figure 6: it calls
+  ``GETCR``/``SHAPE1``/``FORMF``/``FORMS`` and carries the error-checking
+  conditional (``IERR`` + STOP), so conventional inlining refuses it and
+  the no-inlining configuration must keep the element loop (Figure 7's
+  ``K`` loop) serial;
+* the global temporary arrays ``XY``/``WTDET``/``P`` flowing between
+  ``GETCR`` and ``SHAPE1`` (Figures 8-9): the real kill analysis fails
+  (the consumer reads through ``NODE`` indirection), but the annotation
+  summarizes them as atomic values, making them privatizable;
+* ``ASSEM`` — the indirect one-to-one subscripts of Figures 10/11
+  (``ICOND``/``IWHERD``), summarized with ``unique`` (Figure 14).
+
+Expected Table II row shape: annotation-based inlining parallelizes the
+two element loops (extra >= 2, loss == 0); conventional inlining only
+manages the small ``ASSEM`` leaf, which gains nothing.
+"""
+
+from repro.perfect.suite import Benchmark
+
+_MAIN = """
+      PROGRAM DYFESM
+      COMMON /SIZES/ NSS, NEL
+      COMMON /ELEM/ FE(8,100), SE(8,100), PE(8,100), IDEDON(100)
+      COMMON /GEOM/ XYG(2,1600), ICOND(16,500), IWHERD(16,500),
+     &              IEGEOM(500)
+      COMMON /TMPA/ XY(2,16), WTDET(16), P(16)
+      COMMON /MAPS/ IDBEGS(10), NEPSS(10)
+      COMMON /RHS/ RHSB(9999), RHSI(9999), XE(16)
+      COMMON /ERRS/ IERR
+      NSS = 4
+      NEL = 12
+C ... initialize geometry and one-to-one condensation maps ...
+      DO 10 ID = 1, 500
+        IEGEOM(ID) = 1 + ID/10
+        DO 10 I = 1, 16
+          ICOND(I,ID) = (ID-1)*16 + I
+          IWHERD(I,ID) = (ID-1)*16 + I
+   10 CONTINUE
+      DO 12 ID = 1, 500
+        XYG(1,ID) = ID*0.25
+        XYG(2,ID) = ID*0.5 + 1.0
+   12 CONTINUE
+      DO 14 ISS = 1, NSS
+        IDBEGS(ISS) = (ISS-1)*20
+        NEPSS(ISS) = NEL
+   14 CONTINUE
+      DO 16 I = 1, 16
+        XE(I) = I*0.125
+   16 CONTINUE
+C ... form the elemental arrays (the paper's Figure 7 loop nest) ...
+      DO 35 ISS = 1, NSS
+        DO 30 K = 1, NEPSS(ISS)
+          ID = IDBEGS(ISS) + 1 + K
+          IDE = K
+          CALL FSMP(ID, IDE)
+   30   CONTINUE
+   35 CONTINUE
+C ... assemble the right-hand sides (the paper's Figure 11 loop) ...
+      DO 45 ISS = 1, NSS
+        DO 40 K = 1, NEPSS(ISS)
+          ID = IDBEGS(ISS) + 1 + K
+          IN = IDBEGS(ISS) + 1 + K + 40
+          CALL ASSEM(ID, IN)
+   40   CONTINUE
+   45 CONTINUE
+C ... explicit time-stepping relaxation (pure kernel) ...
+      DO 60 ITER = 1, 3
+        DO 55 I = 1, 4000
+          RHSB(I) = RHSB(I)*0.98 + RHSI(I)*0.01 + 0.001
+   55   CONTINUE
+   60 CONTINUE
+C ... checksum output ...
+      S = 0.0
+      DO 70 I = 1, 4000
+        S = S + RHSB(I)
+   70 CONTINUE
+      WRITE(6,*) S
+      END
+"""
+
+_FSMP = """
+      SUBROUTINE FSMP(ID, IDE)
+      COMMON /ELEM/ FE(8,100), SE(8,100), PE(8,100), IDEDON(100)
+      COMMON /TMPA/ XY(2,16), WTDET(16), P(16)
+      COMMON /ERRS/ IERR
+      CALL GETCR(ID)
+      CALL SHAPE1
+      IF (IDEDON(IDE).EQ.0) THEN
+        IDEDON(IDE) = 1
+        CALL FORMF(FE(1,IDE))
+        IF (IERR.NE.0) THEN
+          WRITE(6,*) IDE
+          STOP 'F SINGULAR'
+        END IF
+        CALL FORMS(SE(1,IDE))
+      END IF
+      CALL GETLD(ID)
+      CALL FORMP(PE(1,IDE))
+      RETURN
+      END
+      SUBROUTINE GETCR(ID)
+C ... gather element corner coordinates through the condensation map;
+C     only XY(1:2, 1:NNPED) is written, with NNPED < the declared bound,
+C     which is why the caller-side array kill analysis must fail ...
+      COMMON /GEOM/ XYG(2,1600), ICOND(16,500), IWHERD(16,500),
+     &              IEGEOM(500)
+      COMMON /TMPA/ XY(2,16), WTDET(16), P(16)
+      NNPED = 8
+      DO 10 IN = 1, NNPED
+        XY(1,IN) = XYG(1,ICOND(IN,ID))
+        XY(2,IN) = XYG(2,ICOND(IN,ID))
+   10 CONTINUE
+      RETURN
+      END
+      SUBROUTINE SHAPE1
+C ... evaluate shape-function jacobians at the quadrature points ...
+      COMMON /TMPA/ XY(2,16), WTDET(16), P(16)
+      NNPED = 8
+      DO 10 IQ = 1, NNPED
+        WTDET(IQ) = XY(1,IQ)*0.5 + XY(2,IQ)*0.25 + 1.0
+   10 CONTINUE
+      RETURN
+      END
+      SUBROUTINE FORMF(F)
+      DIMENSION F(*)
+      COMMON /TMPA/ XY(2,16), WTDET(16), P(16)
+      COMMON /ERRS/ IERR
+      IERR = 0
+      DO 10 J = 1, 8
+        F(J) = WTDET(J)*2.0 + 0.5
+   10 CONTINUE
+      RETURN
+      END
+      SUBROUTINE FORMS(S)
+      DIMENSION S(*)
+      COMMON /TMPA/ XY(2,16), WTDET(16), P(16)
+      DO 10 J = 1, 8
+        S(J) = WTDET(J)*WTDET(J)*0.125
+   10 CONTINUE
+      RETURN
+      END
+      SUBROUTINE GETLD(ID)
+C ... gather the element load vector into the temporary P ...
+      COMMON /GEOM/ XYG(2,1600), ICOND(16,500), IWHERD(16,500),
+     &              IEGEOM(500)
+      COMMON /TMPA/ XY(2,16), WTDET(16), P(16)
+      DO 10 IN = 1, 16
+        P(IN) = XYG(1,ICOND(IN,ID))*0.0625
+   10 CONTINUE
+      RETURN
+      END
+      SUBROUTINE FORMP(PC)
+      DIMENSION PC(*)
+      COMMON /TMPA/ XY(2,16), WTDET(16), P(16)
+      DO 10 J = 1, 8
+        PC(J) = P(J) + P(J+8)*0.5
+   10 CONTINUE
+      RETURN
+      END
+"""
+
+_ASSEM = """
+      SUBROUTINE ASSEM(ID, IN)
+C ... scatter the element vector through the one-to-one maps (Fig 10) ...
+      COMMON /GEOM/ XYG(2,1600), ICOND(16,500), IWHERD(16,500),
+     &              IEGEOM(500)
+      COMMON /RHS/ RHSB(9999), RHSI(9999), XE(16)
+      DO 10 I = 1, 16
+        RHSB(ICOND(I,ID)) = RHSB(ICOND(I,ID)) + XE(I)
+        RHSI(IWHERD(I,IN)) = RHSI(IWHERD(I,IN)) + XE(I)*0.5
+   10 CONTINUE
+      RETURN
+      END
+"""
+
+_ANNOTATIONS = """
+# Figure 13: summary of the opaque compositional subroutine FSMP.  The
+# temporaries XY/WTDET/P are written before use (privatizable); the
+# error-checking conditional of Figure 6 is deliberately omitted (the
+# paper's relaxed exception-consistency policy); every column written is
+# keyed by IDE, each iteration of the element loop touching its own.
+subroutine FSMP(ID, IDE) {
+  XY = unknown(XYG[1, ICOND[1, ID]], ID);
+  WTDET = unknown(XY);
+  IERR = 0;
+  if (IDEDON[IDE] == 0) {
+    IDEDON[IDE] = 1;
+    FE[*, IDE] = unknown(WTDET);
+    SE[*, IDE] = unknown(WTDET);
+  }
+  P = unknown(XYG[1, ICOND[1, ID]], ID);
+  PE[*, IDE] = unknown(P, WTDET);
+}
+
+# Figure 14: ICOND/IWHERD hold one-to-one condensation maps, so each
+# (ID, I) pair touches a unique element.
+subroutine ASSEM(ID, IN) {
+  do (I = 1:16) {
+    RHSB[unique(ID, I)] = unknown(RHSB[unique(ID, I)], XE[I]);
+    RHSI[unique(IN, I)] = unknown(RHSI[unique(IN, I)], XE[I]);
+  }
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="DYFESM",
+    description="Structural dynamics benchmark (finite element)",
+    sources={"dyfesm_main.f": _MAIN, "dyfesm_fsmp.f": _FSMP,
+             "dyfesm_assem.f": _ASSEM},
+    annotations=_ANNOTATIONS,
+)

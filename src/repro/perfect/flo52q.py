@@ -1,0 +1,90 @@
+"""FLO52Q — transonic inviscid flow past an airfoil.
+
+One of the benchmarks inlining cannot help (the paper's Table II shows
+six such): every procedure call sits *outside* the loop nests, so all
+the parallelism is already intraprocedural — flux sweeps, a residual
+MAX reduction, and a privatizable line buffer.  All three configurations
+produce identical results; the developer wrote no annotations.
+"""
+
+from repro.perfect.suite import Benchmark
+
+_MAIN = """
+      PROGRAM FLO52Q
+      COMMON /GRID/ Q(66,34), QNEW(66,34), FLUXL(66)
+      COMMON /CGRID/ QC(33,17)
+      COMMON /RES/ RESMAX
+      CALL SETUP
+      CALL CYCLE
+      CALL COARSE
+      CALL REPORT
+      END
+      SUBROUTINE SETUP
+      COMMON /GRID/ Q(66,34), QNEW(66,34), FLUXL(66)
+      DO 10 K = 1, 34
+        DO 10 J = 1, 66
+          Q(J,K) = 1.0 + J*0.01 - K*0.005
+   10 CONTINUE
+      RETURN
+      END
+      SUBROUTINE CYCLE
+      COMMON /GRID/ Q(66,34), QNEW(66,34), FLUXL(66)
+      COMMON /RES/ RESMAX
+C ... flux sweep with a privatizable line buffer ...
+      DO 20 K = 2, 33
+        DO 14 J = 1, 66
+          FLUXL(J) = Q(J,K)*0.5 + Q(J,K-1)*0.25
+   14   CONTINUE
+        DO 16 J = 2, 65
+          QNEW(J,K) = Q(J,K) + (FLUXL(J-1) - FLUXL(J+1))*0.1
+   16   CONTINUE
+   20 CONTINUE
+C ... residual max (reduction) ...
+      RESMAX = 0.0
+      DO 30 K = 2, 33
+        DO 28 J = 2, 65
+          RESMAX = MAX(RESMAX, ABS(QNEW(J,K) - Q(J,K)))
+   28   CONTINUE
+   30 CONTINUE
+C ... commit the step ...
+      DO 40 K = 1, 34
+        DO 38 J = 1, 66
+          Q(J,K) = QNEW(J,K)
+   38   CONTINUE
+   40 CONTINUE
+      RETURN
+      END
+      SUBROUTINE COARSE
+C ... multigrid-style restriction to a coarse grid and correction ...
+      COMMON /GRID/ Q(66,34), QNEW(66,34), FLUXL(66)
+      COMMON /CGRID/ QC(33,17)
+      DO 10 K = 1, 17
+        DO 8 J = 1, 33
+          QC(J,K) = (Q(2*J-1,2*K-1) + Q(2*J,2*K))*0.5
+    8   CONTINUE
+   10 CONTINUE
+      DO 20 K = 1, 17
+        DO 18 J = 1, 33
+          QC(J,K) = QC(J,K)*0.95 + 0.01
+   18   CONTINUE
+   20 CONTINUE
+      DO 30 K = 1, 17
+        DO 28 J = 1, 33
+          Q(2*J-1,2*K-1) = Q(2*J-1,2*K-1) + QC(J,K)*0.05
+   28   CONTINUE
+   30 CONTINUE
+      RETURN
+      END
+      SUBROUTINE REPORT
+      COMMON /GRID/ Q(66,34), QNEW(66,34), FLUXL(66)
+      COMMON /RES/ RESMAX
+      WRITE(6,*) RESMAX, Q(10,10)
+      RETURN
+      END
+"""
+
+BENCHMARK = Benchmark(
+    name="FLO52Q",
+    description="Transonic inviscid flow past an airfoil",
+    sources={"flo52q_main.f": _MAIN},
+)

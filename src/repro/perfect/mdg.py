@@ -1,0 +1,80 @@
+"""MDG — molecular dynamics of liquid water.
+
+Inlining cannot help here for the paper's *size* reason: the per-molecule
+interaction routine ``INTERF`` exceeds the 150-statement default (its
+body enumerates the site-site force terms), so conventional inlining
+skips it, and the developer wrote no annotation for it — the molecule
+loop stays serial in every configuration.  The remaining kernels
+(velocity updates, kinetic-energy reduction) parallelize identically
+everywhere.
+"""
+
+from repro.perfect.suite import Benchmark
+
+
+def _interf_body() -> str:
+    # the site-site force accumulation, term by term — deliberately more
+    # than 150 statements, like the real INTERF
+    lines = []
+    for k in range(1, 156):
+        a = 0.001 * k
+        lines.append(f"      FAC{k} = R2*{a:.4f} + {1.0 + 0.01 * k:.4f}")
+    acc = " + ".join(f"FAC{k}" for k in range(1, 156, 31))
+    lines.append(f"      FTOT = {acc}")
+    return "\n".join(lines)
+
+
+_MAIN = f"""
+      PROGRAM MDG
+      COMMON /MOL/ X(343), V(343), F(343)
+      COMMON /ENE/ EKIN
+      DIMENSION RROW(27)
+      NMOL = 343
+      DO 5 I = 1, NMOL
+        X(I) = I*0.01
+        V(I) = 0.0
+        F(I) = 0.0
+    5 CONTINUE
+C ... pairwise interactions (INTERF is too large to inline) ...
+      DO 20 I = 1, NMOL
+        CALL INTERF(I, NMOL)
+   20 CONTINUE
+C ... velocity / position updates (parallel everywhere) ...
+      DO 30 I = 1, NMOL
+        V(I) = V(I) + F(I)*0.0005
+   30 CONTINUE
+      DO 40 I = 1, NMOL
+        X(I) = X(I) + V(I)*0.001
+   40 CONTINUE
+C ... neighbor distance table (privatizable row buffer) ...
+      DO 44 I = 1, NMOL
+        DO 42 J = 1, 27
+          RROW(J) = X(I)*0.1 + J
+   42   CONTINUE
+        F(I) = F(I) + RROW(14)*0.001
+   44 CONTINUE
+C ... second half-kick ...
+      DO 46 I = 1, NMOL
+        V(I) = V(I) + F(I)*0.00025
+   46 CONTINUE
+C ... kinetic energy (reduction) ...
+      EKIN = 0.0
+      DO 50 I = 1, NMOL
+        EKIN = EKIN + V(I)*V(I)
+   50 CONTINUE
+      WRITE(6,*) EKIN, X(7)
+      END
+      SUBROUTINE INTERF(I, NMOL)
+      COMMON /MOL/ X(343), V(343), F(343)
+      R2 = X(I)*X(I) + 0.5
+{_interf_body()}
+      F(I) = F(I) + FTOT*0.0001
+      RETURN
+      END
+"""
+
+BENCHMARK = Benchmark(
+    name="MDG",
+    description="Molecular dynamics for the simulation of liquid water",
+    sources={"mdg_main.f": _MAIN},
+)

@@ -1,0 +1,80 @@
+"""MG3D — depth migration code.
+
+Its trace-migration loop calls ``CFFTZ``, the site's vendor FFT routine:
+the *source is not available* to the compiler (``library_units``), which
+is the paper's headline limitation of conventional inlining — no source,
+no inlining, loop stays serial.  The developer-supplied annotation
+summarizes the routine's side effects (it transforms one trace in place
+using its private workspace), so annotation-based inlining parallelizes
+the migration loop.  (The routine body ships with the benchmark only so
+the interpreter can execute the program.)
+"""
+
+from repro.perfect.suite import Benchmark
+
+_MAIN = """
+      PROGRAM MG3D
+      COMMON /SEIS/ TRACE(64,100), VEL(100)
+      COMMON /FWRK/ WORK(64)
+      NTR = 100
+      NT = 64
+      DO 5 J = 1, NTR
+        VEL(J) = 1500.0 + J*2.0
+        DO 5 I = 1, NT
+          TRACE(I,J) = I*0.01 + J*0.001
+    5 CONTINUE
+C ... migrate every trace (vendor FFT per trace) ...
+      DO 30 J = 1, NTR
+        CALL CFFTZ(TRACE(1,J), NT)
+   30 CONTINUE
+C ... depth scaling (pure kernel) ...
+      DO 40 J = 1, NTR
+        DO 38 I = 1, NT
+          TRACE(I,J) = TRACE(I,J)*VEL(J)*0.001
+   38   CONTINUE
+   40 CONTINUE
+C ... image energy (reduction) ...
+      E = 0.0
+      DO 50 J = 1, NTR
+        DO 48 I = 1, NT
+          E = E + TRACE(I,J)*TRACE(I,J)
+   48   CONTINUE
+   50 CONTINUE
+      WRITE(6,*) E, TRACE(3,7)
+      END
+"""
+
+_CFFTZ = """
+      SUBROUTINE CFFTZ(X, N)
+C ... vendor library routine: in-place transform of one trace (a stand-in
+C     butterfly pass; the compiler never sees this body) ...
+      DIMENSION X(*)
+      COMMON /FWRK/ WORK(64)
+      DO 10 I = 1, N
+        WORK(I) = X(I)
+   10 CONTINUE
+      DO 20 I = 1, N/2
+        X(I) = WORK(I) + WORK(N+1-I)
+        X(N+1-I) = WORK(I) - WORK(N+1-I)
+   20 CONTINUE
+      RETURN
+      END
+"""
+
+_ANNOTATIONS = """
+# Vendor FFT: transforms the first N elements of its argument in place;
+# WORK is the library's scratch buffer, dead between calls.
+subroutine CFFTZ(X, N) {
+  dimension X[N];
+  WORK = unknown(X[*]);
+  X[*] = unknown(WORK, N);
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="MG3D",
+    description="Depth migration code",
+    sources={"mg3d_main.f": _MAIN, "mg3d_cfftz.f": _CFFTZ},
+    annotations=_ANNOTATIONS,
+    library_units=frozenset({"CFFTZ"}),
+)

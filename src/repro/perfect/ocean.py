@@ -1,0 +1,92 @@
+"""OCEAN — two-dimensional ocean simulation.
+
+Two interprocedural idioms drive its Table II row:
+
+* ``SCATTR`` scatters forcing terms into the stream-function pool through
+  the one-to-one row directory ``IROW`` (a Figure 10-style map).  The
+  annotation's ``unique`` operator proves each sweep iteration owns its
+  row, so the sweep parallelizes under annotation inlining only —
+  conventional inlining produces the subscripted subscript
+  ``PSI(IROW(K)+J)`` whose K-dependence no test can analyze;
+* ``SWEEP2`` relaxes a red row and a black row passed as two non-aliased
+  formals carved out of the same pool (the Figure 2/3 aliasing shape).
+  Its internal loops parallelize in place, but after conventional
+  inlining both become writes into ``PSI`` with distinct opaque offsets
+  and the copies go serial (``#par-loss``).  The enclosing sweep is
+  *genuinely* sequential (rows are revisited), so it stays serial in
+  every configuration.
+"""
+
+from repro.perfect.suite import Benchmark
+
+_MAIN = """
+      PROGRAM OCEAN
+      COMMON /SEA/ PSI(8200), IROW(64)
+      COMMON /WRK/ SRC(128)
+      NROWS = 30
+      NCOLS = 60
+C ... row directory: row K starts at (K-1)*NCOLS (a one-to-one map) ...
+      DO 5 K = 1, 64
+        IROW(K) = (K-1)*128
+    5 CONTINUE
+      DO 8 I = 1, 128
+        SRC(I) = I*0.015
+    8 CONTINUE
+      DO 9 I = 1, 8200
+        PSI(I) = 0.001*I
+    9 CONTINUE
+C ... inject forcing into every row (parallel with the unique claim) ...
+      DO 20 K = 1, 60
+        CALL SCATTR(K, NCOLS)
+   20 CONTINUE
+C ... red/black relaxation: revisits rows, genuinely sequential sweep ...
+      DO 30 K = 1, NROWS
+        CALL SWEEP2(PSI(IROW(K)+1), PSI(IROW(K+30)+1), NCOLS)
+   30 CONTINUE
+C ... vorticity accumulation (reduction) ...
+      VORT = 0.0
+      DO 40 I = 1, 8200
+        VORT = VORT + PSI(I)
+   40 CONTINUE
+      WRITE(6,*) VORT, PSI(IROW(3)+5)
+      END
+"""
+
+_KERNELS = """
+      SUBROUTINE SCATTR(K, N)
+C ... scatter the forcing term into row K of the pool ...
+      COMMON /SEA/ PSI(8200), IROW(64)
+      COMMON /WRK/ SRC(128)
+      DO 10 J = 1, N
+        PSI(IROW(K)+J) = PSI(IROW(K)+J)*0.9 + SRC(J)*0.1
+   10 CONTINUE
+      RETURN
+      END
+      SUBROUTINE SWEEP2(RED, BLACK, N)
+C ... relax a red and a black row against each other ...
+      DIMENSION RED(*), BLACK(*)
+      DO 10 J = 1, N
+        RED(J) = RED(J)*0.8 + BLACK(J)*0.2
+   10 CONTINUE
+      DO 20 J = 1, N
+        BLACK(J) = BLACK(J)*0.8 + RED(J)*0.2
+   20 CONTINUE
+      RETURN
+      END
+"""
+
+_ANNOTATIONS = """
+# IROW is a one-to-one row directory: (K, J) pairs address unique pool
+# elements (Figure 14's pattern).
+subroutine SCATTR(K, N) {
+  do (J = 1:N)
+    PSI[unique(K, J)] = unknown(PSI[unique(K, J)], SRC[J]);
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="OCEAN",
+    description="Two dimensional ocean simulation",
+    sources={"ocean_main.f": _MAIN, "ocean_kernels.f": _KERNELS},
+    annotations=_ANNOTATIONS,
+)

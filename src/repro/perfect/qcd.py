@@ -1,0 +1,47 @@
+"""QCD — quantum chromodynamics.
+
+Inlining cannot help: the lattice update is dominated by an acceptance
+loop with GOTO-based control flow (the pseudo-heatbath retry), which no
+configuration can parallelize, and by small-trip SU(2)-style loops the
+profitability heuristic skips.  No annotations were written.
+"""
+
+from repro.perfect.suite import Benchmark
+
+_MAIN = """
+      PROGRAM QCD
+      COMMON /LAT/ U(500), ACTION
+      COMMON /RNG/ ISEED
+      NSITE = 500
+      ISEED = 12345
+      DO 5 I = 1, NSITE
+        U(I) = 1.0
+    5 CONTINUE
+C ... heatbath sweep with accept/reject retries (GOTO control flow) ...
+      DO 30 I = 1, NSITE
+        NTRY = 0
+   22   CONTINUE
+        NTRY = NTRY + 1
+        ISEED = MOD(ISEED*1103 + 24691, 65536)
+        TRIAL = ISEED/65536.0
+        IF (TRIAL.LT.0.2 .AND. NTRY.LT.5) GO TO 22
+        U(I) = U(I)*0.9 + TRIAL*0.1
+   30 CONTINUE
+C ... tiny matrix loops below the profitability threshold ...
+      DO 40 I = 1, 2
+        U(I) = U(I) + 0.001
+   40 CONTINUE
+C ... plaquette average (reduction over a serial recurrence prefix) ...
+      ACTION = 0.0
+      DO 50 I = 1, NSITE
+        ACTION = ACTION + U(I)
+   50 CONTINUE
+      WRITE(6,*) ACTION, U(17)
+      END
+"""
+
+BENCHMARK = Benchmark(
+    name="QCD",
+    description="Quantum chromodynamics",
+    sources={"qcd_main.f": _MAIN},
+)

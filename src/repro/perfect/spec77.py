@@ -1,0 +1,64 @@
+"""SPEC77 — spectral weather simulation.
+
+Inlining cannot help: the spectral-to-grid transform routine carries a
+sequential recurrence over wavenumbers (Legendre recursion), so inlining
+its body exposes no new parallelism, and the grid-point physics routine
+updates a shared accumulation column through a recurrence of its own.
+The gridpoint sweeps and norm reductions parallelize identically in all
+configurations.  No annotations were written.
+"""
+
+from repro.perfect.suite import Benchmark
+
+_MAIN = """
+      PROGRAM SPEC77
+      COMMON /SPC/ COEF(80), GRID(64,24), PLM(80)
+      COMMON /NRM/ ENORM
+      NW = 80
+      NLAT = 24
+      DO 5 I = 1, NW
+        COEF(I) = 1.0/(I + 1.0)
+    5 CONTINUE
+C ... synthesize every latitude (the callee is recurrence-bound) ...
+      DO 20 L = 1, NLAT
+        CALL SYNTH(L, NW)
+   20 CONTINUE
+C ... pointwise physics (parallel everywhere) ...
+      DO 30 L = 1, NLAT
+        DO 28 I = 1, 64
+          GRID(I,L) = GRID(I,L)*0.99 + 0.002
+   28   CONTINUE
+   30 CONTINUE
+C ... energy norm (reduction) ...
+      ENORM = 0.0
+      DO 40 L = 1, NLAT
+        DO 38 I = 1, 64
+          ENORM = ENORM + GRID(I,L)*GRID(I,L)
+   38   CONTINUE
+   40 CONTINUE
+      WRITE(6,*) ENORM, GRID(5,5)
+      END
+      SUBROUTINE SYNTH(L, NW)
+C ... Legendre recursion: PLM(I) depends on PLM(I-1), inherently serial,
+C     and the recursion seed depends on the latitude ...
+      COMMON /SPC/ COEF(80), GRID(64,24), PLM(80)
+      PLM(1) = 1.0 + L*0.01
+      DO 10 I = 2, NW
+        PLM(I) = PLM(I-1)*0.95 + COEF(I)
+   10 CONTINUE
+      DO 20 I = 1, 64
+        S = 0.0
+        DO 15 K = 1, NW
+          S = S + COEF(K)*PLM(K)
+   15   CONTINUE
+        GRID(I,L) = S*0.01 + I*0.001
+   20 CONTINUE
+      RETURN
+      END
+"""
+
+BENCHMARK = Benchmark(
+    name="SPEC77",
+    description="Spectral weather simulation",
+    sources={"spec77_main.f": _MAIN},
+)

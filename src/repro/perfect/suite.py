@@ -1,0 +1,56 @@
+"""Benchmark registry for the 12 PERFECT substitutes (Table I)."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence
+
+from repro.annotations.registry import AnnotationRegistry
+from repro.program import Program
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    name: str
+    description: str
+    #: {filename: fortran source text}
+    sources: Dict[str, str]
+    #: annotation-language source ('' = developer wrote no annotations)
+    annotations: str = ""
+    #: procedures whose source must be treated as unavailable (external
+    #: libraries) — conventional inlining cannot touch them; the unit still
+    #: exists so the interpreter can execute the program
+    library_units: FrozenSet[str] = frozenset()
+    #: values consumed by READ statements
+    inputs: Sequence[float] = ()
+
+    def program(self) -> Program:
+        return Program.from_sources(dict(self.sources), self.name)
+
+    def registry(self) -> AnnotationRegistry:
+        if not self.annotations:
+            return AnnotationRegistry()
+        return AnnotationRegistry.from_text(self.annotations)
+
+
+#: module name per benchmark, in Table I order
+_MODULES = ["adm", "arc2d", "flo52q", "ocean", "bdna", "mdg",
+            "qcd", "trfd", "dyfesm", "mg3d", "track", "spec77"]
+
+
+def benchmark_names() -> List[str]:
+    return [m.upper() for m in _MODULES]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    name = name.lower()
+    if name not in _MODULES:
+        raise KeyError(f"unknown benchmark {name!r}; "
+                       f"choose from {benchmark_names()}")
+    module = importlib.import_module(f"repro.perfect.{name}")
+    return module.BENCHMARK
+
+
+def all_benchmarks() -> List[Benchmark]:
+    return [get_benchmark(m) for m in _MODULES]

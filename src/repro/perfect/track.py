@@ -1,0 +1,61 @@
+"""TRACK — missile tracking.
+
+Inlining cannot help: the correlation loop logs candidate matches
+(program I/O inside the loop body) and aborts on filter divergence, so
+it must stay serial under the conservative exception-handling rule in
+every configuration; the track-extrapolation callee is rejected for the
+same reason.  No annotations were written — this benchmark is the
+paper's case where even relaxed exception handling was not attempted.
+"""
+
+from repro.perfect.suite import Benchmark
+
+_MAIN = """
+      PROGRAM TRACK
+      COMMON /TRK/ POS(200), VEL(200), OBS(200)
+      COMMON /NMATCH/ NMATCH, ALARM
+      NTRK = 200
+      ALARM = 0.0
+      DO 5 I = 1, NTRK
+        POS(I) = I*1.0
+        VEL(I) = 0.5
+        OBS(I) = I*1.0 + 0.3
+    5 CONTINUE
+C ... extrapolate all tracks (callee rejected: it can abort) ...
+      DO 20 I = 1, NTRK
+        CALL EXTRAP(I)
+   20 CONTINUE
+C ... correlate observations, logging ambiguous matches ...
+      NMATCH = 0
+      DO 30 I = 1, NTRK
+        D = ABS(POS(I) - OBS(I))
+        IF (D.GT.50.0) WRITE(6,*) I, D
+        IF (D.LT.1.0) NMATCH = NMATCH + 1
+   30 CONTINUE
+C ... gate maintenance: conditionally latched alarm state (serial:
+C     no computable last value) ...
+      DO 35 I = 1, NTRK
+        IF (ABS(POS(I) - OBS(I)).GT.25.0) ALARM = I*1.0
+   35 CONTINUE
+C ... smooth the updated state (parallel everywhere) ...
+      DO 40 I = 1, NTRK
+        VEL(I) = VEL(I)*0.9 + 0.05
+   40 CONTINUE
+      WRITE(6,*) NMATCH, POS(3), ALARM
+      END
+      SUBROUTINE EXTRAP(I)
+      COMMON /TRK/ POS(200), VEL(200), OBS(200)
+      POS(I) = POS(I) + VEL(I)
+      IF (POS(I).GT.1.0E6) THEN
+        WRITE(6,*) I
+        STOP 'FILTER DIVERGED'
+      END IF
+      RETURN
+      END
+"""
+
+BENCHMARK = Benchmark(
+    name="TRACK",
+    description="Missile tracking",
+    sources={"track_main.f": _MAIN},
+)

@@ -1,0 +1,102 @@
+"""TRFD — kernel simulating a two-electron integral transformation.
+
+The transformation stage ``TRAPUT`` stores results through the
+triangular-packing directory ``IA`` (a one-to-one packing map with
+row stride 41: the no-inlining configuration keeps the orbital loop serial, and
+conventional inlining of the small leaf produces the classic subscripted
+subscript ``XIJ(IA(MI)+J)``.  The annotation's ``unique`` claim makes the
+orbital loop parallel.  A second worker, ``XPOSE``, is invoked with two
+mismatched-shape sections of the integral buffer, so conventional
+inlining linearizes the buffer caller-wide and the unrelated scaling
+loops over it go serial (``#par-loss``).
+"""
+
+from repro.perfect.suite import Benchmark
+
+_MAIN = """
+      PROGRAM TRFD
+      COMMON /INTS/ XIJ(4000), XKL(40,40), XRS(40,40)
+      COMMON /DIRS/ IA(80)
+      NORB = 40
+C ... triangular directory (one-to-one) ...
+      DO 5 I = 1, 80
+        IA(I) = (I-1)*41
+    5 CONTINUE
+      DO 8 J = 1, 40
+        DO 8 I = 1, 40
+          XKL(I,J) = I*0.01 + J*0.02
+    8 CONTINUE
+C ... first transformation: scatter through the triangular map ...
+      DO 20 MI = 1, NORB
+        CALL TRAPUT(MI, MI)
+   20 CONTINUE
+C ... transpose stage with mismatched shapes (linearization bait) ...
+      CALL TSTAGE(XKL, XRS, 40)
+C ... checksum ...
+      S = 0.0
+      DO 60 I = 1, 4000
+        S = S + XIJ(I)
+   60 CONTINUE
+      WRITE(6,*) S, XRS(3,5)
+      END
+"""
+
+_KERNELS = """
+      SUBROUTINE TRAPUT(MI, NJ)
+C ... store the transformed row MI into the triangular buffer ...
+      COMMON /INTS/ XIJ(4000), XKL(40,40), XRS(40,40)
+      COMMON /DIRS/ IA(80)
+      DO 10 J = 1, 40
+        XIJ(IA(MI)+J) = XKL(J,NJ)*0.5 + 0.25
+   10 CONTINUE
+      RETURN
+      END
+      SUBROUTINE TSTAGE(XKL, XRS, N)
+C ... half-transform driver; its arrays have symbolic extents ...
+      DIMENSION XKL(N,N), XRS(N,N)
+      DO 15 K = 1, N
+        CALL XPOSE(XKL(1,K), XRS(1,K), N)
+   15 CONTINUE
+C ... unrelated scaling sweeps (linearization victims) ...
+      DO 25 J = 1, N
+        DO 24 I = 1, N
+          XKL(I,J) = XKL(I,J)*0.9 + 0.001
+   24   CONTINUE
+   25 CONTINUE
+      DO 35 J = 1, N
+        DO 34 I = 1, N
+          XRS(I,J) = XRS(I,J) + XKL(I,J)*0.125
+   34   CONTINUE
+   35 CONTINUE
+      RETURN
+      END
+      SUBROUTINE XPOSE(COL, OUT, N)
+C ... one column of the half transform (1-D formals) ...
+      DIMENSION COL(*), OUT(*)
+      DO 10 I = 1, N
+        OUT(I) = COL(I)*2.0
+   10 CONTINUE
+      RETURN
+      END
+"""
+
+_ANNOTATIONS = """
+# IA packs the lower triangle one-to-one: (MI, J) addresses a unique
+# element of the integral buffer.
+subroutine TRAPUT(MI, NJ) {
+  do (J = 1:40)
+    XIJ[unique(MI, J)] = unknown(XKL[J, NJ]);
+}
+# XPOSE writes exactly the first N elements of OUT from COL.
+subroutine XPOSE(COL, OUT, N) {
+  dimension COL[N], OUT[N];
+  OUT[*] = unknown(COL[*]);
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="TRFD",
+    description="Kernel simulating a two-electron integral transformation",
+    sources={"trfd_main.f": _MAIN, "trfd_kernels.f": _KERNELS},
+    annotations=_ANNOTATIONS,
+)

@@ -1,0 +1,129 @@
+"""The Polaris-like compiler driver.
+
+Runs the full source-to-source automatic parallelization pipeline on a
+:class:`~repro.program.Program`:
+
+1. origin stamping (stable loop identities for Table II accounting);
+2. normalization (parameter propagation, induction substitution, forward
+   substitution) — the transformations the paper notes Polaris applies and
+   the reverse inliner must tolerate;
+3. interprocedural side-effect summaries;
+4. per-loop legality + profitability, **outermost first**: when an outer
+   loop is parallelized its inner loops are still analyzed and may also
+   receive directives (the paper's Figure 17 shows exactly such nested
+   regions); at execution time nested regions run serially, matching
+   OpenMP's default;
+5. OpenMP directive insertion (:class:`~repro.fortran.ast.OmpParallelDo`).
+
+The driver mutates the program in place and returns a
+:class:`~repro.polaris.report.Report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.analysis.dependence import DependenceTester
+from repro.analysis.loops import assign_origins
+from repro.analysis.normalize import normalize_unit
+from repro.analysis.loops import LoopInfo
+from repro.analysis.sideeffects import Summary, compute_summaries
+from repro.fortran import ast
+from repro.polaris.parallelizer import LegalityAnalyzer
+from repro.polaris.profitability import ProfitabilityPolicy
+from repro.polaris.report import LoopVerdict, Report
+from repro.program import Program
+
+
+@dataclass(frozen=True)
+class PolarisOptions:
+    normalize: bool = True
+    use_banerjee: bool = True
+    #: also run the joint Fourier-Motzkin test (coupled subscripts)
+    use_exact: bool = False
+    min_trip_count: int = 4
+    parallelize_nested: bool = True
+    #: origins the empirical tuning pass decided to keep serial (Figure 20)
+    disabled_origins: frozenset = frozenset()
+
+
+@dataclass
+class Polaris:
+    options: PolarisOptions = field(default_factory=PolarisOptions)
+
+    def run(self, program: Program) -> Report:
+        report = Report()
+        for unit in program.units:
+            assign_origins(unit)
+        program.invalidate()
+        if self.options.normalize:
+            for unit in program.units:
+                normalize_unit(unit, program.symtab(unit))
+        summaries = compute_summaries(program)
+        for unit in program.units:
+            self._parallelize_unit(program, unit, summaries, report)
+        program.invalidate()
+        return report
+
+    # ------------------------------------------------------------------
+    def _parallelize_unit(self, program: Program, unit: ast.ProgramUnit,
+                          summaries: Dict[str, Summary],
+                          report: Report) -> None:
+        table = program.symtab(unit)
+        analyzer = LegalityAnalyzer(
+            table, summaries,
+            DependenceTester(use_banerjee=self.options.use_banerjee,
+                             use_exact=self.options.use_exact))
+        policy = ProfitabilityPolicy(self.options.min_trip_count)
+
+        def process(body: List[ast.Stmt],
+                    enclosing: List[ast.DoLoop]) -> List[ast.Stmt]:
+            out: List[ast.Stmt] = []
+            for s in body:
+                if isinstance(s, ast.DoLoop):
+                    out.append(self._try_loop(s, enclosing, analyzer, policy,
+                                              table, report, process))
+                elif isinstance(s, ast.IfBlock):
+                    out.append(ast.IfBlock(
+                        [(c, process(b, enclosing)) for c, b in s.arms],
+                        s.label))
+                elif isinstance(s, ast.TaggedBlock):
+                    out.append(ast.TaggedBlock(
+                        s.callee, s.site_id, s.actuals,
+                        process(s.body, enclosing), s.label))
+                else:
+                    out.append(s)
+            return out
+
+        unit.body = process(unit.body, [])
+
+    def _try_loop(self, loop: ast.DoLoop, enclosing: List[ast.DoLoop],
+                  analyzer: LegalityAnalyzer, policy: ProfitabilityPolicy,
+                  table, report: Report, process) -> ast.Stmt:
+        info = LoopInfo(loop, list(enclosing))
+        verdict = analyzer.analyze(info)
+        origin = info.origin
+        if verdict.parallelized and origin in self.options.disabled_origins:
+            verdict = replace_verdict(verdict, False, "tuning-disabled")
+        if verdict.parallelized and not policy.profitable(loop, table):
+            verdict = replace_verdict(verdict, False, "unprofitable")
+        report.add(verdict)
+
+        inner_body = (process(loop.body, enclosing + [loop])
+                      if self.options.parallelize_nested
+                      else loop.body)
+        new_loop = ast.DoLoop(loop.var, loop.start, loop.stop, loop.step,
+                              inner_body, loop.label, loop.term_label)
+        if hasattr(loop, "origin"):
+            new_loop.origin = loop.origin  # type: ignore[attr-defined]
+        if not verdict.parallelized:
+            return new_loop
+        return ast.OmpParallelDo(new_loop, private=verdict.private,
+                                 reductions=verdict.reductions)
+
+
+def replace_verdict(v: LoopVerdict, parallelized: bool,
+                    reason: str) -> LoopVerdict:
+    return LoopVerdict(v.origin, v.unit, v.var, parallelized, reason,
+                       private=v.private, reductions=v.reductions)

@@ -1,0 +1,199 @@
+"""Loop-by-loop dependence diagnosis.
+
+The parallelizer's verdicts stop at the *first* blocking problem; this
+module answers the developer question "everything that keeps this loop
+serial", which is how one decides where an annotation would pay off:
+
+* every pair of array references with an unresolved carried dependence,
+  classified flow/anti/output, with the subscript expressions;
+* every scalar with cross-iteration flow or uncomputable last value;
+* every opaque call / I/O statement / control-flow obstacle.
+
+``diagnose_program`` aggregates the diagnoses of all serial loops,
+sorted so the most annotation-amenable candidates (blocked only by
+calls) come first — the workflow the paper's Section III-B implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.defuse import collect_accesses
+from repro.analysis.dependence import DependenceTester
+from repro.analysis.loops import LoopInfo, iter_loops, loop_ctx
+from repro.analysis.privatization import (ScalarClass, array_privatizable,
+                                          classify_scalars)
+from repro.analysis.reductions import find_reductions
+from repro.analysis.sideeffects import compute_summaries
+from repro.fortran import ast
+from repro.fortran.unparser import expr_to_str
+from repro.polaris.parallelizer import LegalityAnalyzer, _ArrayRefSite
+from repro.program import Program
+
+
+@dataclass(frozen=True)
+class DependenceEdge:
+    array: str
+    kind: str  # 'flow' | 'anti' | 'output'
+    source: str  # rendered reference text
+    sink: str
+
+    def describe(self) -> str:
+        return (f"{self.kind} dependence on {self.array}: "
+                f"{self.source} -> {self.sink}")
+
+
+@dataclass
+class LoopDiagnosis:
+    unit: str
+    var: str
+    origin: Optional[str]
+    parallel: bool
+    obstacles: List[str] = field(default_factory=list)
+    dependences: List[DependenceEdge] = field(default_factory=list)
+    #: names of procedures whose annotation would remove an obstacle
+    annotation_candidates: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        head = f"{self.unit}: DO {self.var}"
+        if self.parallel:
+            return f"{head}: parallelizable"
+        lines = [f"{head}: serial"]
+        lines += [f"  - {o}" for o in self.obstacles]
+        lines += [f"  - {d.describe()}" for d in self.dependences]
+        if self.annotation_candidates:
+            lines.append("  annotation candidates: "
+                         + ", ".join(self.annotation_candidates))
+        return "\n".join(lines)
+
+
+def diagnose_loop(program: Program, unit: ast.ProgramUnit,
+                  info: LoopInfo,
+                  summaries=None) -> LoopDiagnosis:
+    """Exhaustive diagnosis of one loop (does not stop at the first
+    obstacle, unlike the legality analyzer)."""
+    table = program.symtab(unit)
+    summaries = summaries or compute_summaries(program)
+    analyzer = LegalityAnalyzer(table, summaries)
+    loop = info.loop
+    diag = LoopDiagnosis(unit.name, loop.var, info.origin, False)
+
+    acc = collect_accesses(loop.body, table)
+    if acc.has_goto:
+        diag.obstacles.append("unstructured control flow (GOTO)")
+    if acc.has_stop:
+        diag.obstacles.append("possible early termination (STOP)")
+    if acc.has_io:
+        diag.obstacles.append("program I/O in the loop body")
+
+    # calls
+    for s in ast.walk_stmts(loop.body):
+        if isinstance(s, ast.CallStmt):
+            summary = summaries.get(s.name.upper())
+            if summary is None or not summary.pure:
+                diag.obstacles.append(
+                    f"opaque call to {s.name.upper()}")
+                diag.annotation_candidates.append(s.name.upper())
+
+    # scalars
+    classes = classify_scalars(loop.body, table)
+    reductions = find_reductions(loop.body, table)
+    inner_indices = {s.var.upper() for s in ast.walk_stmts(loop.body)
+                     if isinstance(s, ast.DoLoop)}
+    for name, cls in sorted(classes.items()):
+        if name not in acc.scalar_writes or name in reductions \
+                or name in inner_indices:
+            continue
+        if cls is ScalarClass.READ_FIRST:
+            diag.obstacles.append(
+                f"scalar {name} carries values across iterations")
+        elif cls is ScalarClass.CONDITIONAL_WRITE:
+            diag.obstacles.append(
+                f"scalar {name} is conditionally assigned (no "
+                f"computable last value)")
+
+    # arrays: enumerate every unresolved pair
+    sites = analyzer._array_sites(loop.body)
+    loops_ctx = [loop_ctx(lp) for lp in info.enclosing] + [loop_ctx(loop)]
+    for array, refs in sorted(sites.items()):
+        if not any(r.is_write for r in refs):
+            continue
+        edges = _pair_edges(analyzer, array, refs, info, loops_ctx)
+        if edges and array_privatizable(array, loop.body, table,
+                                        loop_var=loop.var):
+            continue  # resolved by privatization
+        diag.dependences.extend(edges)
+
+    diag.parallel = not diag.obstacles and not diag.dependences
+    # deduplicate candidates, preserving order
+    seen = set()
+    diag.annotation_candidates = [
+        c for c in diag.annotation_candidates
+        if not (c in seen or seen.add(c))]
+    return diag
+
+
+def _pair_edges(analyzer: LegalityAnalyzer, array: str,
+                refs: List[_ArrayRefSite], info: LoopInfo,
+                loops_ctx) -> List[DependenceEdge]:
+    edges: List[DependenceEdge] = []
+    lvar = info.loop.var.upper()
+    rank = analyzer._declared_rank(array)
+    forms = [analyzer._affine_forms(r, info, rank) for r in refs]
+    for i in range(len(refs)):
+        for j in range(i, len(refs)):
+            if not (refs[i].is_write or refs[j].is_write):
+                continue
+            dirs = {lp.var: "=" for lp in info.enclosing}
+            dirs[lvar] = "<"
+            for lp in refs[i].inner_loops + refs[j].inner_loops:
+                dirs[lp.var.upper()] = "*"
+            seen_ids = set()
+            inner = [lp for lp in refs[i].inner_loops + refs[j].inner_loops
+                     if id(lp) not in seen_ids and not seen_ids.add(id(lp))]
+            all_loops = loops_ctx + [loop_ctx(lp) for lp in inner]
+            # each direction is a distinct dependence with its own kind:
+            # source executes in the earlier iteration
+            if analyzer.tester.may_depend(forms[i], forms[j],
+                                          all_loops, dirs):
+                edges.append(DependenceEdge(
+                    array, _kind(refs[i], refs[j]),
+                    _render(array, refs[i]), _render(array, refs[j])))
+            if i != j and analyzer.tester.may_depend(forms[j], forms[i],
+                                                     all_loops, dirs):
+                edges.append(DependenceEdge(
+                    array, _kind(refs[j], refs[i]),
+                    _render(array, refs[j]), _render(array, refs[i])))
+    return edges
+
+
+def _kind(a: _ArrayRefSite, b: _ArrayRefSite) -> str:
+    if a.is_write and b.is_write:
+        return "output"
+    return "flow" if a.is_write else "anti"
+
+
+def _render(array: str, site: _ArrayRefSite) -> str:
+    if not site.subs:
+        return array
+    return f"{array}({','.join(expr_to_str(s) for s in site.subs)})"
+
+
+def diagnose_program(program: Program) -> List[LoopDiagnosis]:
+    """Diagnoses for every loop in the program, annotation-amenable
+    serial loops first."""
+    summaries = compute_summaries(program)
+    out: List[LoopDiagnosis] = []
+    for unit in program.units:
+        for info in iter_loops(unit.body):
+            out.append(diagnose_loop(program, unit, info, summaries))
+
+    def rank(d: LoopDiagnosis) -> Tuple[int, int]:
+        if d.parallel:
+            return (2, 0)
+        if d.annotation_candidates and not d.dependences:
+            return (0, len(d.obstacles))
+        return (1, len(d.obstacles) + len(d.dependences))
+
+    return sorted(out, key=rank)

@@ -1,0 +1,65 @@
+"""OpenMP directive utilities.
+
+The directive *representation* lives in the AST
+(:class:`~repro.fortran.ast.OmpParallelDo`); this module provides the
+operations the rest of the system needs on top of it: enumerating parallel
+loops, stripping directives (to recover the serial program), and checking
+clause well-formedness before unparsing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.errors import SemanticError
+from repro.fortran import ast
+from repro.program import Program
+
+#: reduction operators OpenMP (and our runtime) accept
+REDUCTION_OPS = {"+", "*", "MAX", "MIN"}
+
+
+def parallel_loops(body: List[ast.Stmt]) -> Iterator[ast.OmpParallelDo]:
+    for s in ast.walk_stmts(body):
+        if isinstance(s, ast.OmpParallelDo):
+            yield s
+
+
+def count_directives(program: Program) -> int:
+    return sum(1 for u in program.units for _ in parallel_loops(u.body))
+
+
+def strip_directives(body: List[ast.Stmt]) -> List[ast.Stmt]:
+    """Return ``body`` with every OmpParallelDo unwrapped to its loop."""
+
+    def unwrap(s: ast.Stmt):
+        if isinstance(s, ast.OmpParallelDo):
+            return [s.loop]
+        return None
+
+    return ast.map_stmts(body, unwrap)
+
+
+def validate(omp: ast.OmpParallelDo) -> None:
+    """Reject malformed clause sets before they reach the unparser or the
+    runtime simulator."""
+    seen = set()
+    for name in omp.private:
+        if name in seen:
+            raise SemanticError(f"duplicate PRIVATE({name})")
+        seen.add(name)
+    for op, var in omp.reductions:
+        if op.upper() not in REDUCTION_OPS:
+            raise SemanticError(f"unsupported REDUCTION operator {op!r}")
+        if var in seen:
+            raise SemanticError(
+                f"{var} appears in both PRIVATE and REDUCTION")
+        seen.add(var)
+    if omp.loop.var.upper() in seen:
+        raise SemanticError(
+            f"loop index {omp.loop.var} must not appear in clauses")
+
+
+def disabled_copy(omp: ast.OmpParallelDo) -> ast.DoLoop:
+    """The serial form of a parallel loop (used by the tuning pass)."""
+    return omp.loop

@@ -1,0 +1,259 @@
+"""Loop parallelization legality analysis.
+
+For a candidate loop ``L`` the analyzer checks, in order:
+
+1. **control flow** — no GOTO, STOP or RETURN anywhere in the body;
+2. **I/O** — no READ/WRITE/PRINT (the paper's "debugging and error
+   checking" obstacle: conservative compilers must keep such loops
+   serial);
+3. **procedure calls** — every CALL (and user function reference) must be
+   provably side-effect-free per the interprocedural summaries.  This is
+   where opaque calls serialize loops in the no-inlining configuration —
+   the premise of the whole paper;
+4. **scalars** — every scalar written in the body must be write-first
+   (privatizable), a recognized reduction, or an inner loop index;
+5. **arrays** — for every array written in the body, all access pairs are
+   subjected to the dependence tester under the ``(outer '=', L '<',
+   inner '*')`` direction constraint in both orders; arrays with surviving
+   carried dependences must pass the kill analysis (privatization).
+
+The verdict carries the failure reason so reports can explain Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.affine import AffineForm, extract
+from repro.analysis.defuse import collect_accesses
+from repro.analysis.dependence import DependenceTester, LoopCtx
+from repro.analysis.loops import LoopInfo, loop_ctx
+from repro.analysis.privatization import (ScalarClass, array_privatizable,
+                                          classify_scalars)
+from repro.analysis.reductions import find_reductions
+from repro.analysis.sideeffects import Summary
+from repro.fortran import ast
+from repro.fortran.intrinsics import is_intrinsic
+from repro.fortran.symbols import SymbolTable
+from repro.naming import is_capture_array
+from repro.polaris.report import LoopVerdict
+
+
+@dataclass
+class _ArrayRefSite:
+    subs: Tuple[ast.Expr, ...]
+    is_write: bool
+    #: loops inside L enclosing this reference
+    inner_loops: Tuple[ast.DoLoop, ...]
+
+
+@dataclass
+class LegalityAnalyzer:
+    table: SymbolTable
+    summaries: Dict[str, Summary]
+    tester: DependenceTester = field(default_factory=DependenceTester)
+
+    # ------------------------------------------------------------------
+    def analyze(self, info: LoopInfo) -> LoopVerdict:
+        loop = info.loop
+        body = loop.body
+
+        def fail(reason: str, detail: str = "") -> LoopVerdict:
+            return LoopVerdict(info.origin, self.table.unit_name, loop.var,
+                               False, reason, detail)
+
+        acc = collect_accesses(body, self.table)
+        if acc.has_goto:
+            return fail("control-flow", "GOTO")
+        if acc.has_stop:
+            return fail("control-flow", "STOP")
+        for s in ast.walk_stmts(body):
+            if isinstance(s, ast.Return):
+                return fail("control-flow", "RETURN")
+        if acc.has_io:
+            return fail("io")
+        if loop.var.upper() in acc.scalar_writes:
+            return fail("index-modified", loop.var)
+
+        bad_call = self._check_calls(body)
+        if bad_call:
+            return fail("call", bad_call)
+
+        # scalars --------------------------------------------------------
+        classes = classify_scalars(body, self.table)
+        reductions = find_reductions(body, self.table)
+        private: List[str] = []
+        red_clauses: List[Tuple[str, str]] = []
+        inner_indices = {s.var.upper() for s in ast.walk_stmts(body)
+                         if isinstance(s, ast.DoLoop)}
+        for name, cls in sorted(classes.items()):
+            written = self._scalar_written(name, acc)
+            if not written:
+                continue
+            if name in reductions:
+                red_clauses.append((reductions[name], name))
+            elif cls is ScalarClass.WRITE_FIRST or name in inner_indices:
+                private.append(name)
+            else:
+                # READ_FIRST (cross-iteration flow) and CONDITIONAL_WRITE
+                # (no computable last value) both keep the loop serial
+                return fail("scalar-dep", name)
+
+        # arrays ---------------------------------------------------------
+        sites = self._array_sites(body)
+        loops_ctx = [loop_ctx(lp) for lp in info.enclosing] + [loop_ctx(loop)]
+        for array, refs in sorted(sites.items()):
+            if not any(r.is_write for r in refs):
+                continue
+            if is_capture_array(array):
+                # unknown() capture arrays are iteration-scratch by
+                # construction: written before read within the tagged
+                # block, dead afterwards
+                private.append(array)
+                continue
+            if self._carried(array, refs, info, loops_ctx):
+                if array_privatizable(array, body, self.table,
+                                      loop_var=loop.var):
+                    private.append(array)
+                else:
+                    return fail("array-dep", array)
+
+        return LoopVerdict(info.origin, self.table.unit_name, loop.var, True,
+                           private=tuple(private),
+                           reductions=tuple(red_clauses))
+
+    # ------------------------------------------------------------------
+    def _check_calls(self, body: Sequence[ast.Stmt]) -> Optional[str]:
+        for s in ast.walk_stmts(body):
+            if isinstance(s, ast.CallStmt):
+                summary = self.summaries.get(s.name.upper())
+                if summary is None or not summary.pure:
+                    return s.name.upper()
+        for e in ast.walk_all_exprs(body):
+            if isinstance(e, ast.FuncRef) and not is_intrinsic(e.name):
+                summary = self.summaries.get(e.name.upper())
+                if summary is None or not summary.pure:
+                    return e.name.upper()
+        return None
+
+    def _scalar_written(self, name: str, acc) -> bool:
+        return name in acc.scalar_writes
+
+    # ------------------------------------------------------------------
+    def _array_sites(
+            self, body: Sequence[ast.Stmt]
+    ) -> Dict[str, List[_ArrayRefSite]]:
+        sites: Dict[str, List[_ArrayRefSite]] = {}
+
+        def note(name: str, subs: Tuple[ast.Expr, ...], w: bool,
+                 inner: Tuple[ast.DoLoop, ...]) -> None:
+            if not self.table.is_array(name):
+                return
+            sites.setdefault(name.upper(), []).append(
+                _ArrayRefSite(subs, w, inner))
+
+        def expr_refs(e: Optional[ast.Expr],
+                      inner: Tuple[ast.DoLoop, ...]) -> None:
+            if e is None:
+                return
+            for n in ast.walk_expr(e):
+                if isinstance(n, ast.ArrayRef) and self.table.is_array(n.name):
+                    note(n.name, n.subs, False, inner)
+                elif isinstance(n, ast.Var) and self.table.is_array(n.name):
+                    note(n.name, (), False, inner)
+
+        def walk(stmts: Sequence[ast.Stmt],
+                 inner: Tuple[ast.DoLoop, ...]) -> None:
+            for s in stmts:
+                if isinstance(s, ast.Assign):
+                    expr_refs(s.value, inner)
+                    if isinstance(s.target, ast.ArrayRef):
+                        for sub in s.target.subs:
+                            expr_refs(sub, inner)
+                        note(s.target.name, s.target.subs, True, inner)
+                    elif isinstance(s.target, ast.Var) \
+                            and self.table.is_array(s.target.name):
+                        note(s.target.name, (), True, inner)
+                elif isinstance(s, ast.IfBlock):
+                    for cond, arm in s.arms:
+                        expr_refs(cond, inner)
+                        walk(arm, inner)
+                elif isinstance(s, ast.DoLoop):
+                    expr_refs(s.start, inner)
+                    expr_refs(s.stop, inner)
+                    expr_refs(s.step, inner)
+                    walk(s.body, inner + (s,))
+                elif isinstance(s, ast.CallStmt):
+                    # calls are rejected earlier unless pure; pure calls
+                    # read their arguments only
+                    for a in s.args:
+                        expr_refs(a, inner)
+                elif isinstance(s, ast.IoStmt):
+                    for item in s.items:
+                        expr_refs(item, inner)
+                elif isinstance(s, ast.OmpParallelDo):
+                    walk([s.loop], inner)
+                elif isinstance(s, ast.TaggedBlock):
+                    walk(s.body, inner)
+
+        walk(body, ())
+        return sites
+
+    # ------------------------------------------------------------------
+    def _carried(self, array: str, refs: List[_ArrayRefSite], info: LoopInfo,
+                 loops_ctx: List[LoopCtx]) -> bool:
+        """Does loop ``info.loop`` carry a dependence among ``refs``?"""
+        lvar = info.loop.var.upper()
+        forms: List[Optional[List[Optional[AffineForm]]]] = []
+        rank = self._declared_rank(array)
+        for r in refs:
+            forms.append(self._affine_forms(r, info, rank))
+
+        n = len(refs)
+        for i in range(n):
+            for j in range(i, n):
+                if not (refs[i].is_write or refs[j].is_write):
+                    continue
+                dirs = {lp.var: "=" for lp in info.enclosing}
+                dirs[lvar] = "<"
+                inner_vars = ({lp.var.upper() for lp in refs[i].inner_loops}
+                              | {lp.var.upper() for lp in refs[j].inner_loops})
+                for v in inner_vars:
+                    dirs[v] = "*"
+                seen_ids = set()
+                inner_unique = []
+                for lp in refs[i].inner_loops + refs[j].inner_loops:
+                    if id(lp) not in seen_ids:
+                        seen_ids.add(id(lp))
+                        inner_unique.append(lp)
+                all_loops = loops_ctx + [loop_ctx(lp) for lp in inner_unique]
+                if self.tester.may_depend(forms[i], forms[j], all_loops, dirs):
+                    return True
+                if i != j and self.tester.may_depend(
+                        forms[j], forms[i], all_loops, dirs):
+                    return True
+        return False
+
+    def _declared_rank(self, array: str) -> int:
+        infov = self.table.info(array)
+        return len(infov.dims) if infov.dims else 1
+
+    def _affine_forms(self, site: _ArrayRefSite, info: LoopInfo,
+                      rank: int) -> List[Optional[AffineForm]]:
+        if not site.subs:
+            return [None] * rank  # whole-array access: no per-dim info
+        # enclosing (outer) loop variables are deliberately NOT index vars:
+        # the carried-dependence test fixes them with '=' directions, so a
+        # subscript component depending on them — even opaquely, like the
+        # paper's IDBEGS(ISS) — is a legitimate loop-invariant symbol that
+        # cancels between the two references
+        index_vars = ([info.loop.var]
+                      + [lp.var for lp in site.inner_loops])
+        out: List[Optional[AffineForm]] = []
+        for sub in site.subs:
+            if isinstance(sub, ast.RangeExpr):
+                out.append(None)
+            else:
+                out.append(extract(sub, index_vars))
+        return out

@@ -1,0 +1,33 @@
+"""Parallelization profitability heuristics.
+
+Polaris used "simplistic heuristics, e.g., all parallelized loops need to
+exceed a certain number of iterations" (paper Section III-C2).  We model
+exactly that: a loop with a *known* trip count below the threshold is not
+worth the fork/join overhead; unknown trip counts are presumed large.
+A loop whose body performs no memory traffic at all (rare, but generated
+code can produce it) is also skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.defuse import collect_accesses
+from repro.analysis.loops import trip_count
+from repro.fortran import ast
+from repro.fortran.symbols import SymbolTable
+
+
+@dataclass(frozen=True)
+class ProfitabilityPolicy:
+    #: minimum known trip count worth parallelizing
+    min_trip_count: int = 4
+
+    def profitable(self, loop: ast.DoLoop, table: SymbolTable) -> bool:
+        trips = trip_count(loop)
+        if trips is not None and trips < self.min_trip_count:
+            return False
+        acc = collect_accesses(loop.body, table)
+        if not acc.array_accesses and not acc.has_call:
+            return False
+        return True

@@ -1,0 +1,9 @@
+"""Execution substrate: a Fortran 77 interpreter with by-reference
+argument passing, COMMON-block sequence association, and a simulated
+OpenMP execution model used to produce Figure 20's speedups and to
+runtime-verify parallelized programs (the paper's "runtime testers").
+"""
+
+from repro.runtime.interpreter import ExecutionResult, Interpreter  # noqa: F401
+from repro.runtime.machine import AMD_OPTERON, INTEL_MAC, MachineModel  # noqa: F401
+from repro.runtime.difftest import diff_test  # noqa: F401

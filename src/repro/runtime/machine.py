@@ -1,0 +1,60 @@
+"""Machine models for the simulated OpenMP execution.
+
+The paper measures on two multicore machines; we model the properties
+that matter to Figure 20's *shape*: the thread count and the fixed costs
+of entering/leaving a parallel region.  All quantities are in abstract
+work units (the interpreter charges ~1 unit per executed operation), so a
+fork overhead of 1500 means "parallelization pays off only for loops
+whose total work comfortably exceeds a few thousand operations" — which
+is exactly why most PERFECT benchmarks, with their small input sizes, see
+at most ~10% end-to-end improvement and why the empirical tuning step
+must disable some parallelized loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    name: str
+    threads: int
+    #: fixed cost of entering + leaving one parallel region
+    fork_join_overhead: float = 1500.0
+    #: per-chunk scheduling cost charged to each thread
+    per_thread_overhead: float = 60.0
+    #: relative serial-execution speed (arbitrary scale; affects absolute
+    #: times only, never speedups)
+    clock: float = 1.0
+
+    def parallel_time(self, iteration_costs, nested: bool = False) -> float:
+        """Simulated wall-clock cost of one parallel loop execution.
+
+        Static (block) scheduling of ``iteration_costs`` over
+        ``self.threads``; a nested region (inside an active parallel
+        region) runs on one thread, paying only the fork overhead, which
+        is OpenMP's default nested-parallelism behaviour.
+        """
+        costs = list(iteration_costs)
+        if not costs:
+            return self.fork_join_overhead
+        if nested:
+            return self.fork_join_overhead / 4 + sum(costs)
+        threads = min(self.threads, len(costs))
+        chunk = (len(costs) + threads - 1) // threads
+        loads = [sum(costs[t * chunk:(t + 1) * chunk])
+                 for t in range(threads)]
+        return (self.fork_join_overhead
+                + self.per_thread_overhead * threads
+                + max(loads))
+
+
+#: two quad-core 3GHz Intel processors (the paper's Intel Macintosh)
+INTEL_MAC = MachineModel("intel-mac", threads=8, fork_join_overhead=1800.0,
+                         per_thread_overhead=70.0)
+
+#: two dual-core 3GHz AMD Opterons
+AMD_OPTERON = MachineModel("amd-opteron", threads=4,
+                           fork_join_overhead=1200.0,
+                           per_thread_overhead=50.0)

@@ -1,0 +1,109 @@
+"""Tests for the exact (Fourier-Motzkin) dependence test."""
+
+import itertools
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.affine import AffineForm, extract
+from repro.analysis.dependence import DependenceTester, LoopCtx
+from repro.analysis.exact import ExactTester, feasible
+from repro.analysis.symbolic import Poly
+from repro.fortran.parser import parse_expression as pe
+from tests.analysis.test_dependence import affine_pair, brute_force_dependent
+
+
+def F(c):
+    return Fraction(c)
+
+
+class TestFourierMotzkin:
+    def test_trivially_feasible(self):
+        assert feasible([({"x": F(1)}, F(0))])  # x >= 0
+
+    def test_trivially_infeasible(self):
+        # x >= 1 and -x >= 0
+        assert not feasible([({"x": F(1)}, F(-1)), ({"x": F(-1)}, F(0))])
+
+    def test_two_variable_infeasible(self):
+        # x + y >= 5, -x >= -1, -y >= -1  (x,y <= 1)
+        assert not feasible([
+            ({"x": F(1), "y": F(1)}, F(-5)),
+            ({"x": F(-1)}, F(1)),
+            ({"y": F(-1)}, F(1)),
+        ])
+
+    def test_equality_chain(self):
+        # x = y, y = z, x >= 3, -z >= -2  -> infeasible
+        eqs = []
+        for a, b in (("x", "y"), ("y", "z")):
+            eqs.append(({a: F(1), b: F(-1)}, F(0)))
+            eqs.append(({a: F(-1), b: F(1)}, F(0)))
+        assert not feasible(eqs + [({"x": F(1)}, F(-3)),
+                                   ({"z": F(-1)}, F(2))])
+
+    def test_rational_feasible(self):
+        # 2x >= 1, -x >= -1: x in [0.5, 1]
+        assert feasible([({"x": F(2)}, F(-1)), ({"x": F(-1)}, F(1))])
+
+
+def forms(texts, indices):
+    return [extract(pe(t), indices) for t in texts]
+
+
+class TestCoupledSubscripts:
+    LOOPS = [LoopCtx("I", 1, 10), LoopCtx("J", 1, 10)]
+    DIRS = {"I": "<", "J": "*"}
+
+    def test_coupled_independence_found(self):
+        # A(I+J, I-J): dimensions couple; the joint system is infeasible
+        a = forms(["I+J", "I-J"], ["I", "J"])
+        exact = ExactTester()
+        assert not exact.may_depend(a, a, self.LOOPS, self.DIRS)
+
+    def test_per_dimension_tests_miss_it(self):
+        a = forms(["I+J", "I-J"], ["I", "J"])
+        coarse = DependenceTester(use_exact=False)
+        assert coarse.may_depend(a, a, self.LOOPS, self.DIRS)
+
+    def test_integrated_tester(self):
+        a = forms(["I+J", "I-J"], ["I", "J"])
+        t = DependenceTester(use_exact=True)
+        assert not t.may_depend(a, a, self.LOOPS, self.DIRS)
+        assert t.stats.exact_independent == 1
+
+    def test_true_dependence_still_found(self):
+        a = forms(["I+J"], ["I", "J"])
+        b = forms(["I+J+1"], ["I", "J"])
+        t = DependenceTester(use_exact=True)
+        assert t.may_depend(a, b, self.LOOPS, self.DIRS)
+
+    def test_nonaffine_conservative(self):
+        t = ExactTester()
+        assert t.may_depend([None], [None], self.LOOPS, self.DIRS)
+
+    def test_symbolic_delta_conservative(self):
+        a = forms(["I+NOFF"], ["I"])
+        b = forms(["I"], ["I"])
+        t = ExactTester()
+        assert t.may_depend(a, b, [LoopCtx("I", 1, 10)], {"I": "<"})
+
+
+@given(affine_pair())
+@settings(max_examples=200, deadline=None)
+def test_exact_soundness_against_brute_force(case):
+    fa, fb, loops, dirs = case
+    tester = DependenceTester(use_exact=True)
+    if not tester.may_depend([fa], [fb], loops, dirs):
+        assert not brute_force_dependent(fa, fb, loops, dirs)
+
+
+@given(affine_pair())
+@settings(max_examples=120, deadline=None)
+def test_exact_at_least_as_strong(case):
+    fa, fb, loops, dirs = case
+    coarse = DependenceTester(use_exact=False)
+    exact = DependenceTester(use_exact=True)
+    if not coarse.may_depend([fa], [fb], loops, dirs):
+        assert not exact.may_depend([fa], [fb], loops, dirs)

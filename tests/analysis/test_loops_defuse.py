@@ -1,0 +1,190 @@
+"""Tests for loop discovery, def/use collection, call graph and
+side-effect summaries."""
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.defuse import collect_accesses
+from repro.analysis.loops import (assign_origins, iter_loops, loop_ctx,
+                                  trip_count)
+from repro.analysis.sideeffects import compute_summaries
+from repro.fortran import ast
+from repro.fortran.parser import parse_source
+from repro.fortran.symbols import build_symbol_table
+from repro.program import Program
+
+
+def unit_of(src):
+    return parse_source(src).units[0]
+
+
+class TestLoops:
+    SRC = ("      SUBROUTINE S\n"
+           "      DO 10 I = 1, 10\n"
+           "        DO 20 J = 1, 5\n"
+           "          A(I,J) = 0.0\n"
+           "   20   CONTINUE\n"
+           "        IF (I.GT.2) THEN\n"
+           "          DO K = 1, N\n"
+           "            B(K) = 0.0\n"
+           "          END DO\n"
+           "        END IF\n"
+           "   10 CONTINUE\n"
+           "      END\n")
+
+    def test_iter_loops_order_and_context(self):
+        unit = unit_of(self.SRC)
+        infos = list(iter_loops(unit.body))
+        assert [i.loop.var for i in infos] == ["I", "J", "K"]
+        assert infos[0].depth == 0
+        assert infos[1].enclosing[0].var == "I"
+        assert infos[2].index_vars == ["I", "K"]
+
+    def test_assign_origins_stable(self):
+        unit = unit_of(self.SRC)
+        assign_origins(unit)
+        infos = list(iter_loops(unit.body))
+        assert infos[0].origin == "S:0"
+        assert infos[2].origin == "S:2"
+        # origins survive cloning (the Table II counting requirement)
+        copy = ast.clone(unit)
+        cloned = list(iter_loops(copy.body))
+        assert [c.origin for c in cloned] == [i.origin for i in infos]
+
+    def test_loop_ctx(self):
+        unit = unit_of(self.SRC)
+        infos = list(iter_loops(unit.body))
+        assert loop_ctx(infos[0].loop).lower == 1
+        assert loop_ctx(infos[0].loop).upper == 10
+        assert loop_ctx(infos[2].loop).upper is None
+
+    def test_trip_count(self):
+        unit = unit_of(self.SRC)
+        infos = list(iter_loops(unit.body))
+        assert trip_count(infos[0].loop) == 10
+        assert trip_count(infos[2].loop) is None
+
+    def test_trip_count_with_step(self):
+        unit = unit_of("      SUBROUTINE S\n"
+                       "      DO 10 I = 1, 10, 3\n"
+                       "   10 CONTINUE\n"
+                       "      END\n")
+        loop = list(iter_loops(unit.body))[0].loop
+        assert trip_count(loop) == 4
+
+
+class TestDefUse:
+    def test_assign_accesses(self):
+        unit = unit_of("      SUBROUTINE S\n"
+                       "      DIMENSION A(10), B(10)\n"
+                       "      A(I) = B(J) + X\n"
+                       "      END\n")
+        acc = collect_accesses(unit.body, build_symbol_table(unit))
+        assert acc.scalar_reads == {"I", "J", "X"}
+        assert ("A", (ast.Var("I"),), True) in acc.array_accesses
+        assert ("B", (ast.Var("J"),), False) in acc.array_accesses
+
+    def test_io_read_writes_items(self):
+        unit = unit_of("      SUBROUTINE S\n"
+                       "      READ(5,*) N, X\n"
+                       "      WRITE(6,*) Y\n"
+                       "      END\n")
+        acc = collect_accesses(unit.body, build_symbol_table(unit))
+        assert {"N", "X"} <= acc.scalar_writes
+        assert "Y" in acc.scalar_reads
+        assert acc.has_io
+
+    def test_call_args_recorded(self):
+        unit = unit_of("      SUBROUTINE S\n"
+                       "      DIMENSION FE(10,5)\n"
+                       "      CALL FORMF(FE(1,ID))\n"
+                       "      END\n")
+        acc = collect_accesses(unit.body, build_symbol_table(unit))
+        assert acc.has_call
+        assert "FE" in acc.call_args
+        assert "ID" in acc.scalar_reads
+
+    def test_do_loop_var_is_write(self):
+        unit = unit_of("      SUBROUTINE S\n"
+                       "      DO I = 1, N\n"
+                       "      END DO\n"
+                       "      END\n")
+        acc = collect_accesses(unit.body, build_symbol_table(unit))
+        assert "I" in acc.scalar_writes
+        assert "N" in acc.scalar_reads
+
+    def test_goto_stop_flags(self):
+        unit = unit_of("      SUBROUTINE S\n"
+                       "      GO TO 10\n"
+                       "   10 STOP\n"
+                       "      END\n")
+        acc = collect_accesses(unit.body, build_symbol_table(unit))
+        assert acc.has_goto and acc.has_stop
+
+
+MULTI = """
+      PROGRAM MAIN
+      COMMON /G/ X(100)
+      CALL OUTER
+      END
+      SUBROUTINE OUTER
+      COMMON /G/ X(100)
+      CALL LEAF(X(1))
+      CALL MYSTERY
+      END
+      SUBROUTINE LEAF(V)
+      V = 1.0
+      END
+      SUBROUTINE PUREF(A, B)
+      B = A
+      END
+"""
+
+
+class TestCallGraphAndSummaries:
+    def test_callgraph_edges(self):
+        prog = Program.from_source(MULTI)
+        g = build_callgraph(prog)
+        assert g.callees("MAIN") == {"OUTER"}
+        assert g.callees("OUTER") == {"LEAF", "MYSTERY"}
+        assert "MYSTERY" in g.unknown
+        assert g.callers_of("LEAF") == {"OUTER"}
+
+    def test_recursion_detected(self):
+        prog = Program.from_source(
+            "      SUBROUTINE R(N)\n"
+            "      IF (N.GT.0) CALL R(N-1)\n"
+            "      END\n")
+        g = build_callgraph(prog)
+        assert g.is_recursive("R")
+
+    def test_bottom_up_order(self):
+        prog = Program.from_source(MULTI)
+        order = build_callgraph(prog).topological_bottom_up()
+        assert order.index("LEAF") < order.index("OUTER")
+        assert order.index("OUTER") < order.index("MAIN")
+
+    def test_leaf_summary(self):
+        prog = Program.from_source(MULTI)
+        summaries = compute_summaries(prog)
+        leaf = summaries["LEAF"]
+        assert leaf.mod == {"V"}
+        assert not leaf.has_io and not leaf.opaque
+
+    def test_effects_propagate_through_args(self):
+        prog = Program.from_source(MULTI)
+        outer = compute_summaries(prog)["OUTER"]
+        assert "X" in outer.mod  # LEAF writes V which is bound to X(1)
+        assert outer.opaque      # MYSTERY is an external library routine
+
+    def test_pure_function_summary(self):
+        prog = Program.from_source(MULTI)
+        s = compute_summaries(prog)["PUREF"]
+        assert s.mod == {"B"} and s.ref == {"A"}
+        assert not s.pure  # writes a formal
+
+    def test_genuinely_pure(self):
+        prog = Program.from_source(
+            "      DOUBLE PRECISION FUNCTION SQ(X)\n"
+            "      SQ = X*X\n"
+            "      END\n")
+        s = compute_summaries(prog)["SQ"]
+        assert s.pure

@@ -1,0 +1,100 @@
+"""Stress tests for the reverse inliner's pattern matcher.
+
+Hypothesis drives random *legal* perturbations of tagged blocks — the
+transformations our Polaris is allowed to apply — and the matcher must
+recover the call every time; random *illegal* corruptions must be
+rejected every time.  Also: the round trip survives for every annotated
+subroutine of every benchmark, under random statement shuffling.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annotations import (AnnotationInliner, AnnotationRegistry,
+                               ReverseInliner)
+from repro.errors import ReverseInlineError
+from repro.fortran import ast
+from repro.perfect import get_benchmark
+from repro.polaris import Polaris
+from repro.program import Program
+
+
+def shuffle_blocks(program: Program, seed: int) -> int:
+    """Shuffle the statement order inside every tagged block."""
+    rng = random.Random(seed)
+    count = 0
+    for unit in program.units:
+        for s in ast.walk_stmts(unit.body):
+            if isinstance(s, ast.TaggedBlock):
+                rng.shuffle(s.body)
+                count += 1
+    return count
+
+
+BENCH_WITH_ANNOTATIONS = ["dyfesm", "bdna", "arc2d", "adm", "ocean",
+                          "trfd", "mg3d"]
+
+
+@pytest.mark.parametrize("name", BENCH_WITH_ANNOTATIONS)
+def test_benchmark_roundtrip_after_parallelization(name):
+    bench = get_benchmark(name)
+    registry = bench.registry()
+    prog = bench.program()
+    inl = AnnotationInliner(registry).run(prog)
+    Polaris().run(prog)
+    rev = ReverseInliner(registry).run(prog)
+    assert rev.reversed_count == inl.inlined_count
+    assert not any(isinstance(s, ast.TaggedBlock)
+                   for u in prog.units for s in ast.walk_stmts(u.body))
+
+
+@given(st.integers(0, 10_000), st.sampled_from(BENCH_WITH_ANNOTATIONS))
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_survives_shuffling(seed, name):
+    bench = get_benchmark(name)
+    registry = bench.registry()
+    prog = bench.program()
+    inl = AnnotationInliner(registry).run(prog)
+    shuffled = shuffle_blocks(prog, seed)
+    assert shuffled == inl.inlined_count
+    rev = ReverseInliner(registry).run(prog)
+    assert rev.reversed_count == inl.inlined_count
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_corruption_always_rejected(seed):
+    bench = get_benchmark("dyfesm")
+    registry = bench.registry()
+    prog = bench.program()
+    AnnotationInliner(registry).run(prog)
+    rng = random.Random(seed)
+    blocks = [s for u in prog.units for s in ast.walk_stmts(u.body)
+              if isinstance(s, ast.TaggedBlock)]
+    victim = rng.choice(blocks)
+    mode = rng.randrange(3)
+    if mode == 0:
+        victim.body.append(ast.Assign(ast.Var("EVIL"), ast.IntLit(1)))
+    elif mode == 1 and victim.body:
+        victim.body.pop(rng.randrange(len(victim.body)))
+    else:
+        victim.body.insert(0, ast.Assign(ast.Var("EVIL"),
+                                         ast.IntLit(seed % 97)))
+    with pytest.raises(ReverseInlineError):
+        ReverseInliner(registry).run(prog)
+
+
+def test_roundtrip_survives_serialization_between_every_phase():
+    """unparse/reparse between inline, parallelize, and reverse."""
+    bench = get_benchmark("dyfesm")
+    registry = bench.registry()
+    prog = bench.program()
+    AnnotationInliner(registry).run(prog)
+    prog = Program.from_sources(prog.unparse(), "stage1")
+    Polaris().run(prog)
+    prog = Program.from_sources(prog.unparse(), "stage2")
+    rev = ReverseInliner(registry).run(prog)
+    assert rev.reversed_count == 2

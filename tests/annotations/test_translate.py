@@ -1,0 +1,215 @@
+"""Tests for annotation -> Fortran translation."""
+
+import pytest
+
+from repro.annotations.parser import parse_annotations
+from repro.annotations.translate import (TranslateOptions, is_capture_array,
+                                         is_generated_name, translate_call)
+from repro.errors import AnnotationError
+from repro.fortran import ast
+from repro.fortran.parser import parse_expression as pe
+from repro.fortran.parser import parse_source
+from repro.fortran.symbols import build_symbol_table
+from repro.fortran.unparser import unparse
+
+
+def table_for(src):
+    return build_symbol_table(parse_source(src).units[0])
+
+
+CALLER = ("      SUBROUTINE C\n"
+          "      COMMON /G/ FE(8,100), IDEDON(100), XY(2,64), RHSB(99999)\n"
+          "      COMMON /G2/ PP(4,4,15), PHIT(4,4), TM1(4,4)\n"
+          "      END\n")
+
+
+def translate(ann_text, actual_texts, site_id=1, **opts):
+    ann = parse_annotations(ann_text)[0]
+    actuals = tuple(pe(t) for t in actual_texts)
+    return translate_call(ann, actuals, table_for(CALLER), site_id,
+                          TranslateOptions(**opts))
+
+
+class TestScalarsAndUnknown:
+    def test_scalar_binding(self):
+        tr = translate("subroutine S(ID) { IRECT = IEGEOM[ID]; }", ["K+1"])
+        stmt = tr.stmts[0]
+        assert stmt == ast.Assign(ast.Var("IRECT"),
+                                  ast.ArrayRef("IEGEOM", (pe("K+1"),)))
+
+    def test_unknown_capture(self):
+        tr = translate("subroutine S(ID) { X = unknown(A[ID], NSYMM); }",
+                       ["K"])
+        text = unparse(tr.stmts)
+        assert "GU1$A1(1) = A(K)" in text
+        assert "GU1$A1(2) = NSYMM" in text
+        assert "X = GU1$A1(1)" in text
+        assert tr.capture_arrays == ["GU1$A1"]
+        assert is_capture_array("GU1$A1")
+
+    def test_multi_target_unknown(self):
+        tr = translate(
+            "subroutine S(ID) { (NDX, NDY, WT) = unknown(ID, Q); }", ["K"])
+        text = unparse(tr.stmts)
+        assert "NDX = GU1$A1(1)" in text
+        assert "NDY = GU1$A1(2)" in text
+        assert "WT = GU1$A1(1)" in text  # wraps modulo capture size
+
+    def test_unknown_without_args(self):
+        tr = translate("subroutine S(ID) { X = unknown(); }", ["K"])
+        text = unparse(tr.stmts)
+        assert "X = GU1$A1(1)" in text
+
+    def test_unique_linear_form(self):
+        tr = translate(
+            "subroutine S(ID) { RHSB[unique(ID, I)] = 0.0; }", ["IB"],
+            unique_base=64)
+        target = tr.stmts[0].target
+        assert target == ast.ArrayRef("RHSB", (pe("64*IB + I"),))
+
+    def test_unique_base_option(self):
+        tr = translate(
+            "subroutine S(ID) { RHSB[unique(ID, I)] = 0.0; }", ["IB"],
+            unique_base=1024)
+        assert tr.stmts[0].target.subs[0] == pe("1024*IB + I")
+
+    def test_site_id_in_names(self):
+        tr = translate("subroutine S(ID) { X = unknown(ID); }", ["K"],
+                       site_id=7)
+        assert tr.capture_arrays == ["GU1$A7"]
+        assert is_generated_name("GU1$A7")
+
+
+class TestArrayBinding:
+    def test_whole_array_actual(self):
+        tr = translate(
+            "subroutine S(M) { dimension M[4,4]; M[2,3] = 1.0; }",
+            ["PHIT"])
+        assert tr.stmts[0].target == ast.ArrayRef(
+            "PHIT", (ast.IntLit(2), ast.IntLit(3)))
+
+    def test_element_actual_offsets(self):
+        # PP(1,1,KS-1) bound to a 2-D formal: trailing sub pinned
+        tr = translate(
+            "subroutine S(M) { dimension M[4,4]; M[I,J] = 1.0; }",
+            ["PP(1,1,KS-1)"])
+        assert tr.stmts[0].target == ast.ArrayRef(
+            "PP", (ast.Var("I"), ast.Var("J"), pe("KS-1")))
+
+    def test_element_actual_nonunit_base(self):
+        tr = translate(
+            "subroutine S(M) { dimension M[4]; M[I] = 1.0; }",
+            ["FE(3,ID)"])
+        assert tr.stmts[0].target == ast.ArrayRef(
+            "FE", (pe("I + (3-1)"), ast.Var("ID")))
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(AnnotationError):
+            translate("subroutine S(M) { dimension M[4,4,4]; M[1,1,1]=0.0; }",
+                      ["PHIT"])
+
+    def test_expression_actual_rejected(self):
+        with pytest.raises(AnnotationError):
+            translate("subroutine S(M) { dimension M[4]; M[1] = 0.0; }",
+                      ["X+1"])
+
+
+class TestRegionLowering:
+    def test_whole_array_assign_generates_loops(self):
+        # Figure 16/18: M3 = 0.0 becomes a loop nest
+        tr = translate(
+            "subroutine S(M3, L, N) { dimension M3[L,N]; M3 = 0.0; }",
+            ["TM1", "4", "4"])
+        outer = tr.stmts[0]
+        assert isinstance(outer, ast.DoLoop)
+        inner = outer.body[0]
+        assert isinstance(inner, ast.DoLoop)
+        assign = inner.body[0]
+        assert assign.target.name == "TM1"
+        # bounds instantiated with the actuals
+        assert outer.stop == ast.IntLit(4)
+
+    def test_region_column_assign(self):
+        tr = translate(
+            "subroutine S(IDE) { FE[*, IDE] = unknown(W); }", ["K"])
+        text = unparse(tr.stmts)
+        assert "GU1$A1(1) = W" in text
+        loop = [s for s in tr.stmts if isinstance(s, ast.DoLoop)][0]
+        assign = loop.body[0]
+        assert assign.target == ast.ArrayRef(
+            "FE", (ast.Var(loop.var), ast.Var("K")))
+        # extent comes from the caller's declaration of FE(8,100)
+        assert loop.stop == ast.IntLit(8)
+
+    def test_matmlt_region_rhs(self):
+        tr = translate(
+            "subroutine S(M1, M3, L, M) {"
+            "  dimension M1[L,M], M3[L,1];"
+            "  do (JM = 1:M) M3[*,1] = M3[*,1] + M1[*,JM];"
+            "}",
+            ["PHIT", "TM1", "4", "4"])
+        do_jm = tr.stmts[0]
+        assert isinstance(do_jm, ast.DoLoop)
+        region_loop = do_jm.body[0]
+        assert isinstance(region_loop, ast.DoLoop)
+        assign = region_loop.body[0]
+        z = region_loop.var
+        assert assign.target == ast.ArrayRef("TM1",
+                                             (ast.Var(z), ast.IntLit(1)))
+        assert ast.ArrayRef("PHIT", (ast.Var(z), ast.Var(do_jm.var))) in \
+            list(ast.walk_expr(assign.value))
+
+    def test_region_count_mismatch_rejected(self):
+        with pytest.raises(AnnotationError):
+            translate(
+                "subroutine S(M1, M3) {"
+                "  dimension M1[4,4], M3[4];"
+                "  M3[*] = M1[*, *];"
+                "}",
+                ["PHIT", "TM1"])
+
+    def test_unknown_region_extent_rejected(self):
+        with pytest.raises(AnnotationError):
+            translate("subroutine S(I) { ZZQ[*] = 0.0; }", ["K"])
+
+    def test_deterministic_names(self):
+        a = translate("subroutine S(I) { FE[*,I] = unknown(W); }", ["K"],
+                      site_id=3)
+        b = translate("subroutine S(I) { FE[*,I] = unknown(W); }", ["K"],
+                      site_id=3)
+        assert unparse(a.stmts) == unparse(b.stmts)
+
+
+class TestControlFlow:
+    def test_if_lowering(self):
+        tr = translate(
+            "subroutine S(IDE) {"
+            "  if (IDEDON[IDE] == 0) { IDEDON[IDE] = 1; } else { Q = 2; }"
+            "}", ["K"])
+        s = tr.stmts[0]
+        assert isinstance(s, ast.IfBlock)
+        assert len(s.arms) == 2
+        assert s.arms[0][0] == ast.BinOp("==",
+                                         ast.ArrayRef("IDEDON",
+                                                      (ast.Var("K"),)),
+                                         ast.IntLit(0))
+
+    def test_do_lowering_renames_var(self):
+        tr = translate(
+            "subroutine S(N) { do (I = 1:N) QQ = I; }", ["M"])
+        loop = tr.stmts[0]
+        assert isinstance(loop, ast.DoLoop)
+        assert loop.var == "I$A1"
+        assert loop.stop == ast.Var("M")
+        assert loop.body[0].value == ast.Var("I$A1")
+
+    def test_local_decl_renamed(self):
+        tr = translate(
+            "subroutine S(N) { integer T; T = N + 1; }", ["M"])
+        assert any(isinstance(d, ast.TypeDecl)
+                   and d.entities[0].name == "T$A1" for d in tr.decls)
+        assert tr.stmts[0].target == ast.Var("T$A1")
+
+    def test_return_rejected(self):
+        with pytest.raises(AnnotationError):
+            translate("subroutine S(N) { return N; }", ["M"])

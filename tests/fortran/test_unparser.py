@@ -1,0 +1,144 @@
+"""Unparser unit tests and parse/unparse round-trip properties."""
+
+from hypothesis import given, settings
+
+from repro.fortran import ast
+from repro.fortran.parser import parse_expression, parse_source
+from repro.fortran.unparser import expr_to_str, unparse
+from tests.strategies import exprs, program_units
+
+
+def roundtrip(src: str) -> None:
+    """parse -> unparse -> parse must be a fixed point."""
+    tree = parse_source(src)
+    text = unparse(tree)
+    tree2 = parse_source(text)
+    assert tree2.units == tree.units, text
+
+
+class TestExprUnparse:
+    def test_minimal_parens(self):
+        assert expr_to_str(parse_expression("A+B*C")) == "A+B*C"
+        assert expr_to_str(parse_expression("(A+B)*C")) == "(A+B)*C"
+        assert expr_to_str(parse_expression("A-(B-C)")) == "A-(B-C)"
+        assert expr_to_str(parse_expression("A/(B*C)")) == "A/(B*C)"
+
+    def test_power_assoc(self):
+        assert expr_to_str(parse_expression("A**B**C")) == "A**B**C"
+        assert expr_to_str(parse_expression("(A**B)**C")) == "(A**B)**C"
+
+    def test_relational_f77_spelling(self):
+        assert expr_to_str(parse_expression("I.GT.0")) == "I.GT.0"
+
+    def test_unary_minus(self):
+        assert expr_to_str(parse_expression("-A+B")) == "-A+B"
+        assert expr_to_str(parse_expression("B*(-A)")) == "B*(-A)"
+
+    def test_double_literal_spelling_preserved(self):
+        assert expr_to_str(parse_expression("2.D0")) == "2.D0"
+
+    def test_array_ref(self):
+        assert expr_to_str(parse_expression("T(IX(7)+I)")) == "T(IX(7)+I)"
+
+    @given(exprs())
+    @settings(max_examples=200)
+    def test_expr_roundtrip(self, e):
+        assert parse_expression(expr_to_str(e)) == e
+
+
+class TestSourceRoundtrip:
+    def test_paper_figure2(self):
+        roundtrip(
+            "      SUBROUTINE PCINIT(X2,Y2,Z2)\n"
+            "      DIMENSION X2(*),Y2(*),Z2(*)\n"
+            "      DO 200 N = 1, NTYPES\n"
+            "        NSP = NSPECI(N)\n"
+            "        DO 200 J = 1, NSP\n"
+            "          I = I + 1\n"
+            "          X2(I) = FX(I)*TSTEP**2/2.D0/DSUMM(N)\n"
+            "  200 CONTINUE\n"
+            "      END\n")
+
+    def test_paper_figure6(self):
+        roundtrip(
+            "      SUBROUTINE FSMP(ID, IDE)\n"
+            "      CALL GETCR(ID)\n"
+            "      IRECT = IEGEOM(ID)\n"
+            "      ISTRES = 0\n"
+            "      CALL SHAPE1\n"
+            "      IF (IDEDON(IDE).EQ.0) THEN\n"
+            "        IDEDON(IDE) = 1\n"
+            "        CALL FORMF(FE(1,IDE))\n"
+            "        IF (IERR.NE.0) THEN\n"
+            "          WRITE(6,*) IDE\n"
+            "          STOP 'F SINGULAR'\n"
+            "        END IF\n"
+            "      END IF\n"
+            "      CALL GETLD(ID)\n"
+            "      RETURN\n"
+            "      END\n")
+
+    def test_omp_loop(self):
+        src = ("      SUBROUTINE S\n"
+               "!$OMP PARALLEL DO DEFAULT(SHARED) PRIVATE(T1)\n"
+               "      DO I = 1, N\n"
+               "        A(I) = T1\n"
+               "      END DO\n"
+               "!$OMP END PARALLEL DO\n"
+               "      END\n")
+        roundtrip(src)
+        text = unparse(parse_source(src))
+        assert "!$OMP PARALLEL DO" in text
+        assert "PRIVATE(T1)" in text
+
+    def test_tagged_block(self):
+        roundtrip(
+            "      SUBROUTINE S\n"
+            "C@INLINE BEGIN MATMLT 3 PP(1,1,KS-1)|PHIT(1,1)|TM1(1,1)\n"
+            "      DO JN = 1, 4\n"
+            "        TM1(JN,JN) = 0.0\n"
+            "      END DO\n"
+            "C@INLINE END 3\n"
+            "      END\n")
+
+    def test_declarations(self):
+        roundtrip(
+            "      PROGRAM MAIN\n"
+            "      IMPLICIT NONE\n"
+            "      INTEGER I, N\n"
+            "      DOUBLE PRECISION A(100), B(10,20), C(0:9)\n"
+            "      COMMON /BLK/ A, B\n"
+            "      PARAMETER (N=100)\n"
+            "      DATA I /0/\n"
+            "      SAVE C\n"
+            "      DO 10 I = 1, N\n"
+            "        A(I) = 0.0\n"
+            "   10 CONTINUE\n"
+            "      END\n")
+
+    def test_long_line_continuation(self):
+        # a statement long enough to require continuation lines
+        terms = "+".join(f"LONGNAME{i}" for i in range(12))
+        roundtrip("      SUBROUTINE S\n"
+                  f"      RESULT = {terms}\n"
+                  "      END\n")
+
+    def test_goto_label(self):
+        roundtrip("      SUBROUTINE S\n"
+                  "      GO TO 300\n"
+                  "      X = 1\n"
+                  "  300 CONTINUE\n"
+                  "      END\n")
+
+    def test_function_unit(self):
+        roundtrip("      DOUBLE PRECISION FUNCTION F(X)\n"
+                  "      F = X*2.0\n"
+                  "      RETURN\n"
+                  "      END\n")
+
+    @given(program_units())
+    @settings(max_examples=60, deadline=None)
+    def test_unit_roundtrip(self, unit):
+        text = unparse(unit)
+        reparsed = parse_source(text)
+        assert reparsed.units == [unit]

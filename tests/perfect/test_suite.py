@@ -1,0 +1,105 @@
+"""Suite-wide checks for all 12 PERFECT substitutes.
+
+Each benchmark must execute, each configuration's final program must pass
+the three-way differential test, and the per-benchmark Table II fragment
+must have the shape the paper reports (documented per benchmark in its
+module docstring).
+"""
+
+import pytest
+
+from repro.perfect import all_benchmarks, benchmark_names, get_benchmark
+from tests.perfect.helpers import executes, parallel_output_correct, table2_row
+
+#: expected Table II shape per benchmark:
+#: (annotation helps?, conventional suffers losses?)
+EXPECTED = {
+    "ADM": (True, False),
+    "ARC2D": (True, True),
+    "FLO52Q": (False, False),
+    "OCEAN": (True, True),
+    "BDNA": (True, True),
+    "MDG": (False, False),
+    "QCD": (False, False),
+    "TRFD": (True, True),
+    "DYFESM": (True, False),
+    "MG3D": (True, False),
+    "TRACK": (False, False),
+    "SPEC77": (False, False),
+}
+
+_rows = {}
+
+
+def row_for(name):
+    if name not in _rows:
+        _rows[name] = table2_row(get_benchmark(name))
+    return _rows[name]
+
+
+def test_registry_complete():
+    assert benchmark_names() == list(EXPECTED)
+    assert len(all_benchmarks()) == 12
+
+
+@pytest.mark.parametrize("name", list(EXPECTED))
+def test_executes(name):
+    executes(get_benchmark(name))
+
+
+@pytest.mark.parametrize("name", list(EXPECTED))
+def test_annotation_never_loses(name):
+    # the headline claim: annotation-based inlining has zero #par-loss
+    assert row_for(name)["annotation"].par_loss == 0
+
+
+@pytest.mark.parametrize("name", list(EXPECTED))
+def test_expected_shape(name):
+    helped, conv_loses = EXPECTED[name]
+    row = row_for(name)
+    if helped:
+        assert row["annotation"].par_extra >= 1, row
+    else:
+        assert row["annotation"].par_extra == 0, row
+    if conv_loses:
+        assert row["conventional"].par_loss >= 1, row
+    else:
+        assert row["conventional"].par_loss == 0, row
+
+
+@pytest.mark.parametrize("name", list(EXPECTED))
+def test_annotation_dominates_conventional(name):
+    # annotation-based inlining parallelizes at least as many loops
+    row = row_for(name)
+    assert row["annotation"].par_loops >= row["conventional"].par_loops
+
+
+@pytest.mark.parametrize("name", list(EXPECTED))
+def test_annotation_code_size_flat(name):
+    lines = row_for(name)["lines"]
+    # reverse inlining restores the source (remaining growth = OMP lines)
+    assert lines["annotation"] <= lines["none"] * 1.2
+
+
+@pytest.mark.parametrize("name", list(EXPECTED))
+@pytest.mark.parametrize("config", ["none", "conventional", "annotation"])
+def test_configs_execute_correctly(name, config):
+    bench = get_benchmark(name)
+    parallel_output_correct(bench, row_for(name)["results"][config])
+
+
+def test_suite_aggregates():
+    """Suite-wide shape: annotation extras exceed conventional extras,
+    conventional losses are substantial, a majority-but-not-all of the
+    applications benefit (the paper: 37 vs 12 extras, 90 losses, 6/12)."""
+    ann_extra = conv_extra = conv_loss = helped = 0
+    for name in EXPECTED:
+        row = row_for(name)
+        ann_extra += row["annotation"].par_extra
+        conv_extra += row["conventional"].par_extra
+        conv_loss += row["conventional"].par_loss
+        if row["annotation"].par_extra > 0:
+            helped += 1
+    assert ann_extra > conv_extra
+    assert conv_loss >= 4
+    assert 4 <= helped < 12

@@ -1,0 +1,122 @@
+"""Hypothesis strategies generating random Fortran ASTs and source programs.
+
+Used by the round-trip property tests (parse . unparse == id) and by the
+dependence-test soundness suite.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import strategies as st
+
+from repro.fortran import ast
+
+_NAMES = ["X", "Y", "Z", "A2", "FX", "TSTEP", "IDX", "N", "I", "J", "K"]
+_ARRAYS = ["T", "B", "FE", "XY", "PP"]
+
+
+@st.composite
+def var_names(draw):
+    first = draw(st.sampled_from(string.ascii_uppercase))
+    rest = draw(st.text(string.ascii_uppercase + string.digits,
+                        min_size=0, max_size=4))
+    return first + rest
+
+
+def int_lits():
+    return st.integers(min_value=0, max_value=9999).map(ast.IntLit)
+
+
+def real_lits():
+    # generated spelling-free literals (text=None) so the unparser formats
+    return st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                     allow_infinity=False).map(lambda v: ast.RealLit(v))
+
+
+def simple_vars():
+    return st.sampled_from(_NAMES).map(ast.Var)
+
+
+@st.composite
+def exprs(draw, depth: int = 3, logical: bool = False):
+    """Random expression; arithmetic unless ``logical``."""
+    if logical:
+        left = draw(exprs(depth=min(depth, 2)))
+        right = draw(exprs(depth=min(depth, 2)))
+        op = draw(st.sampled_from(["==", "/=", "<", "<=", ">", ">="]))
+        base = ast.BinOp(op, left, right)
+        if depth > 0 and draw(st.booleans()):
+            other = draw(exprs(depth=depth - 1, logical=True))
+            lop = draw(st.sampled_from([".AND.", ".OR."]))
+            return ast.BinOp(lop, base, other)
+        return base
+    if depth <= 0:
+        return draw(st.one_of(int_lits(), simple_vars()))
+    choice = draw(st.integers(0, 5))
+    if choice == 0:
+        return draw(int_lits())
+    if choice == 1:
+        return draw(simple_vars())
+    if choice == 2:
+        name = draw(st.sampled_from(_ARRAYS))
+        nsubs = draw(st.integers(1, 3))
+        subs = tuple(draw(exprs(depth=depth - 1)) for _ in range(nsubs))
+        return ast.ArrayRef(name, subs)
+    if choice == 3:
+        op = draw(st.sampled_from(["+", "-", "*", "/", "**"]))
+        return ast.BinOp(op, draw(exprs(depth=depth - 1)),
+                         draw(exprs(depth=depth - 1)))
+    if choice == 4:
+        return ast.UnOp("-", draw(exprs(depth=depth - 1)))
+    return draw(real_lits())
+
+
+@st.composite
+def assigns(draw, depth: int = 2):
+    if draw(st.booleans()):
+        target = draw(simple_vars())
+    else:
+        name = draw(st.sampled_from(_ARRAYS))
+        subs = tuple(draw(exprs(depth=1))
+                     for _ in range(draw(st.integers(1, 2))))
+        target = ast.ArrayRef(name, subs)
+    return ast.Assign(target, draw(exprs(depth=depth)))
+
+
+@st.composite
+def stmts(draw, depth: int = 2):
+    if depth <= 0:
+        return draw(assigns())
+    choice = draw(st.integers(0, 4))
+    if choice == 0:
+        return draw(assigns())
+    if choice == 1:
+        cond = draw(exprs(logical=True))
+        nthen = draw(st.integers(1, 2))
+        arms = [(cond, [draw(stmts(depth=depth - 1)) for _ in range(nthen)])]
+        if draw(st.booleans()):
+            arms.append((None, [draw(stmts(depth=depth - 1))]))
+        return ast.IfBlock(arms)
+    if choice == 2:
+        var = draw(st.sampled_from(["I", "J", "K"]))
+        body = [draw(stmts(depth=depth - 1))
+                for _ in range(draw(st.integers(1, 3)))]
+        return ast.DoLoop(var, draw(exprs(depth=1)), draw(exprs(depth=1)),
+                          None, body)
+    if choice == 3:
+        nargs = draw(st.integers(0, 3))
+        return ast.CallStmt("SUB" + draw(st.sampled_from("ABC")),
+                            tuple(draw(exprs(depth=1)) for _ in range(nargs)))
+    return ast.Continue()
+
+
+@st.composite
+def program_units(draw):
+    nbody = draw(st.integers(1, 5))
+    body = [draw(stmts()) for _ in range(nbody)]
+    decls = [ast.DimensionDecl([ast.Entity(a, (ast.Dim.upto(ast.IntLit(100)),
+                                               ast.Dim.upto(ast.IntLit(10)),
+                                               ast.Dim.upto(ast.IntLit(10))))])
+             for a in _ARRAYS]
+    return ast.ProgramUnit("SUBROUTINE", "TESTSUB", ["X", "Y"], decls, body)

@@ -1,0 +1,161 @@
+"""CLI tests: every subcommand exercised end-to-end through main()."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """      PROGRAM P
+      COMMON /D/ A(300,8), ROW(8)
+      DO 10 I = 1, 300
+        CALL FILLR(I, 8)
+   10 CONTINUE
+      T = 0.0
+      DO 20 I = 1, 300
+        T = T + A(I,3)
+   20 CONTINUE
+      WRITE(6,*) T
+      END
+      SUBROUTINE FILLR(I, N)
+      COMMON /D/ A(300,8), ROW(8)
+      DO 5 J = 1, N
+        ROW(J) = I + J*0.5
+    5 CONTINUE
+      DO 6 J = 1, N
+        A(I,J) = ROW(J)
+    6 CONTINUE
+      END
+"""
+
+ANNOTATIONS = """subroutine FILLR(I, N) {
+  ROW = unknown(I, N);
+  do (J = 1:N)  A[I, J] = unknown(ROW, J);
+}
+"""
+
+
+@pytest.fixture()
+def files(tmp_path):
+    src = tmp_path / "prog.f"
+    src.write_text(SOURCE)
+    ann = tmp_path / "prog.ann"
+    ann.write_text(ANNOTATIONS)
+    return str(src), str(ann)
+
+
+class TestParallelize:
+    def test_to_stdout(self, files, capsys):
+        src, ann = files
+        assert main(["parallelize", src, "--annotations", ann]) == 0
+        out = capsys.readouterr().out
+        assert "!$OMP PARALLEL DO" in out
+        assert "CALL FILLR(I,8)" in out.replace(" FILLR(I, 8", " FILLR(I,8")
+
+    def test_to_file(self, files, tmp_path, capsys):
+        src, ann = files
+        out_path = tmp_path / "out.f"
+        assert main(["parallelize", src, "--annotations", ann,
+                     "-o", str(out_path)]) == 0
+        assert "!$OMP" in out_path.read_text()
+        assert "loops parallelized" in capsys.readouterr().out
+
+    def test_none_config(self, files, capsys):
+        src, _ = files
+        assert main(["parallelize", src, "--config", "none"]) == 0
+        out = capsys.readouterr().out
+        # the I loop stays serial (opaque call); reductions still found
+        assert "REDUCTION(+:T)" in out
+
+    def test_report_flag(self, files, capsys):
+        src, ann = files
+        assert main(["parallelize", src, "--annotations", ann,
+                     "--report"]) == 0
+        err = capsys.readouterr().err
+        assert "PARALLEL" in err
+
+
+class TestReportRunVerify:
+    def test_report(self, files, capsys):
+        src, ann = files
+        assert main(["report", src, "--annotations", ann]) == 0
+        out = capsys.readouterr().out
+        assert "loops parallelized" in out
+
+    def test_run_serial(self, files, capsys):
+        src, _ = files
+        assert main(["run", src]) == 0
+        out, err = capsys.readouterr()
+        assert out.strip()  # the WRITE output
+        assert "serial" in err
+
+    def test_run_on_machine(self, files, capsys):
+        src, ann = files
+        assert main(["verify", src, "--annotations", ann]) == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_verify_catches_bad_annotation(self, tmp_path, capsys):
+        src = tmp_path / "seq.f"
+        src.write_text(
+            "      PROGRAM P\n"
+            "      COMMON /D/ A(100)\n"
+            "      A(1) = 1.0\n"
+            "      DO 10 I = 2, 100\n"
+            "        CALL NEXT(I)\n"
+            "   10 CONTINUE\n"
+            "      WRITE(6,*) A(100)\n"
+            "      END\n"
+            "      SUBROUTINE NEXT(I)\n"
+            "      COMMON /D/ A(100)\n"
+            "      A(I) = A(I-1) + 1.0\n"
+            "      END\n")
+        ann = tmp_path / "bad.ann"
+        ann.write_text("subroutine NEXT(I) { A[I] = unknown(I); }\n")
+        assert main(["verify", str(src), "--annotations", str(ann)]) == 1
+        assert "diverges" in capsys.readouterr().out
+
+
+class TestGenerateCheck:
+    def test_generate(self, files, capsys):
+        src, _ = files
+        assert main(["generate", src]) == 0
+        out = capsys.readouterr().out
+        assert "subroutine FILLR(I, N)" in out
+        assert "A[I, 1:N]" in out or "A[I, 1:8]" in out
+
+    def test_check_sound(self, files, capsys):
+        src, ann = files
+        assert main(["check", src, "--annotations", ann]) == 0
+        assert "FILLR: SOUND" in capsys.readouterr().out
+
+    def test_check_unsound(self, files, tmp_path, capsys):
+        src, _ = files
+        bad = tmp_path / "bad.ann"
+        bad.write_text("subroutine FILLR(I, N) { QQQ = unknown(I); }\n")
+        assert main(["check", src, "--annotations", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "UNSOUND" in out
+
+
+class TestArtifacts:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "DYFESM" in capsys.readouterr().out
+
+    def test_bench(self, capsys):
+        assert main(["bench", "adm"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE II" in out
+        assert "FIGURE 20" in out
+
+
+class TestDiagnose:
+    def test_diagnose_lists_obstacles(self, files, capsys):
+        src, _ = files
+        assert main(["diagnose", src]) == 0
+        out = capsys.readouterr().out
+        assert "opaque call to FILLR" in out
+        assert "annotation candidates: FILLR" in out
+
+    def test_diagnose_all_includes_parallel(self, files, capsys):
+        src, _ = files
+        assert main(["diagnose", src, "--all"]) == 0
+        assert "parallelizable" in capsys.readouterr().out
