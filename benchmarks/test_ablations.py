@@ -10,6 +10,7 @@
 import pytest
 
 from benchmarks.conftest import emit
+from repro.experiments.executor import run_tasks
 from repro.experiments.pipeline import Config, prepare_base, run_config
 from repro.experiments.reporting import text_table
 from repro.experiments.tuning import tune
@@ -29,19 +30,34 @@ def comparison(bench, config, base=None):
         none.parallel_origins(), result.parallel_origins()), result
 
 
+# -- executor work units (module-level so they pickle into pool workers) --
+
+def _threshold_case(task):
+    """One conventional-inlining run at a given size threshold."""
+    name, threshold = task
+    bench = get_benchmark(name)
+    cfg = Config("conventional",
+                 inline_policy=InlinePolicy(max_statements=threshold))
+    cmp_, result = comparison(bench, cfg)
+    return [threshold, result.conventional_result.inlined_count,
+            cmp_.par_loss, result.code_lines]
+
+
+def _dependence_origins(task):
+    """Parallel origins of a no-inlining run with/without Banerjee."""
+    name, use_banerjee = task
+    bench = get_benchmark(name)
+    result = run_config(bench, Config(
+        "none", PolarisOptions(use_banerjee=use_banerjee)))
+    return frozenset(result.parallel_origins())
+
+
 class TestInlineThresholdAblation:
     def test_threshold_sweep(self, out_dir, benchmark):
         bench = get_benchmark("mdg")  # its INTERF has ~157 statements
-        base = benchmark(prepare_base, bench)
-        rows = []
-        for threshold in (50, 150, 400):
-            cfg = Config("conventional",
-                         inline_policy=InlinePolicy(
-                             max_statements=threshold))
-            cmp_, result = comparison(bench, cfg, base)
-            inlined = result.conventional_result.inlined_count
-            rows.append([threshold, inlined, cmp_.par_loss,
-                         result.code_lines])
+        benchmark(prepare_base, bench)
+        rows = run_tasks(_threshold_case,
+                         [("mdg", t) for t in (50, 150, 400)])
         emit(out_dir, "ablation_threshold.txt", text_table(
             ["max stmts", "#inlined", "#par-loss", "lines"], rows,
             title="ABLATION: conventional inlining size threshold (MDG)"))
@@ -97,20 +113,19 @@ class TestDependenceTestAblation:
         total_full = total_gcd = 0
         benchmark.pedantic(prepare_base,
                            args=(get_benchmark("flo52q"),), rounds=1)
-        for name in ("dyfesm", "arc2d", "bdna", "flo52q"):
-            bench = get_benchmark(name)
-            base = prepare_base(bench)
-            full = run_config(bench, Config(
-                "none", PolarisOptions(use_banerjee=True)), base)
-            gcd = run_config(bench, Config(
-                "none", PolarisOptions(use_banerjee=False)), base)
-            nf, ng = (len(full.parallel_origins()),
-                      len(gcd.parallel_origins()))
-            rows.append([bench.name, nf, ng])
+        names = ("dyfesm", "arc2d", "bdna", "flo52q")
+        tasks = [(name, use_banerjee)
+                 for name in names for use_banerjee in (True, False)]
+        origins = dict(zip(tasks, run_tasks(_dependence_origins, tasks)))
+        for name in names:
+            full = origins[(name, True)]
+            gcd = origins[(name, False)]
+            nf, ng = len(full), len(gcd)
+            rows.append([name.upper(), nf, ng])
             total_full += nf
             total_gcd += ng
             # GCD-only must be conservative: never parallelize more
-            assert gcd.parallel_origins() <= full.parallel_origins()
+            assert gcd <= full
         emit(out_dir, "ablation_dependence.txt", text_table(
             ["benchmark", "#par (full tests)", "#par (GCD only)"], rows,
             title="ABLATION: dependence test family"))

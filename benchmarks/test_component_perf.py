@@ -80,3 +80,30 @@ def test_interpreter_speed(benchmark):
 
     result = benchmark(execute)
     assert result.output
+
+
+def test_table2_pipeline_speed(benchmark):
+    """End-to-end Table II generation (all 12 benchmarks x 3 configs),
+    cold caches each round so the number tracks the full pipeline cost
+    across PRs.  Honors REPRO_JOBS, so a multicore host can benchmark
+    the parallel executor path too."""
+    from repro.experiments import pipeline
+    from repro.experiments.table2 import render_table2, table2_rows
+    from repro.perfect import suite
+
+    def full_table():
+        suite.clear_program_cache()
+        pipeline.clear_base_cache()
+        return render_table2(table2_rows())
+
+    text = benchmark(full_table)
+    assert "TABLE II" in text and "TOTAL" in text
+
+
+def test_table2_pipeline_speed_warm_cache(benchmark):
+    """Same pipeline with warm parse/base caches: the steady-state cost
+    a long-running service would pay per Table II regeneration."""
+    from repro.experiments.table2 import render_table2, table2_rows
+
+    text = benchmark(lambda: render_table2(table2_rows()))
+    assert "TABLE II" in text

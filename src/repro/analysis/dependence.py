@@ -52,13 +52,25 @@ class LoopCtx:
 @dataclass
 class TestStats:
     """Counts of which test disproved dependences (for the ablation
-    benchmarks)."""
+    benchmarks).
+
+    The per-test counters count *unique* queries: a query answered from
+    the memo table bumps ``cache_hits`` instead, so ablation outputs keep
+    reporting how many distinct dependence problems each test solved.
+    """
 
     ziv_independent: int = 0
     gcd_independent: int = 0
     banerjee_independent: int = 0
     exact_independent: int = 0
     assumed_dependent: int = 0
+    #: repeated queries answered from the per-tester memo table
+    cache_hits: int = 0
+
+    def unique_queries(self) -> int:
+        return (self.ziv_independent + self.gcd_independent
+                + self.banerjee_independent + self.exact_independent
+                + self.assumed_dependent)
 
 
 @dataclass
@@ -75,6 +87,10 @@ class DependenceTester:
     use_banerjee: bool = True
     use_exact: bool = False
     stats: TestStats = field(default_factory=TestStats)
+    #: canonicalized query -> answer; the parallelizer asks the same
+    #: question for every pair of references to the same array in a nest,
+    #: so whole-suite runs repeat most queries several times
+    _memo: Dict[tuple, bool] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
     def may_depend(self,
@@ -87,7 +103,24 @@ class DependenceTester:
 
         Subscript lists of unequal length (a reshaped pair) provide no
         per-dimension information and are assumed dependent.
+
+        Answers are memoized on the canonicalized query; ``stats``
+        records hits separately from unique queries (see
+        :class:`TestStats`).
         """
+        key = _query_key(subs_a, subs_b, loops, dirs)
+        if key in self._memo:
+            self.stats.cache_hits += 1
+            return self._memo[key]
+        answer = self._may_depend_uncached(subs_a, subs_b, loops, dirs)
+        self._memo[key] = answer
+        return answer
+
+    def _may_depend_uncached(self,
+                             subs_a: Sequence[Optional[AffineForm]],
+                             subs_b: Sequence[Optional[AffineForm]],
+                             loops: Sequence[LoopCtx],
+                             dirs: Dict[str, str]) -> bool:
         if len(subs_a) != len(subs_b):
             self.stats.assumed_dependent += 1
             return True
@@ -169,6 +202,30 @@ class DependenceTester:
             self.stats.banerjee_independent += 1
             return False
         return True
+
+
+# ---------------------------------------------------------------------------
+# query canonicalization for the memo table
+# ---------------------------------------------------------------------------
+
+def _affine_key(f: Optional[AffineForm]) -> Optional[tuple]:
+    """Hashable identity of an affine form as the tests see it: the index
+    coefficients and the remainder polynomial's terms (every test decision
+    flows from coefficient lookups and remainder differences)."""
+    if f is None:
+        return None
+    return (tuple(sorted(f.coeffs.items())),
+            tuple(sorted(f.remainder.terms.items())))
+
+
+def _query_key(subs_a: Sequence[Optional[AffineForm]],
+               subs_b: Sequence[Optional[AffineForm]],
+               loops: Sequence[LoopCtx],
+               dirs: Dict[str, str]) -> tuple:
+    return (tuple(_affine_key(f) for f in subs_a),
+            tuple(_affine_key(f) for f in subs_b),
+            tuple((lp.var, lp.lower, lp.upper) for lp in loops),
+            tuple(sorted(dirs.items())))
 
 
 # ---------------------------------------------------------------------------

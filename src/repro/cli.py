@@ -21,11 +21,17 @@ from __future__ import annotations
 
 import argparse
 import sys
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 from repro.program import Program
 
 _MACHINES = {"intel-mac": None, "amd-opteron": None, "serial": None}
+
+
+def _print_profile(timings: Dict[str, float]) -> None:
+    from repro.experiments.reporting import render_profile
+    print(render_profile(timings), file=sys.stderr)
 
 
 def _load_program(paths: Sequence[str]) -> Program:
@@ -54,13 +60,19 @@ def _pipeline(program: Program, registry, config: str):
     from repro.annotations import AnnotationInliner, ReverseInliner
     from repro.inlining import ConventionalInliner
     from repro.polaris import Polaris
+    t0 = perf_counter()
     if config == "conventional":
         ConventionalInliner().run(program)
     elif config == "annotation":
         AnnotationInliner(registry).run(program)
+    inline_seconds = perf_counter() - t0
     report = Polaris().run(program)
+    if config != "none":
+        report.add_timing("inline", inline_seconds)
     if config == "annotation":
+        t0 = perf_counter()
         ReverseInliner(registry).run(program)
+        report.add_timing("reverse", perf_counter() - t0)
     return report
 
 
@@ -69,9 +81,12 @@ def _pipeline(program: Program, registry, config: str):
 # ---------------------------------------------------------------------------
 
 def cmd_parallelize(args) -> int:
+    t0 = perf_counter()
     program = _load_program(args.files)
+    parse_seconds = perf_counter() - t0
     registry = _load_registry(args.annotations)
     report = _pipeline(program, registry, args.config)
+    report.add_timing("parse", parse_seconds)
     text = "".join(program.unparse().values())
     if args.output:
         with open(args.output, "w") as fh:
@@ -82,13 +97,20 @@ def cmd_parallelize(args) -> int:
         print(text, end="")
     if args.report:
         print(report.describe(), file=sys.stderr)
+    if args.profile:
+        _print_profile(report.timings)
     return 0
 
 
 def cmd_report(args) -> int:
+    t0 = perf_counter()
     program = _load_program(args.files)
+    parse_seconds = perf_counter() - t0
     registry = _load_registry(args.annotations)
     report = _pipeline(program, registry, args.config)
+    report.add_timing("parse", parse_seconds)
+    if args.profile:
+        _print_profile(report.timings)
     print(report.describe())
     print(f"\n{report.parallel_count()} loops parallelized")
     reasons = report.reasons_histogram()
@@ -175,19 +197,33 @@ def cmd_diagnose(args) -> int:
 
 def cmd_table1(args) -> int:
     from repro.experiments.table1 import render_table1
-    print(render_table1())
+    print(render_table1(jobs=args.jobs))
     return 0
 
 
 def cmd_table2(args) -> int:
-    from repro.experiments.table2 import render_table2
-    print(render_table2())
+    from repro.experiments.table2 import render_table2, table2_rows
+    from repro.polaris.report import merge_timings
+    rows = table2_rows(jobs=args.jobs)
+    print(render_table2(rows))
+    if args.profile:
+        timings: Dict[str, float] = {}
+        for row in rows:
+            merge_timings(timings, row.timings)
+        _print_profile(timings)
     return 0
 
 
 def cmd_figure20(args) -> int:
     from repro.experiments.figure20 import figure20_all, render_figure20
-    print(render_figure20(figure20_all()))
+    from repro.polaris.report import merge_timings
+    cells = figure20_all(jobs=args.jobs)
+    print(render_figure20(cells))
+    if args.profile:
+        timings: Dict[str, float] = {}
+        for cell in cells:
+            merge_timings(timings, cell.timings)
+        _print_profile(timings)
     return 0
 
 
@@ -195,10 +231,18 @@ def cmd_bench(args) -> int:
     from repro.experiments.figure20 import figure20_cells, render_figure20
     from repro.experiments.table2 import render_table2, table2_row
     from repro.perfect import get_benchmark
+    from repro.polaris.report import merge_timings
     bench = get_benchmark(args.name)
-    print(render_table2([table2_row(bench)]))
+    row = table2_row(bench)
+    print(render_table2([row]))
     print()
-    print(render_figure20(figure20_cells(bench)))
+    cells = figure20_cells(bench, jobs=args.jobs)
+    print(render_figure20(cells))
+    if args.profile:
+        timings = dict(row.timings)
+        for cell in cells:
+            merge_timings(timings, cell.timings)
+        _print_profile(timings)
     return 0
 
 
@@ -218,15 +262,27 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--config", default="annotation",
                            choices=("none", "conventional", "annotation"))
 
+    def add_profile(p):
+        p.add_argument("--profile", action="store_true",
+                       help="print per-phase wall-clock timings to stderr")
+
+    def add_jobs(p):
+        p.add_argument("--jobs", "-j", type=int, default=None,
+                       metavar="N",
+                       help="worker processes (default: $REPRO_JOBS or 1 "
+                            "= serial; 0 = one per CPU)")
+
     p = sub.add_parser("parallelize", help="inline, parallelize, reverse")
     add_files(p)
     p.add_argument("--output", "-o", help="output file (default stdout)")
     p.add_argument("--report", action="store_true",
                    help="print the per-loop report to stderr")
+    add_profile(p)
     p.set_defaults(fn=cmd_parallelize)
 
     p = sub.add_parser("report", help="per-loop parallelization report")
     add_files(p)
+    add_profile(p)
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("run", help="execute a program on the simulator")
@@ -263,10 +319,15 @@ def build_parser() -> argparse.ArgumentParser:
     for name, fn in (("table1", cmd_table1), ("table2", cmd_table2),
                      ("figure20", cmd_figure20)):
         p = sub.add_parser(name, help=f"regenerate the paper's {name}")
+        add_jobs(p)
+        if fn is not cmd_table1:
+            add_profile(p)
         p.set_defaults(fn=fn)
 
     p = sub.add_parser("bench", help="full report for one benchmark")
     p.add_argument("name")
+    add_jobs(p)
+    add_profile(p)
     p.set_defaults(fn=cmd_bench)
     return parser
 

@@ -1,0 +1,93 @@
+"""Parallel experiment executor.
+
+The evaluation protocol (Table II, Figure 20, the ablations) decomposes
+into independent ``(benchmark x config x machine)`` work units; this
+module fans them out across a :class:`~concurrent.futures.ProcessPoolExecutor`
+while keeping the *assembled* artifacts byte-identical to a serial run:
+
+* task lists are built up front in a deterministic order and results come
+  back in submission order (``pool.map`` semantics), so parallelism never
+  reorders a table row or a figure bar;
+* workers receive only picklable task descriptors and return only
+  picklable summary data (origin sets, line counts, tuning results) —
+  never live ASTs;
+* ``jobs=1`` (the default), a single task, or any pool-infrastructure
+  failure (no ``fork``/semaphores in the sandbox, unpicklable work, a
+  broken pool) all degrade gracefully to an in-process serial loop;
+* a worker process never spawns a nested pool: :func:`resolve_jobs`
+  answers 1 inside a worker regardless of flags or environment.
+
+Worker count resolution order: explicit ``jobs`` argument (the CLI's
+``-j/--jobs``), then the ``REPRO_JOBS`` environment variable, then 1
+(serial).  A value of 0 or less means "one worker per CPU".
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: environment variable consulted when no explicit job count is given
+JOBS_ENV = "REPRO_JOBS"
+
+#: set inside pool workers so nested run_tasks calls stay serial
+_IN_WORKER_ENV = "_REPRO_POOL_WORKER"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: argument > ``REPRO_JOBS`` > 1 (serial).
+
+    ``jobs <= 0`` requests one worker per CPU.  Inside a pool worker the
+    answer is always 1 so workers never fork nested pools.
+    """
+    if os.environ.get(_IN_WORKER_ENV):
+        return 1
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _mark_worker() -> None:  # pragma: no cover - runs in child processes
+    os.environ[_IN_WORKER_ENV] = "1"
+
+
+def run_tasks(fn: Callable[[T], R], tasks: Iterable[T],
+              jobs: Optional[int] = None, chunksize: int = 1) -> List[R]:
+    """Map ``fn`` over ``tasks``, preserving task order in the result.
+
+    With an effective worker count of 1 (or a single task) the map runs
+    serially in-process.  Otherwise the tasks fan out over a process
+    pool; any pool-infrastructure failure — pool startup, pickling of
+    ``fn``/tasks/results, a worker dying — falls back to the serial loop,
+    so callers always get the same result list.  ``fn`` must be a
+    module-level callable and tasks/results picklable for the parallel
+    path to engage.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(t) for t in tasks]
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks)),
+                                 initializer=_mark_worker) as pool:
+            return list(pool.map(fn, tasks, chunksize=chunksize))
+    except (BrokenProcessPool, pickle.PicklingError, AttributeError,
+            TypeError, OSError, ImportError):
+        # pool could not be started or could not transport the work
+        # (sandboxed semaphores, unpicklable closures, killed workers):
+        # the tasks themselves are pure, so redo them serially
+        return [fn(t) for t in tasks]

@@ -5,14 +5,24 @@ measurement protocol).
 
 Speedup = serial simulated time / tuned parallel simulated time, per
 benchmark x machine x configuration.
+
+Each ``(benchmark x machine x config)`` cell is an independent executor
+work unit (:class:`Figure20Task`): the worker runs the configuration's
+pipeline (memoized per process, since both machines tune the same
+optimized program) and then the tuning protocol on a fresh clone.  Cells
+come back in task order, so the rendered figure is byte-identical for
+any worker count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.pipeline import CONFIGS, run_all_configs
+from repro.experiments.executor import run_tasks
+from repro.experiments.pipeline import (CONFIGS, Config, PipelineResult,
+                                        run_config)
 from repro.experiments.reporting import bar_chart
 from repro.experiments.tuning import TuningResult, tune
 from repro.perfect import all_benchmarks
@@ -28,35 +38,68 @@ class SpeedupCell:
     machine: str
     config: str
     tuning: TuningResult
+    #: per-phase wall-clock seconds this cell actually spent (pipeline
+    #: phases only on the cell that ran them; 'tune' always)
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
         return self.tuning.speedup
 
 
+@dataclass(frozen=True)
+class Figure20Task:
+    """One executor work unit: a (benchmark, machine, config) cell."""
+
+    benchmark: Benchmark
+    machine: MachineModel
+    kind: str
+
+
+#: (source digest, config kind) -> finished pipeline result, so the cells
+#: for both machine models (and repeated calls) share one pipeline run
+#: per process
+_PIPELINE_CACHE: Dict[Tuple[str, str], PipelineResult] = {}
+
+
+def clear_pipeline_cache() -> None:
+    _PIPELINE_CACHE.clear()
+
+
+def run_cell_task(task: Figure20Task) -> SpeedupCell:
+    key = (task.benchmark.digest(), task.kind)
+    result = _PIPELINE_CACHE.get(key)
+    if result is None:
+        result = run_config(task.benchmark, Config(task.kind))
+        _PIPELINE_CACHE[key] = result
+        timings = dict(result.report.timings)
+    else:
+        timings = {}  # pipeline time already attributed to an earlier cell
+    t0 = perf_counter()
+    # tuning mutates the program: use a fresh clone per machine
+    program = result.program.clone()
+    tuning = tune(program, task.machine, task.benchmark.inputs)
+    timings["tune"] = timings.get("tune", 0.0) + (perf_counter() - t0)
+    return SpeedupCell(task.benchmark.name, task.machine.name, task.kind,
+                       tuning, timings)
+
+
 def figure20_cells(benchmark: Benchmark,
                    machines: Sequence[MachineModel] = MACHINES,
-                   ) -> List[SpeedupCell]:
-    results = run_all_configs(benchmark)
-    cells: List[SpeedupCell] = []
-    for machine in machines:
-        for config in CONFIGS:
-            # tuning mutates the program: use a fresh clone per machine
-            program = results[config].program.clone()
-            tuning = tune(program, machine, benchmark.inputs)
-            cells.append(SpeedupCell(benchmark.name, machine.name, config,
-                                     tuning))
-    return cells
+                   jobs: Optional[int] = None) -> List[SpeedupCell]:
+    tasks = [Figure20Task(benchmark, machine, kind)
+             for machine in machines for kind in CONFIGS]
+    return run_tasks(run_cell_task, tasks, jobs=jobs)
 
 
 def figure20_all(machines: Sequence[MachineModel] = MACHINES,
                  benchmarks: Optional[List[Benchmark]] = None,
-                 ) -> List[SpeedupCell]:
+                 jobs: Optional[int] = None) -> List[SpeedupCell]:
     benchmarks = benchmarks if benchmarks is not None else all_benchmarks()
-    cells: List[SpeedupCell] = []
-    for b in benchmarks:
-        cells.extend(figure20_cells(b, machines))
-    return cells
+    tasks = [Figure20Task(b, machine, kind)
+             for b in benchmarks
+             for machine in machines for kind in CONFIGS]
+    return run_tasks(run_cell_task, tasks, jobs=jobs)
 
 
 def render_figure20(cells: List[SpeedupCell]) -> str:

@@ -18,6 +18,7 @@ conventional inlining manifests ``#par-loss``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Set
 
 from repro.analysis.callgraph import build_callgraph
@@ -53,10 +54,19 @@ class PipelineResult:
     conventional_result: Optional[InlineResult] = None
     annotation_result: Optional[AnnotationInlineResult] = None
     reverse_result: Optional[ReverseResult] = None
+    #: lazily computed reachable-unit set (the callgraph of the finished
+    #: program never changes afterwards, so one traversal serves every
+    #: parallel_origins() call)
+    _reachable: Optional[Set[str]] = field(default=None, repr=False)
+
+    def reachable_units(self) -> Set[str]:
+        if self._reachable is None:
+            self._reachable = _reachable_units(self.program)
+        return self._reachable
 
     def parallel_origins(self) -> Set[str]:
         """Origins parallelized in execution-reachable units."""
-        reachable = _reachable_units(self.program)
+        reachable = self.reachable_units()
         return {v.origin for v in self.report.verdicts
                 if v.parallelized and v.origin is not None
                 and v.unit in reachable}
@@ -76,40 +86,67 @@ def _reachable_units(program: Program) -> Set[str]:
     return seen
 
 
+#: source digest -> origin-stamped base program.  Stamping is
+#: deterministic over a deterministic parse, so every configuration (in
+#: every process) derives identical origin identities from its own copy;
+#: the cached base itself is never mutated — callers always clone.
+_BASE_CACHE: Dict[str, Program] = {}
+
+
+def clear_base_cache() -> None:
+    _BASE_CACHE.clear()
+
+
 def prepare_base(benchmark: Benchmark) -> Program:
     """Parse the benchmark and stamp loop origins (done once, before any
     configuration clones the program, so origins are comparable)."""
-    program = benchmark.program()
-    for unit in program.units:
-        assign_origins(unit)
-    return program
+    digest = benchmark.digest()
+    base = _BASE_CACHE.get(digest)
+    if base is None:
+        base = benchmark.program()
+        for unit in base.units:
+            assign_origins(unit)
+        _BASE_CACHE[digest] = base
+    return base
 
 
 def run_config(benchmark: Benchmark, config: Config,
                base: Optional[Program] = None) -> PipelineResult:
-    base = base if base is not None else prepare_base(benchmark)
+    timings: Dict[str, float] = {}
+    if base is None:
+        t0 = perf_counter()
+        base = prepare_base(benchmark)
+        timings["parse"] = perf_counter() - t0
     program = base.clone()
     conventional_result = None
     annotation_result = None
     reverse_result = None
+    registry = None
 
+    t0 = perf_counter()
     if config.kind == "conventional":
         policy = config.inline_policy
         if benchmark.library_units:
             policy = _policy_with_unavailable(policy,
                                               benchmark.library_units)
         conventional_result = ConventionalInliner(policy).run(program)
+        timings["inline"] = perf_counter() - t0
     elif config.kind == "annotation":
         registry = benchmark.registry()
         annotation_result = AnnotationInliner(
             registry, config.translate).run(program)
+        timings["inline"] = perf_counter() - t0
 
     report = Polaris(config.polaris).run(program)
 
     if config.kind == "annotation":
-        reverse_result = ReverseInliner(benchmark.registry(),
+        t0 = perf_counter()
+        reverse_result = ReverseInliner(registry,
                                         config.translate).run(program)
+        timings["reverse"] = perf_counter() - t0
 
+    for phase, seconds in timings.items():
+        report.add_timing(phase, seconds)
     return PipelineResult(config.kind, program, report,
                           program.total_lines(),
                           conventional_result, annotation_result,

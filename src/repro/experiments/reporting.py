@@ -1,8 +1,9 @@
-"""Plain-text rendering of tables and bar charts for the terminal."""
+"""Plain-text rendering of tables, bar charts and phase profiles for the
+terminal."""
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 
 def text_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
@@ -20,6 +21,20 @@ def text_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
         lines.append(" | ".join(str(c).ljust(w)
                                 for c, w in zip(r, widths)))
     return "\n".join(lines)
+
+
+def render_profile(timings: Dict[str, float],
+                   title: str = "phase timings "
+                                "(wall-clock seconds, summed over "
+                                "work units)") -> str:
+    """Render per-phase timings in the pipeline's canonical phase order
+    (unknown phases follow, alphabetically), plus a total."""
+    from repro.polaris.report import PHASES
+    known = [p for p in PHASES if p in timings]
+    extra = sorted(set(timings) - set(PHASES))
+    rows = [[phase, f"{timings[phase]:.3f}"] for phase in known + extra]
+    rows.append(["total", f"{sum(timings.values()):.3f}"])
+    return text_table(["phase", "seconds"], rows, title=title)
 
 
 def bar_chart(labels: Sequence[str], values: Sequence[float],

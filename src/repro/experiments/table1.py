@@ -2,16 +2,22 @@
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from repro.experiments.executor import run_tasks
 from repro.experiments.reporting import text_table
 from repro.perfect import all_benchmarks
+from repro.perfect.suite import Benchmark
 
 
-def table1_rows() -> List[Tuple[str, str]]:
-    return [(b.name, b.description) for b in all_benchmarks()]
+def _describe(benchmark: Benchmark) -> Tuple[str, str]:
+    return (benchmark.name, benchmark.description)
 
 
-def render_table1() -> str:
-    return text_table(["Applications", "Descriptions"], table1_rows(),
+def table1_rows(jobs: Optional[int] = None) -> List[Tuple[str, str]]:
+    return run_tasks(_describe, all_benchmarks(), jobs=jobs)
+
+
+def render_table1(jobs: Optional[int] = None) -> str:
+    return text_table(["Applications", "Descriptions"], table1_rows(jobs),
                       title="TABLE I: SUMMARY OF THE PERFECT BENCHMARKS")

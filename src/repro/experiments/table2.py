@@ -11,19 +11,26 @@ reports, exactly as the paper does:
 * ``#par-extra`` — loops parallelized beyond the no-inlining baseline;
 * ``lines`` — source lines after optimization (comments removed; the
   structural OpenMP directives count, as in the paper).
+
+The ``(benchmark x config)`` pipeline runs are independent, so
+:func:`table2_rows` fans them out through
+:mod:`repro.experiments.executor`; workers return only origin sets and
+line counts, and rows are assembled in registry order, so the rendered
+table is byte-identical for any worker count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
 
-from repro.experiments.pipeline import run_all_configs
+from repro.experiments.executor import run_tasks
+from repro.experiments.pipeline import CONFIGS, Config, run_config
 from repro.experiments.reporting import text_table
 from repro.perfect import all_benchmarks
 from repro.perfect.suite import Benchmark
 from repro.polaris import PolarisOptions
-from repro.polaris.report import ConfigComparison
+from repro.polaris.report import ConfigComparison, merge_timings
 
 
 @dataclass
@@ -32,20 +39,67 @@ class Table2Row:
     #: per config: ConfigComparison
     configs: Dict[str, ConfigComparison]
     lines: Dict[str, int]
+    #: per-phase wall-clock seconds summed over this row's pipeline runs
+    timings: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Table2Task:
+    """One executor work unit: a single (benchmark, config) pipeline."""
+
+    benchmark: Benchmark
+    kind: str
+    polaris: Optional[PolarisOptions] = None
+
+
+@dataclass(frozen=True)
+class ConfigOutcome:
+    """Picklable per-configuration summary returned by workers."""
+
+    kind: str
+    origins: FrozenSet[str]
+    code_lines: int
+    timings: Dict[str, float]
+
+
+def run_config_task(task: Table2Task) -> ConfigOutcome:
+    polaris = task.polaris if task.polaris is not None else PolarisOptions()
+    result = run_config(task.benchmark, Config(task.kind, polaris))
+    return ConfigOutcome(task.kind, frozenset(result.parallel_origins()),
+                         result.code_lines, dict(result.report.timings))
+
+
+def _assemble_row(name: str, outcomes: List[ConfigOutcome]) -> Table2Row:
+    by_kind = {o.kind: o for o in outcomes}
+    baseline = set(by_kind["none"].origins)
+    configs = {kind: ConfigComparison.against_baseline(
+        baseline, set(by_kind[kind].origins)) for kind in CONFIGS}
+    lines = {kind: by_kind[kind].code_lines for kind in CONFIGS}
+    timings: Dict[str, float] = {}
+    for outcome in outcomes:
+        merge_timings(timings, outcome.timings)
+    return Table2Row(name, configs, lines, timings)
 
 
 def table2_row(benchmark: Benchmark,
                polaris: Optional[PolarisOptions] = None) -> Table2Row:
-    results = run_all_configs(benchmark, polaris)
-    baseline = results["none"].parallel_origins()
-    configs = {kind: ConfigComparison.against_baseline(
-        baseline, r.parallel_origins()) for kind, r in results.items()}
-    lines = {kind: r.code_lines for kind, r in results.items()}
-    return Table2Row(benchmark.name, configs, lines)
+    return _assemble_row(benchmark.name,
+                         [run_config_task(Table2Task(benchmark, kind,
+                                                     polaris))
+                          for kind in CONFIGS])
 
 
-def table2_rows(polaris: Optional[PolarisOptions] = None) -> List[Table2Row]:
-    return [table2_row(b, polaris) for b in all_benchmarks()]
+def table2_rows(polaris: Optional[PolarisOptions] = None,
+                jobs: Optional[int] = None,
+                benchmarks: Optional[List[Benchmark]] = None,
+                ) -> List[Table2Row]:
+    benchmarks = benchmarks if benchmarks is not None else all_benchmarks()
+    tasks = [Table2Task(b, kind, polaris)
+             for b in benchmarks for kind in CONFIGS]
+    outcomes = run_tasks(run_config_task, tasks, jobs=jobs)
+    return [_assemble_row(b.name,
+                          outcomes[i * len(CONFIGS):(i + 1) * len(CONFIGS)])
+            for i, b in enumerate(benchmarks)]
 
 
 def render_table2(rows: Optional[List[Table2Row]] = None) -> str:

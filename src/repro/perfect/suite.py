@@ -1,13 +1,99 @@
-"""Benchmark registry for the 12 PERFECT substitutes (Table I)."""
+"""Benchmark registry for the 12 PERFECT substitutes (Table I), with a
+content-hash-keyed parse cache.
+
+Parsing a benchmark is pure — the same sources always yield the same
+AST — so :meth:`Benchmark.program` parses each application **once per
+process** and hands out clones of the cached parse.  An optional on-disk
+pickle cache (enable with ``REPRO_DISK_CACHE=1``; directory from
+``REPRO_CACHE_DIR``, default ``.repro_cache/``) makes cold starts skip
+the frontend entirely; entries are keyed by a SHA-256 of the sources, so
+editing a benchmark invalidates its entry automatically.  Delete the
+directory (or call :func:`clear_program_cache` with ``disk=True``) to
+clear it.
+"""
 
 from __future__ import annotations
 
+import hashlib
 import importlib
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence
+import os
+import pickle
+import shutil
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
 
 from repro.annotations.registry import AnnotationRegistry
 from repro.program import Program
+
+#: bump when the AST/pickle layout changes so stale disk entries miss
+_CACHE_VERSION = 1
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DISK_CACHE_ENV = "REPRO_DISK_CACHE"
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: digest -> pristine parsed Program (never handed out directly)
+_PROGRAM_CACHE: Dict[str, Program] = {}
+
+
+def cache_dir() -> str:
+    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+
+
+def disk_cache_enabled() -> bool:
+    value = os.environ.get(DISK_CACHE_ENV, "").strip().lower()
+    return value in ("1", "true", "yes", "on")
+
+
+def source_digest(name: str, sources: Mapping[str, str]) -> str:
+    """Content hash identifying a parsed program (cache key)."""
+    h = hashlib.sha256()
+    h.update(f"repro-cache-v{_CACHE_VERSION}:{name}".encode())
+    for fname in sorted(sources):
+        h.update(b"\x00")
+        h.update(fname.encode())
+        h.update(b"\x00")
+        h.update(sources[fname].encode())
+    return h.hexdigest()
+
+
+def clear_program_cache(disk: bool = False) -> None:
+    """Drop the in-process parse cache (and the disk cache if asked)."""
+    _PROGRAM_CACHE.clear()
+    if disk:
+        shutil.rmtree(cache_dir(), ignore_errors=True)
+
+
+def _disk_path(digest: str) -> str:
+    return os.path.join(cache_dir(), f"{digest}.pkl")
+
+
+def _load_disk(digest: str) -> Optional[Program]:
+    if not disk_cache_enabled():
+        return None
+    try:
+        with open(_disk_path(digest), "rb") as fh:
+            program = pickle.load(fh)
+    except Exception:
+        return None  # missing, corrupt, or stale entry: reparse
+    if not isinstance(program, Program):
+        return None
+    program.invalidate()  # symbol-table cache keys are per-process ids
+    return program
+
+
+def _store_disk(digest: str, program: Program) -> None:
+    if not disk_cache_enabled():
+        return
+    try:
+        os.makedirs(cache_dir(), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=cache_dir(), suffix=".tmp")
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(program, fh, pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, _disk_path(digest))
+    except Exception:
+        pass  # the cache is best-effort; parsing always works
 
 
 @dataclass(frozen=True)
@@ -25,8 +111,26 @@ class Benchmark:
     #: values consumed by READ statements
     inputs: Sequence[float] = ()
 
+    def digest(self) -> str:
+        return source_digest(self.name, self.sources)
+
     def program(self) -> Program:
-        return Program.from_sources(dict(self.sources), self.name)
+        """A fresh, independently mutable parse of the sources.
+
+        The underlying parse happens once per process per source content;
+        callers get a clone, so transformation pipelines can mutate the
+        result exactly as if it had been parsed from scratch.
+        """
+        digest = self.digest()
+        base = _PROGRAM_CACHE.get(digest)
+        if base is None:
+            base = _load_disk(digest)
+            if base is None:
+                base = Program.from_sources(dict(self.sources), self.name)
+                base.invalidate()
+                _store_disk(digest, base)
+            _PROGRAM_CACHE[digest] = base
+        return base.clone()
 
     def registry(self) -> AnnotationRegistry:
         if not self.annotations:

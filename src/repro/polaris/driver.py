@@ -22,6 +22,7 @@ The driver mutates the program in place and returns a
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import Dict, List, Optional
 
 from repro.analysis.dependence import DependenceTester
@@ -54,16 +55,22 @@ class Polaris:
 
     def run(self, program: Program) -> Report:
         report = Report()
+        t0 = perf_counter()
         for unit in program.units:
             assign_origins(unit)
         program.invalidate()
         if self.options.normalize:
             for unit in program.units:
                 normalize_unit(unit, program.symtab(unit))
+        report.add_timing("normalize", perf_counter() - t0)
+        t0 = perf_counter()
         summaries = compute_summaries(program)
+        report.add_timing("summaries", perf_counter() - t0)
+        t0 = perf_counter()
         for unit in program.units:
             self._parallelize_unit(program, unit, summaries, report)
         program.invalidate()
+        report.add_timing("dependence", perf_counter() - t0)
         return report
 
     # ------------------------------------------------------------------

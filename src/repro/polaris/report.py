@@ -31,12 +31,31 @@ class LoopVerdict:
         return f"{self.unit}: DO {self.var} [{self.origin}] -> {state}"
 
 
+#: canonical display order of the pipeline's timed phases
+PHASES = ("parse", "normalize", "summaries", "dependence",
+          "inline", "reverse", "tune")
+
+
+def merge_timings(into: Dict[str, float],
+                  add: Dict[str, float]) -> Dict[str, float]:
+    """Accumulate per-phase wall-clock seconds (in place; returned)."""
+    for phase, seconds in add.items():
+        into[phase] = into.get(phase, 0.0) + seconds
+    return into
+
+
 @dataclass
 class Report:
     verdicts: List[LoopVerdict] = field(default_factory=list)
+    #: per-phase wall-clock seconds (keys from PHASES), filled by the
+    #: driver and the experiment pipeline, shown by the CLI's --profile
+    timings: Dict[str, float] = field(default_factory=dict)
 
     def add(self, v: LoopVerdict) -> None:
         self.verdicts.append(v)
+
+    def add_timing(self, phase: str, seconds: float) -> None:
+        self.timings[phase] = self.timings.get(phase, 0.0) + seconds
 
     def parallel_origins(self) -> Set[str]:
         """Origins of parallelized loops (each original loop once)."""
