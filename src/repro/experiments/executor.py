@@ -26,7 +26,9 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, TypeVar
 
@@ -40,13 +42,25 @@ JOBS_ENV = "REPRO_JOBS"
 _IN_WORKER_ENV = "_REPRO_POOL_WORKER"
 
 
+class JobsError(ValueError):
+    """An unusable worker-count setting (bad ``-j`` value or REPRO_JOBS)."""
+
+
+def in_worker() -> bool:
+    """True inside a pool worker process."""
+    return bool(os.environ.get(_IN_WORKER_ENV))
+
+
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Resolve a worker count: argument > ``REPRO_JOBS`` > 1 (serial).
 
-    ``jobs <= 0`` requests one worker per CPU.  Inside a pool worker the
-    answer is always 1 so workers never fork nested pools.
+    ``jobs == 0`` requests one worker per CPU.  A non-integer
+    ``REPRO_JOBS`` or a negative count (either path) raises
+    :class:`JobsError` with an actionable message rather than surfacing a
+    bare traceback.  Inside a pool worker the answer is always 1 so
+    workers never fork nested pools.
     """
-    if os.environ.get(_IN_WORKER_ENV):
+    if in_worker():
         return 1
     if jobs is None:
         raw = os.environ.get(JOBS_ENV, "").strip()
@@ -55,8 +69,14 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
         try:
             jobs = int(raw)
         except ValueError:
-            return 1
-    if jobs <= 0:
+            raise JobsError(
+                f"{JOBS_ENV}={raw!r} is not an integer; use a worker "
+                f"count >= 1, or 0 for one worker per CPU") from None
+    if jobs < 0:
+        raise JobsError(
+            f"job count must be >= 0, got {jobs} "
+            f"(0 means one worker per CPU)")
+    if jobs == 0:
         return os.cpu_count() or 1
     return jobs
 
@@ -91,3 +111,110 @@ def run_tasks(fn: Callable[[T], R], tasks: Iterable[T],
         # (sandboxed semaphores, unpicklable closures, killed workers):
         # the tasks themselves are pure, so redo them serially
         return [fn(t) for t in tasks]
+
+
+# ---------------------------------------------------------------------------
+# persistent worker pool (the serving path)
+# ---------------------------------------------------------------------------
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died mid-task (killed, OOM, segfault).
+
+    The task itself may be fine — callers that know their tasks are pure
+    (the service's job dispatcher) retry on this.
+    """
+
+
+class WorkerTimeout(RuntimeError):
+    """A task exceeded its deadline; its worker was abandoned."""
+
+
+class WorkerPool:
+    """A long-lived, crash-tolerant wrapper over ProcessPoolExecutor.
+
+    Unlike :func:`run_tasks` (one batch, assembled results), the service
+    keeps a pool alive across many independent jobs and needs per-task
+    deadlines plus crash *reporting* instead of silent serial fallback:
+
+    * ``run(fn, arg, timeout=...)`` blocks the calling thread until the
+      task finishes — concurrency comes from several dispatcher threads
+      sharing one pool;
+    * a worker death surfaces as :class:`WorkerCrashError` and the pool
+      is rebuilt, so the *next* task runs normally (ProcessPoolExecutor
+      marks itself broken forever after one crash);
+    * a deadline miss surfaces as :class:`WorkerTimeout`; the busy
+      worker cannot be interrupted, so the pool is recycled and the
+      stale worker left to finish in the background;
+    * if pool infrastructure is unavailable (sandboxes without
+      semaphores) the pool degrades to inline execution in the calling
+      thread — deadlines then apply only while a task is still queued,
+      and a task can signal a simulated crash by raising
+      :class:`WorkerCrashError` itself (the retry path stays testable).
+    """
+
+    def __init__(self, workers: int = 1, inline: Optional[bool] = None):
+        self.workers = max(1, workers)
+        self._lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        if inline is None:
+            inline = in_worker()  # never nest pools
+        self._inline = inline
+
+    @property
+    def inline(self) -> bool:
+        return self._inline
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        with self._lock:
+            if self._inline:
+                return None
+            if self._pool is None:
+                try:
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.workers, initializer=_mark_worker)
+                except (OSError, ImportError, ValueError):
+                    self._inline = True
+                    return None
+            return self._pool
+
+    def _recycle(self, broken: Optional[ProcessPoolExecutor]) -> None:
+        """Discard a broken/abandoned pool so the next run starts fresh."""
+        with self._lock:
+            if self._pool is broken and broken is not None:
+                self._pool = None
+                try:
+                    broken.shutdown(wait=False, cancel_futures=True)
+                except Exception:
+                    pass
+
+    def run(self, fn: Callable[[T], R], arg: T,
+            timeout: Optional[float] = None) -> R:
+        """Execute ``fn(arg)``, blocking until done or ``timeout`` seconds.
+
+        Raises :class:`WorkerTimeout` on deadline miss and
+        :class:`WorkerCrashError` when the worker process dies; any
+        exception raised by ``fn`` itself propagates unchanged.
+        """
+        pool = self._ensure_pool()
+        if pool is None:
+            return fn(arg)  # inline mode; WorkerCrashError may propagate
+        future = pool.submit(fn, arg)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            self._recycle(pool)
+            raise WorkerTimeout(
+                f"task exceeded its {timeout:.3g}s deadline") from None
+        except BrokenProcessPool:
+            self._recycle(pool)
+            raise WorkerCrashError("worker process died mid-task") from None
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                try:
+                    self._pool.shutdown(wait=False, cancel_futures=True)
+                except Exception:
+                    pass
+                self._pool = None

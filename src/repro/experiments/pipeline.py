@@ -153,6 +153,26 @@ def run_config(benchmark: Benchmark, config: Config,
                           reverse_result)
 
 
+def summarize_result(result: PipelineResult) -> Dict[str, object]:
+    """JSON-safe summary of one pipeline run.
+
+    This is what the service hands back to clients (and persists in its
+    result cache): the optimized source itself plus the numbers Table II
+    is built from.  Everything here survives both pickling across the
+    worker-pool boundary and JSON serialization on the wire.
+    """
+    origins = sorted(result.parallel_origins())
+    return {
+        "config": result.config,
+        "parallel_count": len(origins),
+        "parallel_origins": origins,
+        "code_lines": result.code_lines,
+        "timings": dict(result.report.timings),
+        "serial_reasons": result.report.reasons_histogram(),
+        "output": "".join(result.program.unparse().values()),
+    }
+
+
 def run_all_configs(benchmark: Benchmark,
                     polaris: Optional[PolarisOptions] = None,
                     ) -> Dict[str, PipelineResult]:

@@ -69,15 +69,30 @@ def _disk_path(digest: str) -> str:
     return os.path.join(cache_dir(), f"{digest}.pkl")
 
 
+def _evict_disk(path: str) -> None:
+    """Drop an unreadable cache entry so later runs don't re-trip on it."""
+    try:
+        os.remove(path)
+    except OSError:
+        pass
+
+
 def _load_disk(digest: str) -> Optional[Program]:
     if not disk_cache_enabled():
         return None
+    path = _disk_path(digest)
     try:
-        with open(_disk_path(digest), "rb") as fh:
+        with open(path, "rb") as fh:
             program = pickle.load(fh)
+    except FileNotFoundError:
+        return None
     except Exception:
-        return None  # missing, corrupt, or stale entry: reparse
+        # corrupt or truncated entry (a concurrent writer that died
+        # mid-write, a partial disk): evict it and reparse
+        _evict_disk(path)
+        return None
     if not isinstance(program, Program):
+        _evict_disk(path)
         return None
     program.invalidate()  # symbol-table cache keys are per-process ids
     return program

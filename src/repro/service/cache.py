@@ -1,0 +1,119 @@
+"""Result cache: in-memory LRU over an optional disk layer.
+
+Keyed by the job digest (a SHA-256 over the canonicalized submit
+payload, see :func:`repro.service.jobs.payload_digest`), so a repeat
+``submit`` of an unchanged benchmark/config is answered without running
+the pipeline at all.  The disk layer lives beside the parse cache under
+``.repro_cache/results/`` and stores plain JSON — results are JSON-safe
+dicts by construction (they crossed the process-pool boundary), and JSON
+keeps a daemon restart cheap without pickle's trust/compat hazards.
+
+Robust against concurrent writers the same way the parse cache is:
+atomic ``tmp + os.replace`` writes, and corrupt/truncated entries are
+evicted and treated as misses rather than crashing the server.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+DEFAULT_CAPACITY = 128
+
+
+class ResultCache:
+    """Thread-safe LRU of job results, with optional disk persistence."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 directory: Optional[str] = None):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.directory = directory
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Dict]" = OrderedDict()
+
+    # -- disk layer --------------------------------------------------
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.directory, f"{digest}.json")
+
+    def _load_disk(self, digest: str) -> Optional[Dict]:
+        if not self.directory:
+            return None
+        path = self._path(digest)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            try:
+                os.remove(path)  # corrupt/truncated: evict, treat as miss
+            except OSError:
+                pass
+            return None
+        return entry if isinstance(entry, dict) else None
+
+    def _store_disk(self, digest: str, result: Dict) -> None:
+        if not self.directory:
+            return
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(result, fh, sort_keys=True)
+            os.replace(tmp, self._path(digest))
+        except Exception:
+            pass  # best-effort: memory layer still serves this process
+
+    # -- public API --------------------------------------------------
+
+    def get(self, digest: str) -> Optional[Dict]:
+        """The cached result for ``digest``, or None (a miss)."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None:
+                self._entries.move_to_end(digest)
+                return entry
+        entry = self._load_disk(digest)
+        if entry is not None:
+            with self._lock:
+                self._entries[digest] = entry
+                self._entries.move_to_end(digest)
+                self._shrink()
+        return entry
+
+    def put(self, digest: str, result: Dict) -> None:
+        with self._lock:
+            self._entries[digest] = result
+            self._entries.move_to_end(digest)
+            self._shrink()
+        self._store_disk(digest, result)
+
+    def _shrink(self) -> None:
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._entries
+
+    def clear(self, disk: bool = False) -> None:
+        with self._lock:
+            self._entries.clear()
+        if disk and self.directory and os.path.isdir(self.directory):
+            for name in os.listdir(self.directory):
+                if name.endswith(".json"):
+                    try:
+                        os.remove(os.path.join(self.directory, name))
+                    except OSError:
+                        pass

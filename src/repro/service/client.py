@@ -1,0 +1,102 @@
+"""Thin client for the parallelization daemon.
+
+Each request opens a fresh connection — requests are stateless and a
+few per job, so connection reuse buys nothing at this scale and a fresh
+socket per call makes the client robust to daemon restarts between
+calls.  Errors reported by the server (backpressure, unknown jobs,
+failed jobs) surface as :class:`ServiceError` carrying the protocol
+error ``code``.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Optional
+
+from repro.service import protocol
+
+DEFAULT_PORT = 7411  # 'repro' on a phone keypad, roughly
+
+
+class ServiceError(Exception):
+    """The server answered ``ok: false`` (or could not be reached)."""
+
+    def __init__(self, message: str, code: str = "error"):
+        super().__init__(message)
+        self.code = code
+
+
+class ServiceClient:
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 timeout: Optional[float] = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response round trip; raises ServiceError."""
+        try:
+            with socket.create_connection((self.host, self.port),
+                                          timeout=self.timeout) as sock:
+                protocol.send_message(sock, message)
+                response = protocol.recv_message(sock)
+        except (OSError, protocol.ProtocolError) as exc:
+            raise ServiceError(
+                f"cannot reach repro service at {self.host}:{self.port} "
+                f"({exc})", code="unreachable") from None
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "request failed"),
+                               code=response.get("code", "error"))
+        return response
+
+    # -- operations --------------------------------------------------
+
+    def submit(self, payload: Dict[str, Any], wait: bool = True,
+               deadline: Optional[float] = None,
+               max_retries: Optional[int] = None,
+               wait_timeout: Optional[float] = None) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"op": "submit", "payload": payload,
+                                   "wait": wait}
+        if deadline is not None:
+            message["deadline"] = deadline
+        if max_retries is not None:
+            message["max_retries"] = max_retries
+        if wait_timeout is not None:
+            message["wait_timeout"] = wait_timeout
+        return self.request(message)
+
+    def submit_benchmark(self, name: str, config: str = "annotation",
+                         **kwargs) -> Dict[str, Any]:
+        return self.submit({"kind": "benchmark", "benchmark": name,
+                            "config": config}, **kwargs)
+
+    def submit_sources(self, sources: Dict[str, str],
+                       annotations: str = "",
+                       config: str = "annotation", **kwargs
+                       ) -> Dict[str, Any]:
+        return self.submit({"kind": "sources", "sources": sources,
+                            "annotations": annotations, "config": config},
+                           **kwargs)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request({"op": "status", "job_id": job_id})
+
+    def result(self, job_id: str, wait: bool = False,
+               wait_timeout: Optional[float] = None) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"op": "result", "job_id": job_id,
+                                   "wait": wait}
+        if wait_timeout is not None:
+            message["wait_timeout"] = wait_timeout
+        return self.request(message)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request({"op": "cancel", "job_id": job_id})
+
+    def health(self) -> Dict[str, Any]:
+        return self.request({"op": "health"})
+
+    def metrics(self, format: str = "json") -> Dict[str, Any]:
+        return self.request({"op": "metrics", "format": format})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"})

@@ -1,0 +1,175 @@
+"""Job model and bounded FIFO queue for the parallelization service.
+
+Lifecycle::
+
+    submitted --(admitted)--> queued --> running --> done
+                  |                        |    \\-> failed
+                  |                        |-> timeout (deadline passed)
+                  |                        \\-> queued again (worker crash,
+                  |                             attempts left, backoff)
+                  \\--(queue full)--> rejected with a backpressure reason
+    queued --(cancel)--> canceled
+
+Deadlines are wall-clock budgets covering queue wait *plus* execution;
+a job that is already past its deadline when a dispatcher picks it up
+times out without running.  Retries apply only to worker *crashes*
+(:class:`~repro.experiments.executor.WorkerCrashError`) — a task that
+raises an ordinary exception is deterministic and fails immediately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class JobState:
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+    CANCELED = "canceled"
+
+
+FINAL_STATES = frozenset(
+    (JobState.DONE, JobState.FAILED, JobState.TIMEOUT, JobState.CANCELED))
+
+_ids = itertools.count(1)
+
+
+def payload_digest(payload: Dict[str, Any]) -> str:
+    """Canonical content digest of a submit payload.
+
+    The payload fully determines the work (benchmark name or literal
+    sources, annotations, configuration), so one digest keys in-flight
+    deduplication and the result cache alike.
+    """
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(b"repro-job-v1:" + canon.encode()).hexdigest()
+
+
+@dataclass
+class Job:
+    digest: str
+    payload: Dict[str, Any]
+    deadline: Optional[float] = None      # seconds, queue wait + run
+    max_retries: int = 1                  # crash retries, not failures
+    id: str = field(default_factory=lambda: f"job-{next(_ids):06d}")
+    state: str = JobState.QUEUED
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    attempts: int = 0
+    error: str = ""
+    result: Optional[Dict[str, Any]] = None
+    cached: bool = False                  # answered from the result cache
+    finished: threading.Event = field(default_factory=threading.Event,
+                                      repr=False)
+
+    def remaining(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds left before the deadline (None = no deadline)."""
+        if self.deadline is None:
+            return None
+        now = time.monotonic() if now is None else now
+        return self.deadline - (now - self.submitted_at)
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        remaining = self.remaining(now)
+        return remaining is not None and remaining <= 0
+
+    def finish(self, state: str, result: Optional[Dict[str, Any]] = None,
+               error: str = "") -> None:
+        self.state = state
+        self.result = result
+        self.error = error
+        self.finished_at = time.monotonic()
+        self.finished.set()
+
+    def latency(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe status view (no result body — fetch via ``result``)."""
+        return {
+            "job_id": self.id,
+            "digest": self.digest,
+            "state": self.state,
+            "attempts": self.attempts,
+            "max_retries": self.max_retries,
+            "deadline": self.deadline,
+            "cached": self.cached,
+            "error": self.error,
+            "latency": self.latency(),
+        }
+
+
+class QueueFullError(Exception):
+    """Backpressure: the bounded queue rejected a submission."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class JobQueue:
+    """Bounded FIFO of :class:`Job` with explicit backpressure.
+
+    ``put`` rejects (never blocks) when the queue is at capacity, so a
+    flooded server answers "try later" instead of stalling every client
+    connection.  Crash retries re-enter with ``force=True`` — the job
+    was already admitted once; bouncing it on re-entry would turn a
+    transient worker death into a spurious rejection.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def put(self, job: Job, force: bool = False) -> None:
+        with self._cond:
+            if self._closed:
+                raise QueueFullError("service is shutting down")
+            if not force and len(self._items) >= self.capacity:
+                raise QueueFullError(
+                    f"queue is full ({self.capacity} jobs waiting); "
+                    f"retry after the backlog drains")
+            self._items.append(job)
+            self._cond.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Next job, or None when the wait times out / the queue closes."""
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+            return self._items.popleft()
+
+    def close(self) -> None:
+        """Stop accepting work and wake every blocked consumer."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._items)

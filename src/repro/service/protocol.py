@@ -1,0 +1,78 @@
+"""Wire protocol: length-prefixed JSON frames over a stream socket.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Both requests and responses are single JSON
+objects; a connection carries any number of request/response pairs in
+order.  Requests name an operation in ``op``; responses always carry a
+boolean ``ok``, plus ``error``/``code`` when ``ok`` is false.
+
+The frame length is capped so a corrupt or hostile peer cannot make the
+server allocate unbounded memory from four bytes of garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict
+
+#: refuse frames beyond this many bytes (a full benchmark source tree is
+#: a few hundred KB; 32 MiB leaves room for batched sources)
+MAX_FRAME = 32 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """Malformed frame, oversize frame, or connection closed mid-frame."""
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    body = json.dumps(message, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(f"message of {len(body)} bytes exceeds the "
+                            f"{MAX_FRAME}-byte frame limit")
+    return _LEN.pack(len(body)) + body
+
+
+def send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    sock.sendall(encode(message))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Dict[str, Any]:
+    """Read one frame; raises :class:`ProtocolError` on EOF/corruption."""
+    header = sock.recv(_LEN.size)
+    if not header:
+        raise ProtocolError("connection closed")  # clean EOF between frames
+    if len(header) < _LEN.size:
+        header += _recv_exact(sock, _LEN.size - len(header))
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds the "
+                            f"{MAX_FRAME}-byte limit")
+    body = _recv_exact(sock, length) if length else b""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return message
+
+
+def error_response(error: str, code: str = "error") -> Dict[str, Any]:
+    return {"ok": False, "error": error, "code": code}

@@ -1,0 +1,528 @@
+"""The parallelization daemon.
+
+One :class:`ParallelizationServer` owns four cooperating pieces:
+
+* a listening TCP socket; each accepted connection gets a handler
+  thread that reads length-prefixed JSON requests (:mod:`.protocol`)
+  and answers them from the shared job table;
+* a bounded :class:`~repro.service.jobs.JobQueue` feeding N dispatcher
+  threads;
+* one :class:`~repro.experiments.executor.WorkerPool` shared by the
+  dispatchers — pipeline work runs in worker *processes* (crash
+  isolation, deadline abandonment), degrading to in-thread execution
+  where pools are unavailable;
+* a :class:`~repro.service.cache.ResultCache` plus a
+  :class:`~repro.service.metrics.MetricsRegistry`.
+
+Deduplication: submissions are keyed by
+:func:`~repro.service.jobs.payload_digest`.  A digest with a live
+(queued/running) job joins that job instead of enqueueing a duplicate;
+a digest with a cached result is answered instantly as an
+already-finished job.  Both paths are visible in the metrics
+(``repro_jobs_deduped_total``, ``repro_cache_hits_total``).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.experiments.executor import (WorkerCrashError, WorkerPool,
+                                        WorkerTimeout, in_worker,
+                                        resolve_jobs)
+from repro.service import protocol
+from repro.service.cache import ResultCache
+from repro.service.jobs import (FINAL_STATES, Job, JobQueue, JobState,
+                                QueueFullError, payload_digest)
+from repro.service.metrics import MetricsRegistry
+
+#: payload kinds understood by :func:`execute_payload`
+PAYLOAD_KINDS = ("benchmark", "sources", "probe")
+
+#: states a digest counts as "in flight" for deduplication
+_LIVE_STATES = (JobState.QUEUED, JobState.RUNNING)
+
+
+# ---------------------------------------------------------------------------
+# worker-side execution (module-level: must be picklable for the pool)
+# ---------------------------------------------------------------------------
+
+def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one job payload to completion inside a worker.
+
+    Payload kinds:
+
+    * ``benchmark`` — a registered PERFECT substitute by name plus a
+      pipeline configuration (``none``/``conventional``/``annotation``);
+    * ``sources`` — literal ``{filename: fortran}`` sources with
+      optional annotation text, same configurations;
+    * ``probe`` — tiny diagnostic ops (``echo``/``sleep``/
+      ``crash-once``) used by health checks and the service tests.
+    """
+    kind = payload.get("kind")
+    if kind == "probe":
+        return _execute_probe(payload)
+    if kind == "benchmark":
+        from repro.perfect import get_benchmark
+        benchmark = get_benchmark(payload["benchmark"])
+        return _run_pipeline(benchmark, payload.get("config", "annotation"))
+    if kind == "sources":
+        from repro.perfect.suite import Benchmark
+        sources = payload.get("sources")
+        if not isinstance(sources, dict) or not sources:
+            raise ValueError("'sources' payload needs a non-empty "
+                             "{filename: text} mapping")
+        benchmark = Benchmark(
+            name=payload.get("name", "submitted"),
+            description="submitted via repro.service",
+            sources=dict(sources),
+            annotations=payload.get("annotations", ""))
+        return _run_pipeline(benchmark, payload.get("config", "annotation"))
+    raise ValueError(f"unknown payload kind {kind!r}; "
+                     f"expected one of {PAYLOAD_KINDS}")
+
+
+def _run_pipeline(benchmark, config_kind: str) -> Dict[str, Any]:
+    from repro.experiments.pipeline import (Config, run_config,
+                                            summarize_result)
+    if config_kind not in ("none", "conventional", "annotation"):
+        raise ValueError(f"unknown config {config_kind!r}")
+    return summarize_result(run_config(benchmark, Config(config_kind)))
+
+
+def _execute_probe(payload: Dict[str, Any]) -> Dict[str, Any]:
+    op = payload.get("probe")
+    if op == "echo":
+        return {"echo": payload.get("value")}
+    if op == "sleep":
+        seconds = float(payload.get("seconds", 0.0))
+        time.sleep(seconds)
+        return {"slept": seconds}
+    if op == "crash-once":
+        # First attempt: leave a marker, then die the way a real crash
+        # does (SIGKILL in a pool worker; a WorkerCrashError inline).
+        # Second attempt sees the marker and succeeds — the retry path.
+        marker = payload["marker"]
+        if not os.path.exists(marker):
+            with open(marker, "w") as fh:
+                fh.write("crashed\n")
+            if in_worker():
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise WorkerCrashError("simulated worker crash")
+        return {"recovered": True}
+    raise ValueError(f"unknown probe op {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# the server
+# ---------------------------------------------------------------------------
+
+class ParallelizationServer:
+    """Long-running batch parallelization daemon (see module docstring).
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.address`` after :meth:`start`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 jobs: Optional[int] = None, queue_capacity: int = 64,
+                 cache_capacity: int = 128,
+                 cache_dir: Optional[str] = None,
+                 default_deadline: Optional[float] = None,
+                 max_retries: int = 1, retry_backoff: float = 0.5,
+                 inline: Optional[bool] = None):
+        self.host = host
+        self.port = port
+        self.workers = resolve_jobs(jobs)
+        self.default_deadline = default_deadline
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+
+        self.queue = JobQueue(queue_capacity)
+        self.cache = ResultCache(cache_capacity, directory=cache_dir)
+        self.metrics = MetricsRegistry()
+        self.pool = WorkerPool(self.workers, inline=inline)
+
+        self._jobs: Dict[str, Job] = {}          # job id -> Job
+        self._by_digest: Dict[str, str] = {}     # digest -> live job id
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._started_at: Optional[float] = None
+        self._sock: Optional[socket.socket] = None
+        self._threads: list = []
+        self.address: Optional[Tuple[str, int]] = None
+
+        m = self.metrics
+        self._m_submitted = m.counter(
+            "repro_jobs_submitted_total", "jobs accepted into the queue")
+        self._m_rejected = m.counter(
+            "repro_jobs_rejected_total", "submissions rejected (queue full)")
+        self._m_deduped = m.counter(
+            "repro_jobs_deduped_total", "submissions joined to an "
+            "in-flight job with the same digest")
+        self._m_retried = m.counter(
+            "repro_jobs_retried_total", "crash retries re-enqueued")
+        self._m_completed = m.counter(
+            "repro_jobs_completed_total", "jobs reaching a final state, "
+            "by state")
+        self._m_cache_hits = m.counter(
+            "repro_cache_hits_total", "submissions answered from the "
+            "result cache")
+        self._m_cache_misses = m.counter(
+            "repro_cache_misses_total", "submissions that had to run")
+        self._m_depth = m.gauge(
+            "repro_queue_depth", "jobs waiting in the queue")
+        self._m_running = m.gauge(
+            "repro_jobs_running", "jobs currently executing")
+        self._m_uptime = m.gauge(
+            "repro_uptime_seconds", "seconds since the server started")
+        self._m_latency = m.histogram(
+            "repro_job_latency_seconds", "submit-to-finish wall clock")
+
+    # -- lifecycle ---------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, spawn acceptor + dispatchers, return ``(host, port)``."""
+        self._started_at = time.monotonic()
+        self._sock = socket.create_server((self.host, self.port))
+        self.address = self._sock.getsockname()[:2]
+        for i in range(self.workers):
+            t = threading.Thread(target=self._dispatch_loop,
+                                 name=f"repro-dispatch-{i}", daemon=True)
+            t.start()
+            self._threads.append(t)
+        t = threading.Thread(target=self._accept_loop,
+                             name="repro-accept", daemon=True)
+        t.start()
+        self._threads.append(t)
+        return self.address
+
+    def stop(self) -> None:
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        self.queue.close()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        for t in self._threads:
+            if t is not threading.current_thread():
+                t.join(timeout=5.0)
+        self.pool.shutdown()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the server stops (the ``serve`` CLI foreground)."""
+        return self._stop.wait(timeout=timeout)
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None and not self._stop.is_set()
+
+    def uptime(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    # -- submission --------------------------------------------------
+
+    def submit(self, payload: Dict[str, Any],
+               deadline: Optional[float] = None,
+               max_retries: Optional[int] = None) -> Job:
+        """Admit a payload: dedup against in-flight work, answer from
+        cache, or enqueue.  Raises :class:`QueueFullError` on
+        backpressure and ValueError on malformed payloads."""
+        kind = payload.get("kind")
+        if kind not in PAYLOAD_KINDS:
+            raise ValueError(f"unknown payload kind {kind!r}; "
+                             f"expected one of {PAYLOAD_KINDS}")
+        digest = payload_digest(payload)
+        if deadline is None:
+            deadline = self.default_deadline
+        if max_retries is None:
+            max_retries = self.max_retries
+
+        with self._lock:
+            live_id = self._by_digest.get(digest)
+            if live_id is not None:
+                live = self._jobs[live_id]
+                if live.state in _LIVE_STATES:
+                    self._m_deduped.inc()
+                    return live
+                del self._by_digest[digest]  # stale index entry
+
+            job = Job(digest=digest, payload=payload, deadline=deadline,
+                      max_retries=max_retries)
+            cached = self.cache.get(digest)
+            if cached is not None:
+                self._m_cache_hits.inc()
+                job.cached = True
+                job.finish(JobState.DONE, result=cached)
+                self._m_completed.inc(state=JobState.DONE)
+                self._jobs[job.id] = job
+                return job
+            self._m_cache_misses.inc()
+            try:
+                self.queue.put(job)
+            except QueueFullError:
+                self._m_rejected.inc()
+                raise
+            self._m_submitted.inc()
+            self._jobs[job.id] = job
+            self._by_digest[digest] = job.id
+            self._m_depth.set(self.queue.depth())
+            return job
+
+    def get_job(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> Tuple[bool, str]:
+        """Cancel a queued job.  Running/finished jobs are not touched:
+        a busy worker cannot be interrupted selectively, and a finished
+        job has nothing to cancel."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return False, f"unknown job {job_id!r}"
+            if job.state != JobState.QUEUED:
+                return False, f"job is {job.state}, not queued"
+            job.finish(JobState.CANCELED, error="canceled by client")
+            self._m_completed.inc(state=JobState.CANCELED)
+            self._drop_digest(job)
+        return True, "canceled"
+
+    def _drop_digest(self, job: Job) -> None:
+        # caller holds self._lock
+        if self._by_digest.get(job.digest) == job.id:
+            del self._by_digest[job.digest]
+
+    # -- dispatching -------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.get(timeout=0.2)
+            self._m_depth.set(self.queue.depth())
+            if job is None:
+                continue
+            if job.state != JobState.QUEUED:
+                continue  # canceled while waiting
+            if job.expired():
+                self._finalize(job, JobState.TIMEOUT,
+                               error="deadline expired while queued")
+                continue
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        job.state = JobState.RUNNING
+        job.started_at = time.monotonic()
+        job.attempts += 1
+        self._m_running.inc()
+        try:
+            result = self.pool.run(execute_payload, job.payload,
+                                   timeout=job.remaining())
+        except WorkerTimeout:
+            self._finalize(job, JobState.TIMEOUT,
+                           error="deadline expired while running")
+        except WorkerCrashError as exc:
+            self._handle_crash(job, exc)
+        except Exception as exc:  # deterministic task failure: no retry
+            self._finalize(job, JobState.FAILED,
+                           error=f"{type(exc).__name__}: {exc}")
+        else:
+            self.cache.put(job.digest, result)
+            self._finalize(job, JobState.DONE, result=result)
+        finally:
+            self._m_running.dec()
+
+    def _handle_crash(self, job: Job, exc: WorkerCrashError) -> None:
+        if job.attempts > job.max_retries:
+            self._finalize(job, JobState.FAILED,
+                           error=f"worker crashed {job.attempts} times "
+                                 f"(retries exhausted): {exc}")
+            return
+        self._m_retried.inc()
+        job.state = JobState.QUEUED
+        delay = self.retry_backoff * (2 ** (job.attempts - 1))
+        remaining = job.remaining()
+        if remaining is not None:
+            delay = min(delay, max(0.0, remaining))
+
+        def requeue() -> None:
+            try:
+                self.queue.put(job, force=True)
+                self._m_depth.set(self.queue.depth())
+            except QueueFullError:  # closed: shutting down
+                self._finalize(job, JobState.FAILED,
+                               error="service stopped during crash retry")
+
+        if delay <= 0:
+            requeue()
+        else:
+            timer = threading.Timer(delay, requeue)
+            timer.daemon = True
+            timer.start()
+
+    def _finalize(self, job: Job, state: str,
+                  result: Optional[Dict[str, Any]] = None,
+                  error: str = "") -> None:
+        with self._lock:
+            job.finish(state, result=result, error=error)
+            self._m_completed.inc(state=state)
+            self._drop_digest(job)
+        latency = job.latency()
+        if latency is not None:
+            self._m_latency.observe(latency)
+        if result is not None:
+            for phase, seconds in result.get("timings", {}).items():
+                self.metrics.histogram(
+                    f"repro_phase_{phase}_seconds",
+                    f"wall clock of the {phase} phase").observe(seconds)
+
+    # -- protocol handling -------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return  # listening socket closed by stop()
+            t = threading.Thread(target=self._serve_connection,
+                                 args=(conn,), daemon=True)
+            t.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            while not self._stop.is_set():
+                try:
+                    request = protocol.recv_message(conn)
+                except protocol.ProtocolError:
+                    return
+                try:
+                    response = self.handle_request(request)
+                except Exception as exc:
+                    response = protocol.error_response(
+                        f"{type(exc).__name__}: {exc}", code="internal")
+                shutdown = response.pop("_shutdown", False)
+                try:
+                    protocol.send_message(conn, response)
+                except OSError:
+                    return
+                if shutdown:
+                    threading.Thread(target=self.stop, daemon=True).start()
+                    return
+
+    def handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer one protocol request (also the unit-test entry point)."""
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) if op else None
+        if handler is None or not str(op).isidentifier():
+            return protocol.error_response(
+                f"unknown op {op!r}; expected submit/status/result/"
+                f"cancel/health/metrics/shutdown", code="bad-op")
+        return handler(request)
+
+    def _job_response(self, job: Job, deduped: bool = False,
+                      include_result: bool = False) -> Dict[str, Any]:
+        response = {"ok": True, "deduped": deduped}
+        response.update(job.snapshot())
+        if include_result and job.state == JobState.DONE:
+            response["result"] = job.result
+        return response
+
+    def _op_submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        payload = request.get("payload")
+        if not isinstance(payload, dict):
+            return protocol.error_response(
+                "submit needs a 'payload' object", code="bad-request")
+        before = None
+        with self._lock:
+            digest = payload_digest(payload)
+            live = self._by_digest.get(digest)
+            before = live if live else None
+        try:
+            job = self.submit(payload,
+                              deadline=request.get("deadline"),
+                              max_retries=request.get("max_retries"))
+        except QueueFullError as exc:
+            return protocol.error_response(exc.reason, code="backpressure")
+        except (ValueError, KeyError) as exc:
+            return protocol.error_response(str(exc), code="bad-request")
+        deduped = before is not None and job.id == before
+        if request.get("wait"):
+            job.finished.wait(timeout=request.get("wait_timeout"))
+        return self._job_response(job, deduped=deduped,
+                                  include_result=bool(request.get("wait")))
+
+    def _lookup(self, request: Dict[str, Any]):
+        job_id = request.get("job_id")
+        job = self.get_job(job_id) if job_id else None
+        if job is None:
+            return None, protocol.error_response(
+                f"unknown job {job_id!r}", code="not-found")
+        return job, None
+
+    def _op_status(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        job, err = self._lookup(request)
+        return err if err else self._job_response(job)
+
+    def _op_result(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        job, err = self._lookup(request)
+        if err:
+            return err
+        if request.get("wait"):
+            job.finished.wait(timeout=request.get("wait_timeout"))
+        if job.state == JobState.DONE:
+            return self._job_response(job, include_result=True)
+        if job.state in FINAL_STATES:
+            return protocol.error_response(
+                f"job {job.id} finished as {job.state}: {job.error}",
+                code=job.state)
+        return protocol.error_response(
+            f"job {job.id} is still {job.state}", code="not-ready")
+
+    def _op_cancel(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        job, err = self._lookup(request)
+        if err:
+            return err
+        ok, reason = self.cancel(job.id)
+        response = self._job_response(job)
+        response["canceled"] = ok
+        response["detail"] = reason
+        return response
+
+    def _op_health(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "ok": True,
+            "uptime": self.uptime(),
+            "workers": self.workers,
+            "pool_mode": "inline" if self.pool.inline else "process",
+            "queue_depth": self.queue.depth(),
+            "queue_capacity": self.queue.capacity,
+            "jobs_by_state": states,
+            "cache_entries": len(self.cache),
+        }
+
+    def _op_metrics(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self._m_uptime.set(self.uptime())
+        fmt = request.get("format", "json")
+        if fmt == "prometheus":
+            return {"ok": True, "format": "prometheus",
+                    "text": self.metrics.to_prometheus()}
+        if fmt != "json":
+            return protocol.error_response(
+                f"unknown metrics format {fmt!r}", code="bad-request")
+        return {"ok": True, "format": "json",
+                "metrics": self.metrics.to_json()}
+
+    def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"ok": True, "stopping": True, "_shutdown": True}

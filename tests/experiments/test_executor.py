@@ -14,6 +14,8 @@ from repro.analysis.affine import extract
 from repro.analysis.dependence import DependenceTester, LoopCtx
 from repro.experiments import figure20, pipeline
 from repro.experiments.executor import (JOBS_ENV, _IN_WORKER_ENV,
+                                        JobsError, WorkerCrashError,
+                                        WorkerPool, WorkerTimeout,
                                         resolve_jobs, run_tasks)
 from repro.experiments.figure20 import figure20_all, render_figure20
 from repro.experiments.table2 import render_table2, table2_rows
@@ -68,13 +70,89 @@ class TestResolveJobs:
         monkeypatch.delenv(JOBS_ENV, raising=False)
         assert resolve_jobs(0) == (os.cpu_count() or 1)
 
-    def test_garbage_env_is_serial(self, monkeypatch):
+    def test_garbage_env_is_a_clear_error(self, monkeypatch):
         monkeypatch.setenv(JOBS_ENV, "many")
-        assert resolve_jobs(None) == 1
+        with pytest.raises(JobsError, match="not an integer"):
+            resolve_jobs(None)
+
+    def test_negative_env_is_a_clear_error(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "-2")
+        with pytest.raises(JobsError, match=">= 0"):
+            resolve_jobs(None)
+
+    def test_negative_argument_is_a_clear_error(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        with pytest.raises(JobsError, match=">= 0"):
+            resolve_jobs(-3)
 
     def test_no_nested_pools_inside_workers(self, monkeypatch):
         monkeypatch.setenv(_IN_WORKER_ENV, "1")
         assert resolve_jobs(8) == 1
+
+
+def _sleep(seconds):
+    import time
+    time.sleep(seconds)
+    return seconds
+
+
+def _kill_self(_):
+    import os
+    import signal
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _crash_inline(_):
+    raise WorkerCrashError("simulated")
+
+
+class TestWorkerPool:
+    def test_inline_mode_runs_in_process(self):
+        pool = WorkerPool(workers=2, inline=True)
+        assert pool.run(_square, 7) == 49
+        pool.shutdown()
+
+    def test_inline_crash_propagates(self):
+        pool = WorkerPool(workers=1, inline=True)
+        with pytest.raises(WorkerCrashError):
+            pool.run(_crash_inline, None)
+        pool.shutdown()
+
+    @pytest.fixture()
+    def process_pool(self):
+        pool = WorkerPool(workers=2, inline=False)
+        try:
+            pool.run(_square, 1)
+        except Exception:
+            pool.shutdown()
+            pytest.skip("process pool unavailable in this sandbox")
+        if pool.inline:
+            pool.shutdown()
+            pytest.skip("process pool unavailable in this sandbox")
+        yield pool
+        pool.shutdown()
+
+    def test_process_mode_runs_in_worker(self, process_pool):
+        assert process_pool.run(_square, 6) == 36
+
+    def test_killed_worker_raises_and_pool_recovers(self, process_pool):
+        with pytest.raises(WorkerCrashError):
+            process_pool.run(_kill_self, None)
+        # the broken pool was recycled: the next task succeeds
+        assert process_pool.run(_square, 5) == 25
+
+    def test_timeout_raises_and_pool_recovers(self, process_pool):
+        with pytest.raises(WorkerTimeout):
+            process_pool.run(_sleep, 1.2, timeout=0.2)
+        assert process_pool.run(_square, 4) == 16
+
+    def test_task_exception_propagates_unwrapped(self, process_pool):
+        with pytest.raises(ZeroDivisionError):
+            process_pool.run(_divzero, 1)
+
+
+def _divzero(x):
+    return x / 0
 
 
 BENCHES = ("adm", "qcd")
@@ -168,8 +246,22 @@ class TestDiskCache:
     def test_corrupt_entry_falls_back_to_parse(self, disk_cache):
         bench = get_benchmark("adm")
         fresh = bench.program().unparse()
-        for entry in disk_cache.glob("*.pkl"):
+        corrupted = list(disk_cache.glob("*.pkl"))
+        for entry in corrupted:
             entry.write_bytes(b"not a pickle")
+        suite.clear_program_cache()
+        assert bench.program().unparse() == fresh
+        # the corrupt entries were evicted (and rewritten by the reparse),
+        # so a concurrent-writer casualty cannot re-trip every later run
+        for entry in corrupted:
+            assert entry.read_bytes() != b"not a pickle"
+
+    def test_truncated_entry_falls_back_to_parse(self, disk_cache):
+        bench = get_benchmark("adm")
+        fresh = bench.program().unparse()
+        for entry in disk_cache.glob("*.pkl"):
+            # simulate a writer that died mid-write
+            entry.write_bytes(entry.read_bytes()[:64])
         suite.clear_program_cache()
         assert bench.program().unparse() == fresh
 

@@ -1,0 +1,87 @@
+"""Result-cache tests: LRU behavior and the disk layer's robustness."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.cache import ResultCache
+
+
+class TestMemoryLRU:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("d1") is None
+        cache.put("d1", {"v": 1})
+        assert cache.get("d1") == {"v": 1}
+        assert "d1" in cache and len(cache) == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"v": "a"})
+        cache.put("b", {"v": "b"})
+        assert cache.get("a")  # refresh a; b is now the LRU entry
+        cache.put("c", {"v": "c"})
+        assert cache.get("b") is None
+        assert cache.get("a") and cache.get("c")
+
+    def test_put_overwrites(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"v": 1})
+        cache.put("a", {"v": 2})
+        assert cache.get("a") == {"v": 2}
+        assert len(cache) == 1
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+
+class TestDiskLayer:
+    def test_roundtrip_across_instances(self, tmp_path):
+        first = ResultCache(capacity=4, directory=str(tmp_path))
+        first.put("d1", {"v": 1})
+        second = ResultCache(capacity=4, directory=str(tmp_path))
+        assert second.get("d1") == {"v": 1}  # survived the "restart"
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        cache = ResultCache(capacity=4, directory=str(tmp_path))
+        cache.put("d1", {"v": 1})
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("d1") == {"v": 1}
+        assert len(cache) == 1
+
+    def test_corrupt_entry_evicted_and_missed(self, tmp_path):
+        cache = ResultCache(capacity=4, directory=str(tmp_path))
+        cache.put("d1", {"v": 1})
+        path = tmp_path / "d1.json"
+        path.write_text("{truncated")
+        cache.clear()
+        assert cache.get("d1") is None
+        assert not path.exists()  # evicted, not left to re-trip
+
+    def test_non_object_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(capacity=4, directory=str(tmp_path))
+        (tmp_path / "d2.json").write_text(json.dumps([1, 2]))
+        assert cache.get("d2") is None
+
+    def test_clear_disk(self, tmp_path):
+        cache = ResultCache(capacity=4, directory=str(tmp_path))
+        cache.put("d1", {"v": 1})
+        cache.clear(disk=True)
+        assert not list(tmp_path.glob("*.json"))
+        assert cache.get("d1") is None
+
+    def test_writes_are_atomic_no_tmp_left(self, tmp_path):
+        cache = ResultCache(capacity=4, directory=str(tmp_path))
+        for i in range(5):
+            cache.put(f"d{i}", {"v": i})
+        assert not list(tmp_path.glob("*.tmp"))
+        assert len(list(tmp_path.glob("*.json"))) == 5
+
+    def test_memory_only_without_directory(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        cache = ResultCache(capacity=4)
+        cache.put("d1", {"v": 1})
+        assert list(os.listdir(tmp_path)) == []

@@ -1,0 +1,116 @@
+"""Job model and bounded-queue semantics."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.jobs import (FINAL_STATES, Job, JobQueue, JobState,
+                                QueueFullError, payload_digest)
+
+
+def _job(**kwargs):
+    payload = kwargs.pop("payload", {"kind": "probe", "probe": "echo"})
+    return Job(digest=payload_digest(payload), payload=payload, **kwargs)
+
+
+class TestPayloadDigest:
+    def test_deterministic(self):
+        p = {"kind": "benchmark", "benchmark": "adm", "config": "none"}
+        assert payload_digest(p) == payload_digest(dict(p))
+
+    def test_key_order_irrelevant(self):
+        a = {"kind": "benchmark", "benchmark": "adm"}
+        b = {"benchmark": "adm", "kind": "benchmark"}
+        assert payload_digest(a) == payload_digest(b)
+
+    def test_content_sensitive(self):
+        a = {"kind": "benchmark", "benchmark": "adm", "config": "none"}
+        b = dict(a, config="annotation")
+        assert payload_digest(a) != payload_digest(b)
+
+
+class TestJob:
+    def test_initial_state(self):
+        job = _job()
+        assert job.state == JobState.QUEUED
+        assert job.state not in FINAL_STATES
+        assert not job.finished.is_set()
+
+    def test_finish_sets_event_and_latency(self):
+        job = _job()
+        job.finish(JobState.DONE, result={"x": 1})
+        assert job.finished.is_set()
+        assert job.state in FINAL_STATES
+        assert job.latency() is not None and job.latency() >= 0
+
+    def test_no_deadline_never_expires(self):
+        assert _job().remaining() is None
+        assert not _job().expired()
+
+    def test_deadline_expiry(self):
+        job = _job(deadline=100.0)
+        assert not job.expired()
+        assert 99 < job.remaining() <= 100
+        job.submitted_at -= 200.0
+        assert job.expired()
+
+    def test_ids_unique(self):
+        assert _job().id != _job().id
+
+    def test_snapshot_is_json_safe(self):
+        import json
+        snap = _job(deadline=5.0).snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["state"] == "queued"
+
+
+class TestJobQueue:
+    def test_fifo_order(self):
+        q = JobQueue(capacity=10)
+        jobs = [_job() for _ in range(3)]
+        for j in jobs:
+            q.put(j)
+        assert [q.get(timeout=0.1).id for _ in jobs] == \
+            [j.id for j in jobs]
+
+    def test_backpressure_rejects_with_reason(self):
+        q = JobQueue(capacity=2)
+        q.put(_job())
+        q.put(_job())
+        with pytest.raises(QueueFullError, match="full"):
+            q.put(_job())
+        assert q.depth() == 2  # the rejected job was not admitted
+
+    def test_force_put_bypasses_capacity(self):
+        q = JobQueue(capacity=1)
+        q.put(_job())
+        q.put(_job(), force=True)  # a crash retry re-enters
+        assert q.depth() == 2
+
+    def test_get_timeout_returns_none(self):
+        q = JobQueue(capacity=1)
+        t0 = time.monotonic()
+        assert q.get(timeout=0.05) is None
+        assert time.monotonic() - t0 < 1.0
+
+    def test_close_wakes_blocked_consumer(self):
+        q = JobQueue(capacity=1)
+        got = []
+        t = threading.Thread(target=lambda: got.append(q.get(timeout=5)))
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        t.join(timeout=2)
+        assert not t.is_alive()
+        assert got == [None]
+
+    def test_closed_queue_rejects_put(self):
+        q = JobQueue(capacity=4)
+        q.close()
+        with pytest.raises(QueueFullError, match="shutting down"):
+            q.put(_job())
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            JobQueue(capacity=0)

@@ -1,0 +1,87 @@
+"""Framing tests: length-prefixed JSON over real socket pairs."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.service import protocol
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestRoundtrip:
+    def test_simple(self, pair):
+        a, b = pair
+        protocol.send_message(a, {"op": "health"})
+        assert protocol.recv_message(b) == {"op": "health"}
+
+    def test_multiple_frames_in_order(self, pair):
+        a, b = pair
+        for i in range(5):
+            protocol.send_message(a, {"i": i})
+        assert [protocol.recv_message(b)["i"] for i in range(5)] == \
+            [0, 1, 2, 3, 4]
+
+    def test_unicode_payload(self, pair):
+        a, b = pair
+        message = {"text": "ω ≤ Δ — ünïcode"}
+        protocol.send_message(a, message)
+        assert protocol.recv_message(b) == message
+
+    def test_large_payload(self, pair):
+        a, b = pair
+        message = {"sources": {"big.f": "C" * 200_000}}
+        # sendall on a socketpair buffer can deadlock if the reader
+        # waits; send from a thread
+        import threading
+        t = threading.Thread(target=protocol.send_message,
+                             args=(a, message))
+        t.start()
+        assert protocol.recv_message(b) == message
+        t.join()
+
+
+class TestErrors:
+    def test_eof_raises(self, pair):
+        a, b = pair
+        a.close()
+        with pytest.raises(protocol.ProtocolError):
+            protocol.recv_message(b)
+
+    def test_truncated_frame(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", 100) + b"short")
+        a.close()
+        with pytest.raises(protocol.ProtocolError, match="mid-frame"):
+            protocol.recv_message(b)
+
+    def test_oversize_frame_rejected(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", protocol.MAX_FRAME + 1))
+        with pytest.raises(protocol.ProtocolError, match="exceeds"):
+            protocol.recv_message(b)
+
+    def test_bad_json(self, pair):
+        a, b = pair
+        body = b"not json"
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(protocol.ProtocolError, match="bad JSON"):
+            protocol.recv_message(b)
+
+    def test_non_object_frame(self, pair):
+        a, b = pair
+        body = b"[1,2,3]"
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(protocol.ProtocolError, match="JSON object"):
+            protocol.recv_message(b)
+
+    def test_encode_oversize_message(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.encode({"x": "y" * (protocol.MAX_FRAME + 1)})

@@ -147,6 +147,41 @@ class TestArtifacts:
         assert "FIGURE 20" in out
 
 
+class TestCheck:
+    """`check` is a service entry point: exercise its exit codes and
+    output shapes beyond the happy path."""
+
+    def test_no_annotations_is_trivially_sound(self, files, capsys):
+        src, _ = files
+        assert main(["check", src]) == 0
+        assert capsys.readouterr().out == ""  # empty registry: no rows
+
+    def test_unsound_annotation_exits_one_with_violations(self, files,
+                                                          tmp_path,
+                                                          capsys):
+        src, _ = files
+        bad = tmp_path / "bad.ann"
+        bad.write_text(
+            "subroutine FILLR(I, N) { QQQ = unknown(I); }\n")
+        assert main(["check", src, "--annotations", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "FILLR: UNSOUND" in out
+        assert "violation:" in out
+
+    def test_sound_and_unsound_mix_still_fails(self, files, tmp_path,
+                                               capsys):
+        src, _ = files
+        mixed = tmp_path / "mixed.ann"
+        mixed.write_text(ANNOTATIONS +
+                         "\nsubroutine FILLR2(I) { ZZZ = unknown(I); }\n")
+        src2 = tmp_path / "two.f"
+        src2.write_text(SOURCE.replace("FILLR", "FILLR2"))
+        assert main(["check", str(src2), "--annotations",
+                     str(mixed)]) == 1
+        out = capsys.readouterr().out
+        assert "FILLR2: UNSOUND" in out
+
+
 class TestDiagnose:
     def test_diagnose_lists_obstacles(self, files, capsys):
         src, _ = files
@@ -159,3 +194,122 @@ class TestDiagnose:
         src, _ = files
         assert main(["diagnose", src, "--all"]) == 0
         assert "parallelizable" in capsys.readouterr().out
+
+    def test_diagnose_quiet_on_fully_parallel_code(self, tmp_path,
+                                                   capsys):
+        src = tmp_path / "par.f"
+        src.write_text(
+            "      PROGRAM P\n"
+            "      COMMON /D/ A(100)\n"
+            "      DO 10 I = 1, 100\n"
+            "        A(I) = I*2.0\n"
+            "   10 CONTINUE\n"
+            "      WRITE(6,*) A(1)\n"
+            "      END\n")
+        assert main(["diagnose", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "obstacle" not in out.lower() or out == ""
+        # with --all the parallel loop is listed
+        assert main(["diagnose", str(src), "--all"]) == 0
+        assert "parallelizable" in capsys.readouterr().out
+
+
+class TestJobsErrors:
+    """Bad worker counts exit with a clear message, not a traceback
+    (both the REPRO_JOBS env path and the -j argument path)."""
+
+    def test_garbage_env_var(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        assert main(["table1"]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err
+        assert "REPRO_JOBS='lots' is not an integer" in err
+
+    def test_negative_env_var(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "-4")
+        assert main(["table1"]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and ">= 0" in err
+
+    def test_negative_jobs_flag(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert main(["table1", "-j", "-4"]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and ">= 0" in err
+
+    def test_non_integer_jobs_flag_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "-j", "lots"])
+        assert excinfo.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def service(tmp_path):
+    from repro.service.server import ParallelizationServer
+    server = ParallelizationServer(port=0, jobs=2, inline=True)
+    host, port = server.start()
+    yield server, host, port
+    server.stop()
+
+
+class TestServiceCLI:
+    def test_submit_sources_and_write_output(self, files, tmp_path,
+                                             service, capsys):
+        _, host, port = service
+        src, ann = files
+        out_path = tmp_path / "opt.f"
+        assert main(["submit", src, "--annotations", ann,
+                     "--host", host, "--port", str(port),
+                     "-o", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out and "fresh run" in out
+        assert "!$OMP" in out_path.read_text()
+
+    def test_submit_benchmark_twice_hits_cache(self, service, capsys):
+        _, host, port = service
+        args = ["submit", "adm", "--host", host, "--port", str(port)]
+        assert main(args) == 0
+        assert "fresh run" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "(cache)" in capsys.readouterr().out
+
+    def test_submit_json_response(self, service, capsys):
+        import json
+        _, host, port = service
+        assert main(["submit", "adm", "--config", "none", "--json",
+                     "--host", host, "--port", str(port)]) == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["state"] == "done"
+        assert response["result"]["parallel_count"] > 0
+
+    def test_submit_missing_file(self, service, capsys):
+        _, host, port = service
+        assert main(["submit", "/no/such/file.f",
+                     "--host", host, "--port", str(port)]) == 2
+        assert "cannot read input" in capsys.readouterr().err
+
+    def test_submit_unreachable_server(self, files, capsys):
+        src, _ = files
+        assert main(["submit", src, "--port", "1"]) == 2
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_svc_status_health_and_metrics(self, service, capsys):
+        import json
+        _, host, port = service
+        assert main(["svc-status", "--host", host,
+                     "--port", str(port), "--metrics"]) == 0
+        health = json.loads(capsys.readouterr().out)
+        assert health["ok"] and health["workers"] == 2
+        assert "repro_jobs_submitted_total" in health["metrics"]
+
+    def test_svc_status_prometheus(self, service, capsys):
+        _, host, port = service
+        assert main(["svc-status", "--prometheus", "--host", host,
+                     "--port", str(port)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_jobs_submitted_total counter" in out
+
+    def test_svc_status_unreachable(self, capsys):
+        assert main(["svc-status", "--port", "1"]) == 2
+        assert "unreachable" in capsys.readouterr().err
