@@ -59,6 +59,36 @@ def _machine(name: str):
             "serial": None}[name]
 
 
+def _make_tracer(args):
+    """A live tracer when ``--trace FILE`` was given, else None."""
+    if not getattr(args, "trace", None):
+        return None
+    from repro.trace import Tracer
+    return Tracer(label=f"repro {args.command}")
+
+
+def _write_trace(tracer, path: str) -> None:
+    """Write the Chrome trace-event JSON plus the sibling JSONL decision
+    log (``out.json`` -> ``out.decisions.jsonl``)."""
+    import os
+    from repro.trace import write_chrome, write_decisions_jsonl
+    write_chrome(tracer, path)
+    decisions_path = os.path.splitext(path)[0] + ".decisions.jsonl"
+    write_decisions_jsonl(tracer.decisions, decisions_path)
+    print(f"trace: {path} ({len(tracer.events)} events); "
+          f"decisions: {decisions_path} ({len(tracer.decisions)} loops)",
+          file=sys.stderr)
+
+
+def _select_benchmarks(args):
+    """Benchmark objects for ``--benchmarks``, or None (= the full suite)."""
+    names = getattr(args, "benchmarks", None)
+    if not names:
+        return None
+    from repro.perfect import get_benchmark
+    return [get_benchmark(name) for name in names]
+
+
 def _pipeline(program: Program, registry, config: str):
     from repro.annotations import AnnotationInliner, ReverseInliner
     from repro.inlining import ConventionalInliner
@@ -200,33 +230,44 @@ def cmd_diagnose(args) -> int:
 
 def cmd_table1(args) -> int:
     from repro.experiments.table1 import render_table1
-    print(render_table1(jobs=args.jobs))
+    tracer = _make_tracer(args)
+    print(render_table1(jobs=args.jobs, tracer=tracer))
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     return 0
 
 
 def cmd_table2(args) -> int:
     from repro.experiments.table2 import render_table2, table2_rows
     from repro.polaris.report import merge_timings
-    rows = table2_rows(jobs=args.jobs)
+    tracer = _make_tracer(args)
+    rows = table2_rows(jobs=args.jobs, benchmarks=_select_benchmarks(args),
+                       tracer=tracer)
     print(render_table2(rows))
     if args.profile:
         timings: Dict[str, float] = {}
         for row in rows:
             merge_timings(timings, row.timings)
         _print_profile(timings)
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     return 0
 
 
 def cmd_figure20(args) -> int:
     from repro.experiments.figure20 import figure20_all, render_figure20
     from repro.polaris.report import merge_timings
-    cells = figure20_all(jobs=args.jobs)
+    tracer = _make_tracer(args)
+    cells = figure20_all(jobs=args.jobs,
+                         benchmarks=_select_benchmarks(args), tracer=tracer)
     print(render_figure20(cells))
     if args.profile:
         timings: Dict[str, float] = {}
         for cell in cells:
             merge_timings(timings, cell.timings)
         _print_profile(timings)
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     return 0
 
 
@@ -236,16 +277,19 @@ def cmd_bench(args) -> int:
     from repro.perfect import get_benchmark
     from repro.polaris.report import merge_timings
     bench = get_benchmark(args.name)
-    row = table2_row(bench)
+    tracer = _make_tracer(args)
+    row = table2_row(bench, tracer=tracer)
     print(render_table2([row]))
     print()
-    cells = figure20_cells(bench, jobs=args.jobs)
+    cells = figure20_cells(bench, jobs=args.jobs, tracer=tracer)
     print(render_figure20(cells))
     if args.profile:
         timings = dict(row.timings)
         for cell in cells:
             merge_timings(timings, cell.timings)
         _print_profile(timings)
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     return 0
 
 
@@ -380,6 +424,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (default: $REPRO_JOBS or 1 "
                             "= serial; 0 = one per CPU)")
 
+    def add_trace(p):
+        p.add_argument("--trace", metavar="FILE",
+                       help="write a Chrome trace-event JSON (plus a "
+                            "FILE-derived .decisions.jsonl per-loop "
+                            "decision log); load FILE in Perfetto")
+
     p = sub.add_parser("parallelize", help="inline, parallelize, reverse")
     add_files(p)
     p.add_argument("--output", "-o", help="output file (default stdout)")
@@ -428,13 +478,18 @@ def build_parser() -> argparse.ArgumentParser:
                      ("figure20", cmd_figure20)):
         p = sub.add_parser(name, help=f"regenerate the paper's {name}")
         add_jobs(p)
+        add_trace(p)
         if fn is not cmd_table1:
             add_profile(p)
+            p.add_argument("--benchmarks", nargs="+", metavar="NAME",
+                           help="restrict to these benchmarks "
+                                "(default: the full suite)")
         p.set_defaults(fn=fn)
 
     p = sub.add_parser("bench", help="full report for one benchmark")
     p.add_argument("name")
     add_jobs(p)
+    add_trace(p)
     add_profile(p)
     p.set_defaults(fn=cmd_bench)
 

@@ -30,7 +30,10 @@ import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Iterable, List, Optional, TypeVar
+from typing import (Any, Callable, Dict, Iterable, List, Optional,
+                    TypeVar)
+
+from repro.trace import NULL_TRACER, Tracer
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -86,7 +89,9 @@ def _mark_worker() -> None:  # pragma: no cover - runs in child processes
 
 
 def run_tasks(fn: Callable[[T], R], tasks: Iterable[T],
-              jobs: Optional[int] = None, chunksize: int = 1) -> List[R]:
+              jobs: Optional[int] = None, chunksize: int = 1,
+              tracer: Optional[Tracer] = None,
+              label: str = "tasks") -> List[R]:
     """Map ``fn`` over ``tasks``, preserving task order in the result.
 
     With an effective worker count of 1 (or a single task) the map runs
@@ -96,21 +101,45 @@ def run_tasks(fn: Callable[[T], R], tasks: Iterable[T],
     so callers always get the same result list.  ``fn`` must be a
     module-level callable and tasks/results picklable for the parallel
     path to engage.
+
+    ``tracer`` (optional) records one span over the whole batch plus an
+    instant event if the pool degrades to the serial fallback — the
+    fan-out itself becomes visible on the trace timeline.
     """
+    tracer = tracer or NULL_TRACER
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(tasks) <= 1:
-        return [fn(t) for t in tasks]
-    try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks)),
-                                 initializer=_mark_worker) as pool:
-            return list(pool.map(fn, tasks, chunksize=chunksize))
-    except (BrokenProcessPool, pickle.PicklingError, AttributeError,
-            TypeError, OSError, ImportError):
-        # pool could not be started or could not transport the work
-        # (sandboxed semaphores, unpicklable closures, killed workers):
-        # the tasks themselves are pure, so redo them serially
-        return [fn(t) for t in tasks]
+    with tracer.span(f"run_tasks {label}", cat="executor",
+                     tasks=len(tasks), jobs=jobs):
+        if jobs <= 1 or len(tasks) <= 1:
+            return [fn(t) for t in tasks]
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(tasks)),
+                                     initializer=_mark_worker) as pool:
+                return list(pool.map(fn, tasks, chunksize=chunksize))
+        except (BrokenProcessPool, pickle.PicklingError, AttributeError,
+                TypeError, OSError, ImportError):
+            # pool could not be started or could not transport the work
+            # (sandboxed semaphores, unpicklable closures, killed workers):
+            # the tasks themselves are pure, so redo them serially
+            tracer.instant("serial-fallback", cat="executor",
+                           tasks=len(tasks), jobs=jobs)
+            return [fn(t) for t in tasks]
+
+
+def merge_task_traces(tracer: Optional[Tracer],
+                      exports: Iterable[Optional[Dict[str, Any]]]) -> None:
+    """Fold worker-local trace exports back into the parent trace.
+
+    ``exports`` follows :func:`run_tasks` result order (one entry per
+    task, ``None`` where the task was not traced).  Each export keeps
+    the process lane of the worker that really ran it; tasks executed
+    in-process (serial runs, fallback) land on the parent's own lane.
+    """
+    if tracer is None or not tracer.enabled:
+        return
+    for exported in exports:
+        tracer.merge(exported)
 
 
 # ---------------------------------------------------------------------------

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.executor import run_tasks
+from repro.experiments.executor import merge_task_traces, run_tasks
 from repro.experiments.pipeline import (CONFIGS, Config, PipelineResult,
                                         run_config)
 from repro.experiments.reporting import bar_chart
@@ -28,6 +28,7 @@ from repro.experiments.tuning import TuningResult, tune
 from repro.perfect import all_benchmarks
 from repro.perfect.suite import Benchmark
 from repro.runtime.machine import AMD_OPTERON, INTEL_MAC, MachineModel
+from repro.trace import Tracer
 
 MACHINES = (INTEL_MAC, AMD_OPTERON)
 
@@ -41,6 +42,8 @@ class SpeedupCell:
     #: per-phase wall-clock seconds this cell actually spent (pipeline
     #: phases only on the cell that ran them; 'tune' always)
     timings: Dict[str, float] = field(default_factory=dict)
+    #: worker-local :meth:`repro.trace.Tracer.export`, when requested
+    trace: Optional[Dict[str, Any]] = None
 
     @property
     def speedup(self) -> float:
@@ -54,6 +57,8 @@ class Figure20Task:
     benchmark: Benchmark
     machine: MachineModel
     kind: str
+    #: record a worker-local trace and ship it back with the cell
+    trace: bool = False
 
 
 #: (source digest, config kind) -> finished pipeline result, so the cells
@@ -67,10 +72,14 @@ def clear_pipeline_cache() -> None:
 
 
 def run_cell_task(task: Figure20Task) -> SpeedupCell:
+    tracer = Tracer(label=f"figure20 {task.benchmark.name}/"
+                          f"{task.machine.name}/{task.kind}") \
+        if task.trace else None
     key = (task.benchmark.digest(), task.kind)
     result = _PIPELINE_CACHE.get(key)
     if result is None:
-        result = run_config(task.benchmark, Config(task.kind))
+        result = run_config(task.benchmark, Config(task.kind),
+                            tracer=tracer)
         _PIPELINE_CACHE[key] = result
         timings = dict(result.report.timings)
     else:
@@ -78,28 +87,44 @@ def run_cell_task(task: Figure20Task) -> SpeedupCell:
     t0 = perf_counter()
     # tuning mutates the program: use a fresh clone per machine
     program = result.program.clone()
-    tuning = tune(program, task.machine, task.benchmark.inputs)
+    if tracer is not None:
+        with tracer.span("tune", benchmark=task.benchmark.name,
+                         machine=task.machine.name, config=task.kind):
+            tuning = tune(program, task.machine, task.benchmark.inputs)
+    else:
+        tuning = tune(program, task.machine, task.benchmark.inputs)
     timings["tune"] = timings.get("tune", 0.0) + (perf_counter() - t0)
     return SpeedupCell(task.benchmark.name, task.machine.name, task.kind,
-                       tuning, timings)
+                       tuning, timings,
+                       tracer.export() if tracer else None)
 
 
 def figure20_cells(benchmark: Benchmark,
                    machines: Sequence[MachineModel] = MACHINES,
-                   jobs: Optional[int] = None) -> List[SpeedupCell]:
-    tasks = [Figure20Task(benchmark, machine, kind)
+                   jobs: Optional[int] = None,
+                   tracer: Optional[Tracer] = None) -> List[SpeedupCell]:
+    trace = tracer is not None and tracer.enabled
+    tasks = [Figure20Task(benchmark, machine, kind, trace=trace)
              for machine in machines for kind in CONFIGS]
-    return run_tasks(run_cell_task, tasks, jobs=jobs)
+    cells = run_tasks(run_cell_task, tasks, jobs=jobs,
+                      tracer=tracer, label="figure20")
+    merge_task_traces(tracer, [c.trace for c in cells])
+    return cells
 
 
 def figure20_all(machines: Sequence[MachineModel] = MACHINES,
                  benchmarks: Optional[List[Benchmark]] = None,
-                 jobs: Optional[int] = None) -> List[SpeedupCell]:
+                 jobs: Optional[int] = None,
+                 tracer: Optional[Tracer] = None) -> List[SpeedupCell]:
     benchmarks = benchmarks if benchmarks is not None else all_benchmarks()
-    tasks = [Figure20Task(b, machine, kind)
+    trace = tracer is not None and tracer.enabled
+    tasks = [Figure20Task(b, machine, kind, trace=trace)
              for b in benchmarks
              for machine in machines for kind in CONFIGS]
-    return run_tasks(run_cell_task, tasks, jobs=jobs)
+    cells = run_tasks(run_cell_task, tasks, jobs=jobs,
+                      tracer=tracer, label="figure20")
+    merge_task_traces(tracer, [c.trace for c in cells])
+    return cells
 
 
 def render_figure20(cells: List[SpeedupCell]) -> str:

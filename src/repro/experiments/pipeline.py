@@ -33,6 +33,7 @@ from repro.inlining.heuristics import InlinePolicy
 from repro.perfect.suite import Benchmark
 from repro.polaris import Polaris, PolarisOptions, Report
 from repro.program import Program
+from repro.trace import NULL_TRACER, Tracer
 
 CONFIGS = ("none", "conventional", "annotation")
 
@@ -111,46 +112,72 @@ def prepare_base(benchmark: Benchmark) -> Program:
 
 
 def run_config(benchmark: Benchmark, config: Config,
-               base: Optional[Program] = None) -> PipelineResult:
+               base: Optional[Program] = None,
+               tracer: Optional[Tracer] = None) -> PipelineResult:
+    tracer = tracer or NULL_TRACER
     timings: Dict[str, float] = {}
-    if base is None:
+    with tracer.span("pipeline", benchmark=benchmark.name,
+                     config=config.kind):
+        if base is None:
+            t0 = perf_counter()
+            with tracer.span("parse", benchmark=benchmark.name):
+                base = prepare_base(benchmark)
+            timings["parse"] = perf_counter() - t0
+        with tracer.span("clone"):
+            program = base.clone()
+        conventional_result = None
+        annotation_result = None
+        reverse_result = None
+        registry = None
+
         t0 = perf_counter()
-        base = prepare_base(benchmark)
-        timings["parse"] = perf_counter() - t0
-    program = base.clone()
-    conventional_result = None
-    annotation_result = None
-    reverse_result = None
-    registry = None
+        if config.kind == "conventional":
+            policy = config.inline_policy
+            if benchmark.library_units:
+                policy = _policy_with_unavailable(policy,
+                                                  benchmark.library_units)
+            with tracer.span("inline", kind="conventional"):
+                conventional_result = ConventionalInliner(policy).run(program)
+            timings["inline"] = perf_counter() - t0
+        elif config.kind == "annotation":
+            registry = benchmark.registry()
+            with tracer.span("inline", kind="annotation"):
+                annotation_result = AnnotationInliner(
+                    registry, config.translate).run(program)
+            timings["inline"] = perf_counter() - t0
 
-    t0 = perf_counter()
-    if config.kind == "conventional":
-        policy = config.inline_policy
-        if benchmark.library_units:
-            policy = _policy_with_unavailable(policy,
-                                              benchmark.library_units)
-        conventional_result = ConventionalInliner(policy).run(program)
-        timings["inline"] = perf_counter() - t0
-    elif config.kind == "annotation":
-        registry = benchmark.registry()
-        annotation_result = AnnotationInliner(
-            registry, config.translate).run(program)
-        timings["inline"] = perf_counter() - t0
+        first_decision = len(tracer.decisions)
+        report = Polaris(config.polaris).run(program, tracer=tracer)
 
-    report = Polaris(config.polaris).run(program)
-
-    if config.kind == "annotation":
-        t0 = perf_counter()
-        reverse_result = ReverseInliner(registry,
-                                        config.translate).run(program)
-        timings["reverse"] = perf_counter() - t0
+        if config.kind == "annotation":
+            t0 = perf_counter()
+            with tracer.span("reverse"):
+                reverse_result = ReverseInliner(registry,
+                                                config.translate).run(program)
+            timings["reverse"] = perf_counter() - t0
 
     for phase, seconds in timings.items():
         report.add_timing(phase, seconds)
-    return PipelineResult(config.kind, program, report,
-                          program.total_lines(),
-                          conventional_result, annotation_result,
-                          reverse_result)
+    result = PipelineResult(config.kind, program, report,
+                            program.total_lines(),
+                            conventional_result, annotation_result,
+                            reverse_result)
+    if tracer.enabled:
+        _stamp_decisions(tracer.decisions[first_decision:], benchmark.name,
+                         config.kind, result.reachable_units())
+    return result
+
+
+def _stamp_decisions(decisions, benchmark: str, kind: str,
+                     reachable: Set[str]) -> None:
+    """Attribute freshly recorded loop decisions to this pipeline run and
+    mark whether each loop's unit is execution-reachable — the trace-side
+    half of the Table II counting protocol (see
+    :func:`repro.trace.count_parallel`)."""
+    for d in decisions:
+        d.benchmark = benchmark
+        d.config = kind
+        d.reachable = d.unit in reachable
 
 
 def summarize_result(result: PipelineResult) -> Dict[str, object]:
@@ -175,12 +202,19 @@ def summarize_result(result: PipelineResult) -> Dict[str, object]:
 
 def run_all_configs(benchmark: Benchmark,
                     polaris: Optional[PolarisOptions] = None,
+                    tracer: Optional[Tracer] = None,
                     ) -> Dict[str, PipelineResult]:
+    t0 = perf_counter()
     base = prepare_base(benchmark)
+    parse_seconds = perf_counter() - t0
     polaris = polaris or PolarisOptions()
     out: Dict[str, PipelineResult] = {}
     for kind in CONFIGS:
-        out[kind] = run_config(benchmark, Config(kind, polaris), base)
+        out[kind] = run_config(benchmark, Config(kind, polaris), base,
+                               tracer=tracer)
+    # the shared parse is real work one of the runs must account for,
+    # or --profile would silently drop the phase on this path
+    out[CONFIGS[0]].report.add_timing("parse", parse_seconds)
     return out
 
 

@@ -8,16 +8,21 @@ from repro.experiments.executor import run_tasks
 from repro.experiments.reporting import text_table
 from repro.perfect import all_benchmarks
 from repro.perfect.suite import Benchmark
+from repro.trace import Tracer
 
 
 def _describe(benchmark: Benchmark) -> Tuple[str, str]:
     return (benchmark.name, benchmark.description)
 
 
-def table1_rows(jobs: Optional[int] = None) -> List[Tuple[str, str]]:
-    return run_tasks(_describe, all_benchmarks(), jobs=jobs)
+def table1_rows(jobs: Optional[int] = None,
+                tracer: Optional[Tracer] = None) -> List[Tuple[str, str]]:
+    return run_tasks(_describe, all_benchmarks(), jobs=jobs,
+                     tracer=tracer, label="table1")
 
 
-def render_table1(jobs: Optional[int] = None) -> str:
-    return text_table(["Applications", "Descriptions"], table1_rows(jobs),
+def render_table1(jobs: Optional[int] = None,
+                  tracer: Optional[Tracer] = None) -> str:
+    return text_table(["Applications", "Descriptions"],
+                      table1_rows(jobs, tracer),
                       title="TABLE I: SUMMARY OF THE PERFECT BENCHMARKS")

@@ -22,15 +22,16 @@ table is byte-identical for any worker count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
-from repro.experiments.executor import run_tasks
+from repro.experiments.executor import merge_task_traces, run_tasks
 from repro.experiments.pipeline import CONFIGS, Config, run_config
 from repro.experiments.reporting import text_table
 from repro.perfect import all_benchmarks
 from repro.perfect.suite import Benchmark
 from repro.polaris import PolarisOptions
 from repro.polaris.report import ConfigComparison, merge_timings
+from repro.trace import Tracer
 
 
 @dataclass
@@ -50,6 +51,8 @@ class Table2Task:
     benchmark: Benchmark
     kind: str
     polaris: Optional[PolarisOptions] = None
+    #: record a worker-local trace and ship it back with the outcome
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -60,13 +63,19 @@ class ConfigOutcome:
     origins: FrozenSet[str]
     code_lines: int
     timings: Dict[str, float]
+    #: worker-local :meth:`repro.trace.Tracer.export`, when requested
+    trace: Optional[Dict[str, Any]] = None
 
 
 def run_config_task(task: Table2Task) -> ConfigOutcome:
     polaris = task.polaris if task.polaris is not None else PolarisOptions()
-    result = run_config(task.benchmark, Config(task.kind, polaris))
+    tracer = Tracer(label=f"table2 {task.benchmark.name}/{task.kind}") \
+        if task.trace else None
+    result = run_config(task.benchmark, Config(task.kind, polaris),
+                        tracer=tracer)
     return ConfigOutcome(task.kind, frozenset(result.parallel_origins()),
-                         result.code_lines, dict(result.report.timings))
+                         result.code_lines, dict(result.report.timings),
+                         tracer.export() if tracer else None)
 
 
 def _assemble_row(name: str, outcomes: List[ConfigOutcome]) -> Table2Row:
@@ -82,24 +91,47 @@ def _assemble_row(name: str, outcomes: List[ConfigOutcome]) -> Table2Row:
 
 
 def table2_row(benchmark: Benchmark,
-               polaris: Optional[PolarisOptions] = None) -> Table2Row:
-    return _assemble_row(benchmark.name,
-                         [run_config_task(Table2Task(benchmark, kind,
-                                                     polaris))
-                          for kind in CONFIGS])
+               polaris: Optional[PolarisOptions] = None,
+               tracer: Optional[Tracer] = None) -> Table2Row:
+    trace = tracer is not None and tracer.enabled
+    outcomes = [run_config_task(Table2Task(benchmark, kind, polaris,
+                                           trace=trace))
+                for kind in CONFIGS]
+    merge_task_traces(tracer, [o.trace for o in outcomes])
+    return _assemble_row(benchmark.name, outcomes)
+
+
+def table2_outcomes(polaris: Optional[PolarisOptions] = None,
+                    jobs: Optional[int] = None,
+                    benchmarks: Optional[List[Benchmark]] = None,
+                    tracer: Optional[Tracer] = None,
+                    ) -> Tuple[List[Table2Row], List[ConfigOutcome]]:
+    """Rows plus the raw per-task worker outcomes they were merged from.
+
+    The outcomes come back in task order (benchmark-major, config-minor)
+    — one per ``(benchmark, config)`` — so callers can audit that row
+    assembly neither drops nor double-counts worker-local data.
+    """
+    benchmarks = benchmarks if benchmarks is not None else all_benchmarks()
+    trace = tracer is not None and tracer.enabled
+    tasks = [Table2Task(b, kind, polaris, trace=trace)
+             for b in benchmarks for kind in CONFIGS]
+    outcomes = run_tasks(run_config_task, tasks, jobs=jobs,
+                         tracer=tracer, label="table2")
+    merge_task_traces(tracer, [o.trace for o in outcomes])
+    rows = [_assemble_row(b.name,
+                          outcomes[i * len(CONFIGS):(i + 1) * len(CONFIGS)])
+            for i, b in enumerate(benchmarks)]
+    return rows, outcomes
 
 
 def table2_rows(polaris: Optional[PolarisOptions] = None,
                 jobs: Optional[int] = None,
                 benchmarks: Optional[List[Benchmark]] = None,
+                tracer: Optional[Tracer] = None,
                 ) -> List[Table2Row]:
-    benchmarks = benchmarks if benchmarks is not None else all_benchmarks()
-    tasks = [Table2Task(b, kind, polaris)
-             for b in benchmarks for kind in CONFIGS]
-    outcomes = run_tasks(run_config_task, tasks, jobs=jobs)
-    return [_assemble_row(b.name,
-                          outcomes[i * len(CONFIGS):(i + 1) * len(CONFIGS)])
-            for i, b in enumerate(benchmarks)]
+    rows, _outcomes = table2_outcomes(polaris, jobs, benchmarks, tracer)
+    return rows
 
 
 def render_table2(rows: Optional[List[Table2Row]] = None) -> str:

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field, replace
 from time import perf_counter
 from typing import Dict, List, Optional
 
-from repro.analysis.dependence import DependenceTester
+from repro.analysis.dependence import DependenceTester, TestStats
 from repro.analysis.loops import assign_origins
 from repro.analysis.normalize import normalize_unit
 from repro.analysis.loops import LoopInfo
@@ -35,6 +35,21 @@ from repro.polaris.parallelizer import LegalityAnalyzer
 from repro.polaris.profitability import ProfitabilityPolicy
 from repro.polaris.report import LoopVerdict, Report
 from repro.program import Program
+from repro.trace import NULL_TRACER, LoopDecision, Tracer
+
+#: TestStats counters recorded as per-loop dependence-test deltas
+_STAT_FIELDS = ("ziv_independent", "gcd_independent",
+                "banerjee_independent", "exact_independent",
+                "assumed_dependent", "cache_hits")
+
+
+def _stats_snapshot(stats: TestStats) -> tuple:
+    return tuple(getattr(stats, name) for name in _STAT_FIELDS)
+
+
+def _stats_delta(before: tuple, after: tuple) -> Dict[str, int]:
+    return {name: b - a
+            for name, a, b in zip(_STAT_FIELDS, before, after) if b != a}
 
 
 @dataclass(frozen=True)
@@ -53,30 +68,38 @@ class PolarisOptions:
 class Polaris:
     options: PolarisOptions = field(default_factory=PolarisOptions)
 
-    def run(self, program: Program) -> Report:
+    def run(self, program: Program,
+            tracer: Optional[Tracer] = None) -> Report:
+        tracer = tracer or NULL_TRACER
         report = Report()
         t0 = perf_counter()
-        for unit in program.units:
-            assign_origins(unit)
-        program.invalidate()
-        if self.options.normalize:
+        with tracer.span("normalize"):
             for unit in program.units:
-                normalize_unit(unit, program.symtab(unit))
+                assign_origins(unit)
+            program.invalidate()
+            if self.options.normalize:
+                for unit in program.units:
+                    normalize_unit(unit, program.symtab(unit))
         report.add_timing("normalize", perf_counter() - t0)
         t0 = perf_counter()
-        summaries = compute_summaries(program)
+        with tracer.span("summaries", units=len(program.units)):
+            summaries = compute_summaries(program)
         report.add_timing("summaries", perf_counter() - t0)
         t0 = perf_counter()
-        for unit in program.units:
-            self._parallelize_unit(program, unit, summaries, report)
-        program.invalidate()
+        with tracer.span("dependence"):
+            for unit in program.units:
+                with tracer.span(f"unit {unit.name}", cat="unit"):
+                    self._parallelize_unit(program, unit, summaries,
+                                           report, tracer)
+            program.invalidate()
         report.add_timing("dependence", perf_counter() - t0)
         return report
 
     # ------------------------------------------------------------------
     def _parallelize_unit(self, program: Program, unit: ast.ProgramUnit,
                           summaries: Dict[str, Summary],
-                          report: Report) -> None:
+                          report: Report,
+                          tracer: Tracer = NULL_TRACER) -> None:
         table = program.symtab(unit)
         analyzer = LegalityAnalyzer(
             table, summaries,
@@ -90,7 +113,7 @@ class Polaris:
             for s in body:
                 if isinstance(s, ast.DoLoop):
                     out.append(self._try_loop(s, enclosing, analyzer, policy,
-                                              table, report, process))
+                                              table, report, process, tracer))
                 elif isinstance(s, ast.IfBlock):
                     out.append(ast.IfBlock(
                         [(c, process(b, enclosing)) for c, b in s.arms],
@@ -107,15 +130,34 @@ class Polaris:
 
     def _try_loop(self, loop: ast.DoLoop, enclosing: List[ast.DoLoop],
                   analyzer: LegalityAnalyzer, policy: ProfitabilityPolicy,
-                  table, report: Report, process) -> ast.Stmt:
+                  table, report: Report, process,
+                  tracer: Tracer = NULL_TRACER) -> ast.Stmt:
         info = LoopInfo(loop, list(enclosing))
+        traced = tracer.enabled
+        if traced:
+            stats_before = _stats_snapshot(analyzer.tester.stats)
         verdict = analyzer.analyze(info)
         origin = info.origin
         if verdict.parallelized and origin in self.options.disabled_origins:
             verdict = replace_verdict(verdict, False, "tuning-disabled")
-        if verdict.parallelized and not policy.profitable(loop, table):
-            verdict = replace_verdict(verdict, False, "unprofitable")
+        profitability = "not-evaluated"
+        if verdict.parallelized:
+            if policy.profitable(loop, table):
+                profitability = "profitable"
+            else:
+                profitability = "unprofitable"
+                verdict = replace_verdict(verdict, False, "unprofitable")
         report.add(verdict)
+        if traced:
+            tracer.decision(LoopDecision(
+                unit=verdict.unit, var=verdict.var, origin=origin,
+                parallel=verdict.parallelized, reason=verdict.reason,
+                detail=verdict.detail, private=tuple(verdict.private),
+                reductions=tuple(verdict.reductions),
+                profitability=profitability,
+                dep_tests=_stats_delta(
+                    stats_before,
+                    _stats_snapshot(analyzer.tester.stats))))
 
         inner_body = (process(loop.body, enclosing + [loop])
                       if self.options.parallelize_nested

@@ -30,6 +30,7 @@ from repro.fortran import ast
 from repro.fortran.unparser import expr_to_str
 from repro.polaris.parallelizer import LegalityAnalyzer, _ArrayRefSite
 from repro.program import Program
+from repro.trace import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -70,9 +71,24 @@ class LoopDiagnosis:
 
 def diagnose_loop(program: Program, unit: ast.ProgramUnit,
                   info: LoopInfo,
-                  summaries=None) -> LoopDiagnosis:
+                  summaries=None,
+                  tracer: Optional[Tracer] = None) -> LoopDiagnosis:
     """Exhaustive diagnosis of one loop (does not stop at the first
     obstacle, unlike the legality analyzer)."""
+    tracer = tracer or NULL_TRACER
+    with tracer.span(f"diagnose {unit.name}/{info.loop.var}",
+                     cat="diagnosis"):
+        diag = _diagnose_loop(program, unit, info, summaries)
+    if tracer.enabled:
+        tracer.instant(f"diagnosis {unit.name}/{info.loop.var}",
+                       cat="diagnosis", parallel=diag.parallel,
+                       obstacles=len(diag.obstacles),
+                       dependences=len(diag.dependences))
+    return diag
+
+
+def _diagnose_loop(program: Program, unit: ast.ProgramUnit,
+                   info: LoopInfo, summaries=None) -> LoopDiagnosis:
     table = program.symtab(unit)
     summaries = summaries or compute_summaries(program)
     analyzer = LegalityAnalyzer(table, summaries)
@@ -180,14 +196,19 @@ def _render(array: str, site: _ArrayRefSite) -> str:
     return f"{array}({','.join(expr_to_str(s) for s in site.subs)})"
 
 
-def diagnose_program(program: Program) -> List[LoopDiagnosis]:
+def diagnose_program(program: Program,
+                     tracer: Optional[Tracer] = None) -> List[LoopDiagnosis]:
     """Diagnoses for every loop in the program, annotation-amenable
     serial loops first."""
-    summaries = compute_summaries(program)
-    out: List[LoopDiagnosis] = []
-    for unit in program.units:
-        for info in iter_loops(unit.body):
-            out.append(diagnose_loop(program, unit, info, summaries))
+    tracer = tracer or NULL_TRACER
+    with tracer.span("diagnose-program", cat="diagnosis"):
+        with tracer.span("summaries", cat="diagnosis"):
+            summaries = compute_summaries(program)
+        out: List[LoopDiagnosis] = []
+        for unit in program.units:
+            for info in iter_loops(unit.body):
+                out.append(diagnose_loop(program, unit, info, summaries,
+                                         tracer))
 
     def rank(d: LoopDiagnosis) -> Tuple[int, int]:
         if d.parallel:

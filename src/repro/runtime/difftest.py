@@ -22,10 +22,56 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.program import Program
 from repro.runtime.interpreter import (ORDER_PERMUTED, ORDER_SEQUENTIAL,
-                                       ExecutionResult, Interpreter)
+                                       ExecutionResult, Interpreter,
+                                       outputs_equal)
 from repro.runtime.machine import MachineModel
+
+
+def _common_divergences(serial: ExecutionResult, other: ExecutionResult,
+                        label: str, rtol: float = 1e-9) -> List[str]:
+    """Human-readable divergences, mirroring exactly the comparisons
+    :meth:`ExecutionResult.memory_equal` performs (same comparators, same
+    tolerances), so the explanation always agrees with ``passed``."""
+    problems: List[str] = []
+    ours, theirs = set(serial.commons), set(other.commons)
+    for name in sorted(ours - theirs):
+        problems.append(f"{label}: COMMON /{name}/ missing from "
+                        f"parallel result")
+    for name in sorted(theirs - ours):
+        problems.append(f"{label}: unexpected COMMON /{name}/ in "
+                        f"parallel result")
+    for name in sorted(ours & theirs):
+        buf, other_buf = serial.commons[name], other.commons[name]
+        if buf.shape != other_buf.shape:
+            problems.append(
+                f"{label}: COMMON /{name}/ shape diverges "
+                f"({buf.shape} vs {other_buf.shape})")
+            continue
+        close = np.isclose(buf, other_buf, rtol=rtol, atol=1e-12)
+        if not close.all():
+            idx = int(np.argmax(~np.ravel(close)))
+            problems.append(
+                f"{label}: COMMON /{name}/ diverges at element {idx} "
+                f"({np.ravel(buf)[idx]!r} vs {np.ravel(other_buf)[idx]!r})")
+    if not outputs_equal(serial.output, other.output, rtol):
+        problems.append(f"{label}: program output diverges"
+                        + _first_output_divergence(serial.output,
+                                                   other.output, rtol))
+    return problems
+
+
+def _first_output_divergence(a: List[str], b: List[str],
+                             rtol: float) -> str:
+    if len(a) != len(b):
+        return f" ({len(a)} vs {len(b)} lines)"
+    for i, (la, lb) in enumerate(zip(a, b)):
+        if not outputs_equal([la], [lb], rtol):
+            return f" at line {i} ({la!r} vs {lb!r})"
+    return ""
 
 
 @dataclass
@@ -46,14 +92,8 @@ class DiffTestResult:
         for label, result in (("in-order", self.parallel),
                               ("permuted", self.permuted)):
             if not self.serial.memory_equal(result):
-                for name, buf in self.serial.commons.items():
-                    import numpy as np
-                    if not np.allclose(buf, result.commons[name],
-                                       rtol=1e-9, atol=1e-12):
-                        problems.append(
-                            f"{label}: COMMON /{name}/ diverges")
-                if self.serial.output != result.output:
-                    problems.append(f"{label}: program output diverges")
+                problems.extend(_common_divergences(self.serial, result,
+                                                    label))
         return "; ".join(problems) or "unknown divergence"
 
 

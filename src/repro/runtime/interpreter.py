@@ -84,8 +84,11 @@ class ExecutionResult:
         if set(self.commons) != set(other.commons):
             return False
         for name, buf in self.commons.items():
-            if not np.allclose(buf, other.commons[name], rtol=rtol,
-                               atol=1e-12):
+            theirs = other.commons[name]
+            # np.allclose would raise on broadcast-incompatible shapes
+            if buf.shape != theirs.shape:
+                return False
+            if not np.allclose(buf, theirs, rtol=rtol, atol=1e-12):
                 return False
         return outputs_equal(self.output, other.output, rtol)
 

@@ -36,6 +36,9 @@ class ResultCache:
         self.directory = directory
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, Dict]" = OrderedDict()
+        self._hits = 0        # served from memory
+        self._disk_hits = 0   # served by loading the disk layer
+        self._misses = 0
 
     # -- disk layer --------------------------------------------------
 
@@ -74,19 +77,27 @@ class ResultCache:
     # -- public API --------------------------------------------------
 
     def get(self, digest: str) -> Optional[Dict]:
-        """The cached result for ``digest``, or None (a miss)."""
+        """The cached result for ``digest``, or None (a miss).
+
+        The disk probe and the memory insert happen under one lock
+        acquisition, so a concurrent ``put`` for the same digest cannot
+        interleave between them and be overwritten by stale disk state.
+        """
         with self._lock:
             entry = self._entries.get(digest)
             if entry is not None:
                 self._entries.move_to_end(digest)
+                self._hits += 1
                 return entry
-        entry = self._load_disk(digest)
-        if entry is not None:
-            with self._lock:
+            entry = self._load_disk(digest)
+            if entry is not None:
                 self._entries[digest] = entry
                 self._entries.move_to_end(digest)
                 self._shrink()
-        return entry
+                self._disk_hits += 1
+            else:
+                self._misses += 1
+            return entry
 
     def put(self, digest: str, result: Dict) -> None:
         with self._lock:
@@ -94,6 +105,12 @@ class ResultCache:
             self._entries.move_to_end(digest)
             self._shrink()
         self._store_disk(digest, result)
+
+    def stats(self) -> Dict[str, int]:
+        """Lookup counters: memory hits, disk hits, and misses."""
+        with self._lock:
+            return {"hits": self._hits, "disk_hits": self._disk_hits,
+                    "misses": self._misses}
 
     def _shrink(self) -> None:
         while len(self._entries) > self.capacity:
@@ -104,8 +121,14 @@ class ResultCache:
             return len(self._entries)
 
     def __contains__(self, digest: str) -> bool:
+        """Whether a ``get`` would hit — consults memory *and* disk, so a
+        daemon restart (warm disk, cold memory) still reports entries."""
         with self._lock:
-            return digest in self._entries
+            if digest in self._entries:
+                return True
+        if self.directory:
+            return os.path.exists(self._path(digest))
+        return False
 
     def clear(self, disk: bool = False) -> None:
         with self._lock:

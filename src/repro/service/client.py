@@ -54,7 +54,8 @@ class ServiceClient:
     def submit(self, payload: Dict[str, Any], wait: bool = True,
                deadline: Optional[float] = None,
                max_retries: Optional[int] = None,
-               wait_timeout: Optional[float] = None) -> Dict[str, Any]:
+               wait_timeout: Optional[float] = None,
+               include_trace: bool = False) -> Dict[str, Any]:
         message: Dict[str, Any] = {"op": "submit", "payload": payload,
                                    "wait": wait}
         if deadline is not None:
@@ -63,6 +64,8 @@ class ServiceClient:
             message["max_retries"] = max_retries
         if wait_timeout is not None:
             message["wait_timeout"] = wait_timeout
+        if include_trace:
+            message["include_trace"] = True
         return self.request(message)
 
     def submit_benchmark(self, name: str, config: str = "annotation",
@@ -82,11 +85,14 @@ class ServiceClient:
         return self.request({"op": "status", "job_id": job_id})
 
     def result(self, job_id: str, wait: bool = False,
-               wait_timeout: Optional[float] = None) -> Dict[str, Any]:
+               wait_timeout: Optional[float] = None,
+               include_trace: bool = False) -> Dict[str, Any]:
         message: Dict[str, Any] = {"op": "result", "job_id": job_id,
                                    "wait": wait}
         if wait_timeout is not None:
             message["wait_timeout"] = wait_timeout
+        if include_trace:
+            message["include_trace"] = True
         return self.request(message)
 
     def cancel(self, job_id: str) -> Dict[str, Any]:

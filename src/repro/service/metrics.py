@@ -17,6 +17,7 @@ milliseconds to seconds, not nanoseconds).
 from __future__ import annotations
 
 import threading
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 #: default histogram buckets (seconds) — the pipeline spans ~1ms probes
@@ -136,6 +137,10 @@ class Histogram:
                     return
             self._counts[-1] += 1
 
+    def time(self) -> "_HistogramTimer":
+        """Context manager observing the elapsed wall clock on exit."""
+        return _HistogramTimer(self)
+
     def to_json(self):
         with self._lock:
             cumulative = 0
@@ -159,6 +164,20 @@ class Histogram:
             out.append(f"{self.name}_sum {_fmt(self._sum)}")
             out.append(f"{self.name}_count {self._count}")
             return out
+
+
+class _HistogramTimer:
+    def __init__(self, histogram: Histogram):
+        self._histogram = histogram
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._histogram.observe(perf_counter() - self._t0)
+        return False
 
 
 class MetricsRegistry:

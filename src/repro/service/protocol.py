@@ -6,6 +6,12 @@ objects; a connection carries any number of request/response pairs in
 order.  Requests name an operation in ``op``; responses always carry a
 boolean ``ok``, plus ``error``/``code`` when ``ok`` is false.
 
+Job payloads may set ``trace: true`` to run the pipeline under a
+:class:`repro.trace.Tracer`; the worker attaches the exported trace to
+the stored result.  Because traces are bulky, ``submit`` and ``result``
+responses omit the ``trace`` key unless the request sets
+``include_trace: true``.
+
 The frame length is capped so a corrupt or hostile peer cannot make the
 server allocate unbounded memory from four bytes of garbage.
 """

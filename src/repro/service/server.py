@@ -64,12 +64,14 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
       ``crash-once``) used by health checks and the service tests.
     """
     kind = payload.get("kind")
+    trace = bool(payload.get("trace"))
     if kind == "probe":
         return _execute_probe(payload)
     if kind == "benchmark":
         from repro.perfect import get_benchmark
         benchmark = get_benchmark(payload["benchmark"])
-        return _run_pipeline(benchmark, payload.get("config", "annotation"))
+        return _run_pipeline(benchmark, payload.get("config", "annotation"),
+                             trace=trace)
     if kind == "sources":
         from repro.perfect.suite import Benchmark
         sources = payload.get("sources")
@@ -81,17 +83,27 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             description="submitted via repro.service",
             sources=dict(sources),
             annotations=payload.get("annotations", ""))
-        return _run_pipeline(benchmark, payload.get("config", "annotation"))
+        return _run_pipeline(benchmark, payload.get("config", "annotation"),
+                             trace=trace)
     raise ValueError(f"unknown payload kind {kind!r}; "
                      f"expected one of {PAYLOAD_KINDS}")
 
 
-def _run_pipeline(benchmark, config_kind: str) -> Dict[str, Any]:
+def _run_pipeline(benchmark, config_kind: str,
+                  trace: bool = False) -> Dict[str, Any]:
     from repro.experiments.pipeline import (Config, run_config,
                                             summarize_result)
     if config_kind not in ("none", "conventional", "annotation"):
         raise ValueError(f"unknown config {config_kind!r}")
-    return summarize_result(run_config(benchmark, Config(config_kind)))
+    tracer = None
+    if trace:
+        from repro.trace import Tracer
+        tracer = Tracer(label=f"service {benchmark.name}/{config_kind}")
+    summary = summarize_result(run_config(benchmark, Config(config_kind),
+                                          tracer=tracer))
+    if tracer is not None:
+        summary["trace"] = tracer.export()
+    return summary
 
 
 def _execute_probe(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -182,6 +194,16 @@ class ParallelizationServer:
             "repro_uptime_seconds", "seconds since the server started")
         self._m_latency = m.histogram(
             "repro_job_latency_seconds", "submit-to-finish wall clock")
+        self._m_requests = m.counter(
+            "repro_requests_total", "protocol requests handled, by op")
+        self._m_request_seconds = m.histogram(
+            "repro_request_seconds", "protocol request handling time")
+        self._m_loops_parallel = m.counter(
+            "repro_loops_parallel_total", "loops parallelized by "
+            "finished jobs")
+        self._m_loops_serial = m.counter(
+            "repro_loops_serial_total", "loops left serial by finished "
+            "jobs, by reason")
 
     # -- lifecycle ---------------------------------------------------
 
@@ -383,6 +405,11 @@ class ParallelizationServer:
                 self.metrics.histogram(
                     f"repro_phase_{phase}_seconds",
                     f"wall clock of the {phase} phase").observe(seconds)
+            count = result.get("parallel_count")
+            if isinstance(count, int):
+                self._m_loops_parallel.inc(count)
+            for reason, n in result.get("serial_reasons", {}).items():
+                self._m_loops_serial.inc(n, reason=reason)
 
     # -- protocol handling -------------------------------------------
 
@@ -411,6 +438,15 @@ class ParallelizationServer:
                 shutdown = response.pop("_shutdown", False)
                 try:
                     protocol.send_message(conn, response)
+                except protocol.ProtocolError as exc:
+                    # response exceeds the frame limit: tell the client
+                    # instead of silently dropping the connection
+                    try:
+                        protocol.send_message(conn, protocol.error_response(
+                            f"response too large for one frame: {exc}",
+                            code="oversize"))
+                    except (OSError, protocol.ProtocolError):
+                        return
                 except OSError:
                     return
                 if shutdown:
@@ -422,17 +458,26 @@ class ParallelizationServer:
         op = request.get("op")
         handler = getattr(self, f"_op_{op}", None) if op else None
         if handler is None or not str(op).isidentifier():
+            self._m_requests.inc(op="unknown")
             return protocol.error_response(
                 f"unknown op {op!r}; expected submit/status/result/"
                 f"cancel/health/metrics/shutdown", code="bad-op")
-        return handler(request)
+        self._m_requests.inc(op=str(op))
+        with self._m_request_seconds.time():
+            return handler(request)
 
     def _job_response(self, job: Job, deduped: bool = False,
-                      include_result: bool = False) -> Dict[str, Any]:
+                      include_result: bool = False,
+                      include_trace: bool = False) -> Dict[str, Any]:
         response = {"ok": True, "deduped": deduped}
         response.update(job.snapshot())
         if include_result and job.state == JobState.DONE:
-            response["result"] = job.result
+            result = job.result
+            if not include_trace and isinstance(result, dict) \
+                    and "trace" in result:
+                # traces are bulky: returned only on request
+                result = {k: v for k, v in result.items() if k != "trace"}
+            response["result"] = result
         return response
 
     def _op_submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -456,8 +501,10 @@ class ParallelizationServer:
         deduped = before is not None and job.id == before
         if request.get("wait"):
             job.finished.wait(timeout=request.get("wait_timeout"))
-        return self._job_response(job, deduped=deduped,
-                                  include_result=bool(request.get("wait")))
+        return self._job_response(
+            job, deduped=deduped,
+            include_result=bool(request.get("wait")),
+            include_trace=bool(request.get("include_trace")))
 
     def _lookup(self, request: Dict[str, Any]):
         job_id = request.get("job_id")
@@ -478,7 +525,9 @@ class ParallelizationServer:
         if request.get("wait"):
             job.finished.wait(timeout=request.get("wait_timeout"))
         if job.state == JobState.DONE:
-            return self._job_response(job, include_result=True)
+            return self._job_response(
+                job, include_result=True,
+                include_trace=bool(request.get("include_trace")))
         if job.state in FINAL_STATES:
             return protocol.error_response(
                 f"job {job.id} finished as {job.state}: {job.error}",
@@ -510,6 +559,7 @@ class ParallelizationServer:
             "queue_capacity": self.queue.capacity,
             "jobs_by_state": states,
             "cache_entries": len(self.cache),
+            "cache_stats": self.cache.stats(),
         }
 
     def _op_metrics(self, request: Dict[str, Any]) -> Dict[str, Any]:

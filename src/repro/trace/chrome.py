@@ -1,0 +1,77 @@
+"""Chrome trace-event JSON: file output and structural validation.
+
+The validator enforces the subset of the trace-event format this
+package emits (the "JSON Object Format": a top-level object with a
+``traceEvents`` array of complete/instant/metadata events).  It exists
+so the CI smoke test — and anyone scripting against ``--trace`` output —
+can assert a trace is loadable before shipping it to Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+#: event phases this package emits
+_KNOWN_PHASES = {"X", "i", "M"}
+
+
+def write_chrome(tracer, path: str) -> None:
+    """Write ``tracer``'s Chrome trace-event JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(tracer.to_chrome(), fh, sort_keys=True)
+        fh.write("\n")
+
+
+def validate_chrome_trace(obj: Any) -> List[str]:
+    """Structural problems in a Chrome trace-event object (empty list =
+    valid).  Checks the invariants Perfetto's importer relies on:
+    the ``traceEvents`` array, per-event required keys, numeric
+    non-negative timestamps, and durations on complete events."""
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be a JSON object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top-level 'traceEvents' must be an array"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        if not isinstance(event.get("name", ""), str):
+            problems.append(f"{where}: 'name' must be a string")
+        if ph == "M":
+            continue  # metadata events need no timestamp semantics
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: 'ts' must be a non-negative number")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    f"{where}: complete event needs non-negative 'dur'")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: 'args' must be an object")
+    decisions = obj.get("loopDecisions", [])
+    if not isinstance(decisions, list):
+        problems.append("'loopDecisions' must be an array when present")
+    else:
+        for i, d in enumerate(decisions):
+            if not isinstance(d, dict) or "unit" not in d \
+                    or "parallel" not in d:
+                problems.append(f"loopDecisions[{i}]: not a decision "
+                                f"record (needs 'unit' and 'parallel')")
+    return problems
+
+
+def load_chrome_trace(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -181,6 +181,28 @@ class TestTable2Equivalence:
             assert rows[0].timings.get(phase, 0.0) >= 0.0
         assert "dependence" in rows[0].timings
 
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_row_timings_equal_merge_of_worker_outcomes(self, jobs):
+        # aggregation audit: every phase second a worker reported must
+        # appear in its row exactly once — nothing dropped, nothing
+        # double-counted — regardless of worker count
+        from repro.experiments.pipeline import CONFIGS
+        from repro.experiments.table2 import table2_outcomes
+        from repro.polaris.report import merge_timings
+        _clear_caches()
+        benchmarks = [get_benchmark(n) for n in BENCHES]
+        rows, outcomes = table2_outcomes(benchmarks=benchmarks, jobs=jobs)
+        assert len(outcomes) == len(benchmarks) * len(CONFIGS)
+        for i, row in enumerate(rows):
+            expected = {}
+            for outcome in outcomes[i * len(CONFIGS):(i + 1) * len(CONFIGS)]:
+                merge_timings(expected, outcome.timings)
+            assert set(row.timings) == set(expected)
+            for phase, seconds in expected.items():
+                assert row.timings[phase] == pytest.approx(seconds,
+                                                           abs=1e-9), \
+                    f"{row.benchmark}/{phase} (jobs={jobs})"
+
 
 class TestFigure20Equivalence:
     def _render(self, **kwargs):

@@ -1,0 +1,100 @@
+"""Regression tests for DiffTestResult.explain(): it must never raise
+and must agree with ``passed`` on every divergence shape — mismatched
+COMMON sets, shape mismatches, element divergence, and tolerance-level
+output reordering."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.difftest import DiffTestResult
+from repro.runtime.interpreter import ExecutionResult
+
+
+def _result(commons=None, output=()):
+    return ExecutionResult(output=list(output), cost=0.0,
+                           commons={k: np.asarray(v, dtype=float)
+                                    for k, v in (commons or {}).items()})
+
+
+def _diff(serial, parallel, permuted=None):
+    return DiffTestResult(serial, parallel, permuted or parallel)
+
+
+class TestAgreementWithPassed:
+    def test_identical_passes(self):
+        a = _result({"D": [1.0, 2.0]}, ["1.0"])
+        b = _result({"D": [1.0, 2.0]}, ["1.0"])
+        r = _diff(a, b)
+        assert r.passed
+        assert r.explain() == "parallel execution matches serial execution"
+
+    def test_missing_common_block(self):
+        r = _diff(_result({"D": [1.0], "E": [2.0]}),
+                  _result({"D": [1.0]}))
+        assert not r.passed
+        msg = r.explain()
+        assert "COMMON /E/" in msg and "missing" in msg
+
+    def test_extra_common_block(self):
+        r = _diff(_result({"D": [1.0]}),
+                  _result({"D": [1.0], "X": [9.0]}))
+        assert not r.passed
+        msg = r.explain()
+        assert "COMMON /X/" in msg and "unexpected" in msg
+
+    def test_shape_mismatch_does_not_raise(self):
+        r = _diff(_result({"D": [1.0, 2.0, 3.0]}),
+                  _result({"D": [1.0, 2.0, 3.0, 4.0]}))
+        assert not r.passed  # must not raise either
+        msg = r.explain()
+        assert "shape" in msg and "diverges" in msg
+
+    def test_element_divergence_pinpointed(self):
+        r = _diff(_result({"D": [1.0, 2.0, 3.0]}),
+                  _result({"D": [1.0, 9.0, 3.0]}))
+        assert not r.passed
+        msg = r.explain()
+        assert "COMMON /D/" in msg and "diverges" in msg
+        assert "element 1" in msg
+
+    def test_tolerance_level_output_reordering_passes(self):
+        # a parallel reduction may legally reorder a float sum; the
+        # printed value differs in the last bits only
+        a = _result({"D": [1.0]}, ["SUM =   1234.5678901234567"])
+        b = _result({"D": [1.0]}, ["SUM =   1234.5678901234569"])
+        r = _diff(a, b)
+        assert r.passed
+        assert r.explain() == "parallel execution matches serial execution"
+
+    def test_real_output_divergence_reported_with_line(self):
+        a = _result({"D": [1.0]}, ["OK", "SUM = 10.0"])
+        b = _result({"D": [1.0]}, ["OK", "SUM = 20.0"])
+        r = _diff(a, b)
+        assert not r.passed
+        msg = r.explain()
+        assert "output diverges" in msg and "line 1" in msg
+
+    def test_output_line_count_divergence(self):
+        r = _diff(_result({}, ["A"]), _result({}, ["A", "B"]))
+        assert not r.passed
+        assert "output diverges" in r.explain()
+
+    def test_permuted_only_divergence_labeled(self):
+        good = _result({"D": [1.0]})
+        bad = _result({"D": [2.0]})
+        r = DiffTestResult(serial=good, parallel=good, permuted=bad)
+        assert not r.passed
+        msg = r.explain()
+        assert msg.startswith("permuted:") and "in-order" not in msg
+
+    @pytest.mark.parametrize("other", [
+        {"D": [1.0, 2.0]},                       # element divergence
+        {"D": [1.0]},                            # shape mismatch
+        {"E": [1.0, 5.0]},                       # different block set
+        {},                                      # all blocks missing
+    ])
+    def test_explain_never_raises_and_agrees(self, other):
+        serial = _result({"D": [1.0, 5.0]})
+        r = _diff(serial, _result(other))
+        assert r.passed is False
+        assert isinstance(r.explain(), str) and r.explain()

@@ -1,7 +1,9 @@
-"""Result-cache tests: LRU behavior and the disk layer's robustness."""
+"""Result-cache tests: LRU behavior, the disk layer's robustness, and
+consistency of the contains/get/put surface under concurrency."""
 
 import json
 import os
+import threading
 
 import pytest
 
@@ -85,3 +87,80 @@ class TestDiskLayer:
         cache = ResultCache(capacity=4)
         cache.put("d1", {"v": 1})
         assert list(os.listdir(tmp_path)) == []
+
+
+class TestContainsConsultsDisk:
+    def test_contains_sees_disk_entries_across_instances(self, tmp_path):
+        first = ResultCache(capacity=4, directory=str(tmp_path))
+        first.put("d1", {"v": 1})
+        # a "restarted" daemon: warm disk, cold memory
+        second = ResultCache(capacity=4, directory=str(tmp_path))
+        assert len(second) == 0
+        assert "d1" in second
+        assert "nope" not in second
+
+    def test_contains_sees_evicted_entries(self, tmp_path):
+        cache = ResultCache(capacity=1, directory=str(tmp_path))
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})  # evicts a from memory, not from disk
+        assert "a" in cache
+        assert cache.get("a") == {"v": 1}
+
+    def test_memory_only_contains_unchanged(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"v": 1})
+        assert "a" in cache and "b" not in cache
+
+
+class TestStats:
+    def test_hit_kinds_counted_distinctly(self, tmp_path):
+        cache = ResultCache(capacity=4, directory=str(tmp_path))
+        assert cache.get("d1") is None                      # miss
+        cache.put("d1", {"v": 1})
+        assert cache.get("d1") == {"v": 1}                  # memory hit
+        cache.clear()
+        assert cache.get("d1") == {"v": 1}                  # disk hit
+        assert cache.get("d1") == {"v": 1}                  # memory hit
+        assert cache.stats() == {"hits": 2, "disk_hits": 1, "misses": 1}
+
+    def test_stats_without_disk_layer(self):
+        cache = ResultCache(capacity=4)
+        cache.get("x")
+        cache.put("x", {"v": 1})
+        cache.get("x")
+        assert cache.stats() == {"hits": 1, "disk_hits": 0, "misses": 1}
+
+
+class TestConcurrency:
+    def test_hammering_stays_consistent(self, tmp_path):
+        cache = ResultCache(capacity=8, directory=str(tmp_path))
+        digests = [f"d{i}" for i in range(16)]
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                for d in digests:
+                    cache.put(d, {"v": d})
+
+        def reader():
+            while not stop.is_set():
+                for d in digests:
+                    entry = cache.get(d)
+                    if entry is not None and entry != {"v": d}:
+                        errors.append(f"wrong value for {d}: {entry}")
+                    # contains -> get must not lose the entry
+                    if d in cache and cache.get(d) is None:
+                        errors.append(f"{d} in cache but get() missed")
+
+        threads = ([threading.Thread(target=writer) for _ in range(2)]
+                   + [threading.Thread(target=reader) for _ in range(4)])
+        for t in threads:
+            t.start()
+        import time
+        time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert errors == []
+        assert len(cache) <= 8  # capacity respected throughout

@@ -412,3 +412,54 @@ class TestSocketEndToEnd:
         assert second["result"] == first["result"]
         metrics = client.metrics()["metrics"]
         assert metrics["repro_cache_hits_total"] == 1
+
+
+class TestTracedJobs:
+    def _traced_payload(self):
+        return dict(_sources_payload(tag="traced"), trace=True)
+
+    def test_trace_attached_but_stripped_by_default(self, make_server):
+        server = make_server()
+        submitted = server.handle_request(
+            {"op": "submit", "payload": self._traced_payload(),
+             "wait": True, "wait_timeout": 30})
+        assert submitted["ok"] and submitted["state"] == "done"
+        assert "trace" not in submitted["result"]
+        # the stored result still has it, on request
+        result = server.handle_request(
+            {"op": "result", "job_id": submitted["job_id"],
+             "include_trace": True})
+        trace = result["result"]["trace"]
+        assert trace["events"], "traced job produced no span events"
+
+    def test_trace_decisions_match_parallel_count(self, make_server):
+        from repro.trace import LoopDecision, count_parallel
+        server = make_server()
+        response = server.handle_request(
+            {"op": "submit", "payload": self._traced_payload(),
+             "wait": True, "wait_timeout": 30, "include_trace": True})
+        result = response["result"]
+        decisions = [LoopDecision.from_dict(d)
+                     for d in result["trace"]["decisions"]]
+        counts = count_parallel(decisions)
+        assert sum(counts.values()) == result["parallel_count"]
+
+    def test_untraced_payload_carries_no_trace(self, make_server):
+        server = make_server()
+        response = server.handle_request(
+            {"op": "submit", "payload": _sources_payload(tag="plain"),
+             "wait": True, "wait_timeout": 30, "include_trace": True})
+        assert response["state"] == "done"
+        assert "trace" not in response["result"]
+
+    def test_phase_and_request_metrics_populated(self, make_server):
+        server = make_server()
+        server.handle_request(
+            {"op": "submit", "payload": self._traced_payload(),
+             "wait": True, "wait_timeout": 30})
+        metrics = server.metrics.to_json()
+        assert metrics["repro_requests_total"] == {'{op="submit"}': 1}
+        assert metrics["repro_request_seconds"]["count"] == 1
+        assert metrics["repro_loops_parallel_total"] >= 1
+        health = server.handle_request({"op": "health"})
+        assert health["cache_stats"]["misses"] == 1
