@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Bench regression gate (used by CI, runnable locally).
+
+Runs the warm Table II pipeline (the workload PR 1 parallelized and
+cached), records per-phase wall-clock and cache hit rates into
+``BENCH_table2.json``, and — in ``--check`` mode — fails when the
+measured total is more than ``--tolerance`` (default 25%) slower than
+the committed baseline.
+
+Raw wall-clock is not comparable across machines, so the baseline also
+stores a *calibration* measurement (a fixed pure-Python workload); the
+gate scales the committed total by ``calibration_now / calibration_then``
+before comparing.  A slower runner therefore gets a proportionally
+slower allowance instead of a spurious failure.
+
+Usage:
+  PYTHONPATH=src python scripts/bench_gate.py --check            # CI gate
+  PYTHONPATH=src python scripts/bench_gate.py --write-baseline   # refresh
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+SCHEMA = 1
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "..",
+                                "BENCH_table2.json")
+#: benchmarks timed by the gate (full Table II suite)
+BENCHMARKS = None  # None = the full suite
+WARM_REPS = 5
+
+
+def calibrate(reps: int = 3) -> float:
+    """A fixed pure-Python workload measuring this machine's speed."""
+    def one() -> float:
+        t0 = time.perf_counter()
+        acc = 0
+        table = {}
+        for i in range(200_000):
+            table[i & 1023] = i
+            acc += table[i & 1023] * 3 // 7
+        assert acc > 0
+        return time.perf_counter() - t0
+    return min(one() for _ in range(reps))
+
+
+def measure() -> dict:
+    """Warm Table II timings (median of WARM_REPS) + cache hit rates."""
+    from repro.experiments.pipeline import BASE_CACHE_STATS
+    from repro.experiments.table2 import table2_rows
+    from repro.perfect import all_benchmarks
+    from repro.perfect.suite import PROGRAM_CACHE_STATS
+    from repro.polaris.report import merge_timings
+
+    benchmarks = all_benchmarks() if BENCHMARKS is None else [
+        b for b in all_benchmarks() if b.name.lower() in BENCHMARKS]
+
+    table2_rows(benchmarks=benchmarks)  # warm parse + base caches
+    PROGRAM_CACHE_STATS.reset()
+    BASE_CACHE_STATS.reset()
+
+    totals = []
+    phase_samples = []
+    for _ in range(WARM_REPS):
+        t0 = time.perf_counter()
+        rows = table2_rows(benchmarks=benchmarks)
+        totals.append(time.perf_counter() - t0)
+        phases = {}
+        for row in rows:
+            merge_timings(phases, row.timings)
+        phase_samples.append(phases)
+
+    median_idx = totals.index(sorted(totals)[len(totals) // 2])
+    return {
+        "schema": SCHEMA,
+        "benchmarks": [b.name for b in benchmarks],
+        "warm_reps": WARM_REPS,
+        "total_seconds": round(sorted(totals)[len(totals) // 2], 4),
+        "total_samples": [round(t, 4) for t in totals],
+        "phases": {k: round(v, 4) for k, v in
+                   sorted(phase_samples[median_idx].items())},
+        "cache": {
+            "program": PROGRAM_CACHE_STATS.as_dict(),
+            "base": BASE_CACHE_STATS.as_dict(),
+        },
+        "calibration_seconds": round(calibrate(), 4),
+    }
+
+
+def check(measured: dict, baseline: dict, tolerance: float) -> int:
+    scale = (measured["calibration_seconds"]
+             / baseline["calibration_seconds"])
+    allowed = baseline["total_seconds"] * scale * (1.0 + tolerance)
+    # compare the best measured sample against the allowance: the gate
+    # must not fail on one noisy rep when any rep hits the target
+    best = min(measured["total_samples"])
+    print(f"baseline total : {baseline['total_seconds']:.4f}s "
+          f"(calibration {baseline['calibration_seconds']:.4f}s)")
+    print(f"machine scale  : x{scale:.3f} "
+          f"(calibration now {measured['calibration_seconds']:.4f}s)")
+    print(f"allowed total  : {allowed:.4f}s (+{tolerance:.0%})")
+    print(f"measured total : median {measured['total_seconds']:.4f}s, "
+          f"best {best:.4f}s")
+    for phase, seconds in measured["phases"].items():
+        base = baseline["phases"].get(phase)
+        delta = "" if base is None else \
+            f"  (baseline {base:.4f}s, x{seconds / base if base else 0:.2f})"
+        print(f"  {phase:<12}{seconds:.4f}s{delta}")
+    for label in ("program", "base"):
+        now = measured["cache"][label]
+        print(f"  cache/{label:<7}hit rate {now['hit_rate']:.2f} "
+              f"({now['memory_hits']}+{now['disk_hits']} hits, "
+              f"{now['misses']} misses)")
+    if best > allowed:
+        print(f"bench gate FAILED: {best:.4f}s > {allowed:.4f}s "
+              f"(>{tolerance:.0%} slower than the committed baseline)")
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--output", default=None,
+                        help="also write the fresh measurement here")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed slowdown over baseline "
+                             "(default 0.25 = 25%%)")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--check", action="store_true",
+                      help="compare against the committed baseline "
+                           "(default)")
+    mode.add_argument("--write-baseline", action="store_true",
+                      help="overwrite the committed baseline with a "
+                           "fresh measurement")
+    args = parser.parse_args(argv)
+
+    measured = measure()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(measured, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+
+    if args.write_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(measured, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written: {args.baseline} "
+              f"(total {measured['total_seconds']:.4f}s)")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"bench gate: no baseline at {args.baseline}; run "
+              f"--write-baseline first", file=sys.stderr)
+        return 2
+    with open(args.baseline, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    if baseline.get("schema") != SCHEMA:
+        print(f"bench gate: baseline schema {baseline.get('schema')} != "
+              f"{SCHEMA}; refresh with --write-baseline", file=sys.stderr)
+        return 2
+    return check(measured, baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

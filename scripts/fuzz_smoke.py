@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Fuzz smoke test (used by CI on every push, runnable locally).
+
+A ~30-second differential-fuzzing campaign through the real CLI entry
+point: generate programs, run all three configurations, assert zero
+mismatches, and validate the exported campaign trace.
+
+Usage: PYTHONPATH=src python scripts/fuzz_smoke.py [--seed N] [--count N]
+"""
+
+import argparse
+import io
+import json
+import os
+import sys
+import tempfile
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cli import main  # noqa: E402
+from repro.trace import validate_chrome_trace  # noqa: E402
+
+
+def run(seed: int, count: int, budget: float) -> None:
+    workdir = tempfile.mkdtemp(prefix="repro-fuzz-smoke-")
+    trace_path = os.path.join(workdir, "fuzz.json")
+    stdout = io.StringIO()
+    with redirect_stdout(stdout):
+        code = main(["fuzz", "--seed", str(seed), "--count", str(count),
+                     "--time-budget", str(budget), "-j", "2",
+                     "--trace", trace_path])
+    print(stdout.getvalue())
+    if code != 0:
+        raise SystemExit(f"repro fuzz exited {code}: the campaign found "
+                         f"mismatches (see above)")
+
+    with open(trace_path, "r", encoding="utf-8") as fh:
+        trace = json.load(fh)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        raise SystemExit("invalid Chrome trace:\n  " + "\n  ".join(problems))
+    instants = [e for e in trace["traceEvents"]
+                if e.get("ph") == "i" and e.get("name") == "fuzz-campaign"]
+    if not instants:
+        raise SystemExit("no fuzz-campaign instant event in the trace")
+    args = instants[0].get("args", {})
+    if args.get("mismatches") != 0:
+        raise SystemExit(f"campaign stats report mismatches: {args}")
+    if args.get("programs", 0) <= 0:
+        raise SystemExit(f"campaign stats report no programs: {args}")
+    print(f"fuzz smoke passed: {args['programs']} programs, "
+          f"{args['configs_run']} configs, 0 mismatches "
+          f"({args['elapsed_seconds']}s)")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--count", type=int, default=60)
+    parser.add_argument("--time-budget", type=float, default=25.0)
+    ns = parser.parse_args()
+    run(ns.seed, ns.count, ns.time_budget)

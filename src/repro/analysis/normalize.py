@@ -23,7 +23,7 @@ and after normalization and compare memory.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.analysis.defuse import collect_accesses
 from repro.analysis.symbolic import from_expr

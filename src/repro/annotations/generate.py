@@ -28,7 +28,7 @@ with :func:`render_annotation` for human review.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.defuse import collect_accesses
@@ -95,11 +95,15 @@ def generate_annotation(program: Program,
             return True
         return info is not None and info.common_block is not None
 
-    # the ``unknown`` operand list: every visible value the body reads
+    # the ``unknown`` operand list: every visible value the body reads.
+    # Scalars that are also *written* stay in the list: for a
+    # read-modify-write like ``S = S + X`` the incoming value is an input
+    # to the summary, and omitting it would erase the loop-carried flow
+    # dependence at call sites (found by repro.fuzz, seed 203606025241)
     reads: List[fast.Expr] = []
     seen: Set[str] = set()
     for n in sorted(acc.scalar_reads):
-        if visible(n) and n not in acc.scalar_writes and n not in seen:
+        if visible(n) and n not in seen:
             reads.append(fast.Var(n))
             seen.add(n)
     for n, subs, w in acc.array_accesses:

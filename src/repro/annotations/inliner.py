@@ -22,7 +22,7 @@ resolve to the right arrays.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import List, Optional, Set
 
 from repro.annotations.registry import AnnotationRegistry
 from repro.annotations.translate import TranslateOptions, translate_call

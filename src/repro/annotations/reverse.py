@@ -38,7 +38,6 @@ from repro.annotations.translate import (PATTERN_PREFIX, TranslateOptions,
                                          is_generated_name, translate_call)
 from repro.errors import ReverseInlineError
 from repro.fortran import ast
-from repro.fortran.parser import parse_expression
 from repro.program import Program
 
 _MAX_UNFOLD_DEPTH = 4

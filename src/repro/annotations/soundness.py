@@ -33,13 +33,12 @@ Two complementary mechanisms:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.analysis.callgraph import build_callgraph
 from repro.analysis.defuse import collect_accesses
 from repro.analysis.sideeffects import compute_summaries
 from repro.annotations import ast as aast
-from repro.annotations.ast import walk_ann_exprs
 from repro.fortran import ast as fast
 from repro.program import Program
 
@@ -121,7 +120,6 @@ def check_soundness(program: Program,
         return report
 
     claimed_w, claimed_r, uniques = _claimed_effects(ann)
-    params = {p.upper() for p in ann.params}
 
     # actual transitive effects, in the callee's name space
     summaries = compute_summaries(program, build_callgraph(program))

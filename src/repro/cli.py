@@ -25,7 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.program import Program
 
@@ -378,6 +378,36 @@ def cmd_submit(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.fuzz import run_campaign
+    tracer = _make_tracer(args)
+    result = run_campaign(seed=args.seed, count=args.count,
+                          time_budget=args.time_budget, jobs=args.jobs,
+                          tracer=tracer, corpus_dir=args.corpus_dir,
+                          do_shrink=not args.no_shrink,
+                          progress=(print if args.verbose else None))
+    stats = result.stats
+    print(f"fuzz campaign (seed {args.seed}): {stats.summary()}")
+    if stats.parallel_loops:
+        loops = ", ".join(f"{k}={v}" for k, v in
+                          sorted(stats.parallel_loops.items()))
+        print(f"  parallel loops: {loops}")
+    if stats.features:
+        top = ", ".join(f"{name} x{n}" for name, n in
+                        stats.features.most_common(8))
+        print(f"  features: {top}")
+    for failure in result.failures:
+        print(f"  FAIL {failure.describe()}", file=sys.stderr)
+        if failure.corpus_path:
+            print(f"       repro saved: {failure.corpus_path}",
+                  file=sys.stderr)
+        if args.verbose and failure.shrunk is not None:
+            print(failure.shrunk.source_text(), file=sys.stderr)
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
+    return 0 if result.ok else 1
+
+
 def cmd_svc_status(args) -> int:
     import json
     from repro.service.client import ServiceClient, ServiceError
@@ -498,6 +528,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="service host (default 127.0.0.1)")
         p.add_argument("--port", type=int, default=7411,
                        help="service port (default 7411)")
+
+    p = sub.add_parser("fuzz",
+                       help="differential-fuzz the three configurations")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign base seed (default 0); per-program "
+                        "seeds derive deterministically from it")
+    p.add_argument("--count", type=int, default=None, metavar="N",
+                   help="number of programs to generate (default 100 "
+                        "when no --time-budget is given)")
+    p.add_argument("--time-budget", type=float, default=None,
+                   metavar="SECONDS",
+                   help="stop starting new batches after this much "
+                        "wall-clock time")
+    add_jobs(p)
+    add_trace(p)
+    p.add_argument("--corpus-dir", default=None, metavar="DIR",
+                   help="persist failing repros here (e.g. "
+                        "tests/fuzz/corpus)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip delta-debugging of failures")
+    p.add_argument("--verbose", "-v", action="store_true",
+                   help="print per-batch progress and shrunk repros")
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("serve", help="run the parallelization daemon")
     add_endpoint(p)

@@ -19,18 +19,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.analysis.callgraph import build_callgraph
 from repro.analysis.loops import assign_origins
 from repro.annotations.inliner import (AnnotationInlineResult,
                                        AnnotationInliner)
-from repro.annotations.registry import AnnotationRegistry
 from repro.annotations.reverse import ReverseInliner, ReverseResult
 from repro.annotations.translate import TranslateOptions
 from repro.inlining.conventional import ConventionalInliner, InlineResult
 from repro.inlining.heuristics import InlinePolicy
-from repro.perfect.suite import Benchmark
+from repro.perfect.suite import Benchmark, CacheStats
 from repro.polaris import Polaris, PolarisOptions, Report
 from repro.program import Program
 from repro.trace import NULL_TRACER, Tracer
@@ -93,6 +92,9 @@ def _reachable_units(program: Program) -> Set[str]:
 #: the cached base itself is never mutated — callers always clone.
 _BASE_CACHE: Dict[str, Program] = {}
 
+#: hit/miss counters for the stamped-base cache (bench-gate observable)
+BASE_CACHE_STATS = CacheStats()
+
 
 def clear_base_cache() -> None:
     _BASE_CACHE.clear()
@@ -104,10 +106,13 @@ def prepare_base(benchmark: Benchmark) -> Program:
     digest = benchmark.digest()
     base = _BASE_CACHE.get(digest)
     if base is None:
+        BASE_CACHE_STATS.misses += 1
         base = benchmark.program()
         for unit in base.units:
             assign_origins(unit)
         _BASE_CACHE[digest] = base
+    else:
+        BASE_CACHE_STATS.memory_hits += 1
     return base
 
 

@@ -1,0 +1,45 @@
+"""Differential fuzzing of the three parallelization configurations.
+
+The paper's soundness claim — annotation-based inlining parallelizes
+more loops *without changing program meaning* — is exactly the kind of
+claim a differential fuzzer can attack.  This package generates random
+valid Fortran 77 programs, runs each through all three pipeline
+configurations, executes the results serial / parallel / permuted, and
+flags any disagreement; failures are delta-debugged to minimal repros
+and persisted as permanent regression tests.
+
+Modules:
+
+* :mod:`repro.fuzz.generator` — seeded random program generator (also
+  the home of the shared program-building primitives used by the
+  hypothesis strategies in ``tests/strategies.py``);
+* :mod:`repro.fuzz.oracle` — the five differential properties;
+* :mod:`repro.fuzz.shrinker` — structure-aware delta debugging;
+* :mod:`repro.fuzz.corpus` — persisted repros under
+  ``tests/fuzz/corpus/``, replayed by tier-1;
+* :mod:`repro.fuzz.campaign` — the batch driver behind ``repro fuzz``.
+"""
+
+from repro.fuzz.campaign import (CampaignResult, CampaignStats,
+                                 FailureRecord, FuzzTask, run_campaign,
+                                 run_fuzz_task)
+from repro.fuzz.corpus import (DEFAULT_CORPUS_DIR, CorpusEntry, load_corpus,
+                               load_entry, save_entry)
+from repro.fuzz.generator import (ARRAY_EXTENT, ARRAYS, SCALARS,
+                                  FuzzProgram, GeneratorOptions,
+                                  ProgramGenerator, derive_annotations,
+                                  derive_seed, generate)
+from repro.fuzz.oracle import (CONFIG_KINDS, Mismatch, OracleResult,
+                               run_oracle, strip_omp, verdict_fingerprint)
+from repro.fuzz.shrinker import Shrinker, ShrinkResult, shrink
+
+__all__ = [
+    "ARRAYS", "ARRAY_EXTENT", "SCALARS",
+    "CampaignResult", "CampaignStats", "CONFIG_KINDS", "CorpusEntry",
+    "DEFAULT_CORPUS_DIR", "FailureRecord", "FuzzProgram", "FuzzTask",
+    "GeneratorOptions", "Mismatch", "OracleResult", "ProgramGenerator",
+    "Shrinker", "ShrinkResult", "derive_annotations", "derive_seed",
+    "generate", "load_corpus", "load_entry", "run_campaign",
+    "run_fuzz_task", "run_oracle", "save_entry", "shrink", "strip_omp",
+    "verdict_fingerprint",
+]

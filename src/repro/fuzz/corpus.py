@@ -1,0 +1,123 @@
+"""Failure corpus: persisted repros replayed as tier-1 regression tests.
+
+Every program the campaign flags is written to
+``tests/fuzz/corpus/<kind>-<seed>.json`` — the original sources, the
+auto-derived annotations, the shrunk repro, and enough metadata to
+reproduce the finding from its seed alone.  ``tests/fuzz`` replays every
+entry through the oracle on each tier-1 run, so a once-found bug can
+never silently come back.
+
+Entries with ``kind == "regression"`` are curated known-tricky programs
+(aliasing call patterns, induction subscripts, non-affine accesses) that
+must always pass; entries with any other kind are real findings that
+stay red until the underlying bug is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fuzz.oracle import OracleResult, run_oracle
+
+SCHEMA_VERSION = 1
+
+#: repo-relative default corpus location
+DEFAULT_CORPUS_DIR = os.path.join("tests", "fuzz", "corpus")
+
+
+@dataclass
+class CorpusEntry:
+    """One persisted finding (or curated regression program)."""
+
+    seed: int
+    kind: str                  # oracle property kind, or "regression"
+    config: str = ""
+    detail: str = ""
+    note: str = ""
+    features: List[str] = field(default_factory=list)
+    sources: Dict[str, str] = field(default_factory=dict)
+    annotations: str = ""
+    shrunk_sources: Optional[Dict[str, str]] = None
+    shrunk_annotations: str = ""
+    shrink_steps: int = 0
+
+    # ------------------------------------------------------------------
+    def filename(self) -> str:
+        return f"{self.kind}-{self.seed}.json"
+
+    def replay_sources(self) -> Dict[str, str]:
+        """The smallest program that exhibits (or guards against) the
+        finding: the shrunk repro when one exists, else the original."""
+        return self.shrunk_sources or self.sources
+
+    def replay_annotations(self) -> str:
+        if self.shrunk_sources is not None:
+            return self.shrunk_annotations
+        return self.annotations
+
+    def replay(self) -> OracleResult:
+        return run_oracle(self.replay_sources(), self.replay_annotations())
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "seed": self.seed,
+            "kind": self.kind,
+            "config": self.config,
+            "detail": self.detail,
+            "note": self.note,
+            "features": list(self.features),
+            "sources": dict(self.sources),
+            "annotations": self.annotations,
+            "shrunk_sources": (dict(self.shrunk_sources)
+                               if self.shrunk_sources is not None else None),
+            "shrunk_annotations": self.shrunk_annotations,
+            "shrink_steps": self.shrink_steps,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict) -> "CorpusEntry":
+        return CorpusEntry(
+            seed=int(data["seed"]),
+            kind=data["kind"],
+            config=data.get("config", ""),
+            detail=data.get("detail", ""),
+            note=data.get("note", ""),
+            features=list(data.get("features", [])),
+            sources=dict(data.get("sources", {})),
+            annotations=data.get("annotations", ""),
+            shrunk_sources=(dict(data["shrunk_sources"])
+                            if data.get("shrunk_sources") else None),
+            shrunk_annotations=data.get("shrunk_annotations", ""),
+            shrink_steps=int(data.get("shrink_steps", 0)),
+        )
+
+
+def save_entry(corpus_dir: str, entry: CorpusEntry) -> str:
+    """Write ``entry`` into ``corpus_dir``; returns the file path."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, entry.filename())
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(entry.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_entry(path: str) -> CorpusEntry:
+    with open(path, "r", encoding="utf-8") as fh:
+        return CorpusEntry.from_dict(json.load(fh))
+
+
+def load_corpus(corpus_dir: str) -> List[CorpusEntry]:
+    """All corpus entries, sorted by filename (deterministic order)."""
+    if not os.path.isdir(corpus_dir):
+        return []
+    entries = []
+    for name in sorted(os.listdir(corpus_dir)):
+        if name.endswith(".json"):
+            entries.append(load_entry(os.path.join(corpus_dir, name)))
+    return entries

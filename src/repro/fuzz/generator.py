@@ -1,0 +1,512 @@
+"""Seeded random Fortran 77 program generator.
+
+Emits random-but-*valid* programs: every generated program parses,
+executes without faults (all subscripts stay inside their declared
+extents, all loops are bounded), and is deterministic for a fixed seed —
+the properties the differential oracle (:mod:`repro.fuzz.oracle`)
+needs so that any disagreement between the three inlining
+configurations is a bug in the pipeline, never in the input.
+
+The statement families are chosen to hit the paper's pathologies:
+
+* nested DO loops with affine subscripts (the parallelizable bread and
+  butter) and loop-carried dependences (``A(I+1) = A(I)``);
+* deliberately **non-affine** subscripts (``A(I*I)``, subscripts through
+  an induction scalar) that must defeat the dependence tests;
+* subroutine calls with **aliasing-prone argument lists** — the same
+  COMMON array passed whole, by element (a view), or twice;
+* COMMON blocks shared between caller and callees;
+* sum/difference **reductions** and scalar privatization fodder;
+* **induction variables** (``K = K + c``) feeding subscripts;
+* FUNCTION references inside loop bodies;
+* error-checking conditionals (IF + WRITE + STOP) exercising the
+  annotation generator's relaxed exception-handling policy.
+
+Callee subroutines are generated leaf-style so that
+:func:`repro.annotations.generate.generate_all` can derive annotations
+for (most of) them; the rendered annotation text ships with the program
+so the oracle's ``annotation`` configuration runs the full
+inline/parallelize/reverse-inline pipeline.
+
+The module-level builders (:func:`affine_subscript`,
+:func:`common_decls`, :func:`init_statements`, :func:`wrap_main`,
+:func:`make_program`) are the *shared program-building primitives* also
+used by the hypothesis strategies in ``tests/strategies.py`` — one
+source of truth, so the property tests and the fuzzer cannot drift.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fortran import ast
+from repro.program import Program
+
+#: COMMON /D/ arrays shared by every generated program
+ARRAYS = ("A", "B", "C")
+#: declared extent of each COMMON array
+ARRAY_EXTENT = 64
+#: COMMON /D/ scalars (S/T: reduction + privatization fodder, K: induction)
+SCALARS = ("S", "T", "K")
+#: default loop extent; affine subscripts c1*var + c2 with c1 <= 2 and
+#: c2 <= 8 stay within 2*N + 8 <= ARRAY_EXTENT
+N = 8
+
+
+# ---------------------------------------------------------------------------
+# shared program-building primitives (used by tests/strategies.py too)
+# ---------------------------------------------------------------------------
+
+def affine_subscript(var: str, c1: int, c2: int) -> ast.Expr:
+    """The subscript ``c1*var + c2`` (``c1 == 0`` collapses to ``c2``)."""
+    if c1 == 0:
+        return ast.IntLit(c2)
+    base: ast.Expr = ast.Var(var) if c1 == 1 else \
+        ast.BinOp("*", ast.IntLit(c1), ast.Var(var))
+    if c2 == 0:
+        return base
+    return ast.BinOp("+", base, ast.IntLit(c2))
+
+
+def common_decls(arrays: Sequence[str] = ARRAYS,
+                 scalars: Sequence[str] = SCALARS,
+                 extent: int = ARRAY_EXTENT) -> List[ast.Decl]:
+    """The shared ``COMMON /D/`` declaration block."""
+    entities = [ast.Entity(a, (ast.Dim.upto(ast.IntLit(extent)),))
+                for a in arrays]
+    entities += [ast.Entity(s) for s in scalars]
+    return [ast.CommonDecl("D", entities)]
+
+
+def init_statements(arrays: Sequence[str] = ARRAYS,
+                    extent: int = ARRAY_EXTENT) -> List[ast.Stmt]:
+    """Deterministic initialization of the shared state: every array gets
+    a distinct affine fill, every scalar starts at zero."""
+    fills = {
+        0: lambda: ast.BinOp("*", ast.Var("I"), ast.RealLit(0.5)),
+        1: lambda: ast.BinOp("+", ast.Var("I"), ast.RealLit(1.0)),
+        2: lambda: ast.RealLit(0.0),
+    }
+    body = [ast.Assign(ast.ArrayRef(a, (ast.Var("I"),)),
+                       fills[i % 3]())
+            for i, a in enumerate(arrays)]
+    out: List[ast.Stmt] = [
+        ast.DoLoop("I", ast.IntLit(1), ast.IntLit(extent), None, body)]
+    out.append(ast.Assign(ast.Var("S"), ast.RealLit(0.0)))
+    out.append(ast.Assign(ast.Var("T"), ast.RealLit(0.0)))
+    out.append(ast.Assign(ast.Var("K"), ast.IntLit(1)))
+    return out
+
+
+def wrap_main(body: List[ast.Stmt],
+              decls: Optional[List[ast.Decl]] = None,
+              name: str = "P") -> ast.ProgramUnit:
+    """A PROGRAM unit around ``body`` with the shared COMMON block."""
+    return ast.ProgramUnit("PROGRAM", name, [],
+                           decls if decls is not None else common_decls(),
+                           body)
+
+
+def make_program(units: Sequence[ast.ProgramUnit],
+                 name: str = "generated",
+                 filename: str = "gen.f") -> Program:
+    """Assemble units into a resolved :class:`~repro.program.Program`."""
+    prog = Program([ast.SourceFile(list(units), filename)], name)
+    prog.resolve()
+    return prog
+
+
+def observe_statements() -> List[ast.Stmt]:
+    """Final WRITEs making scalar state observable to the output
+    comparator (array state is compared via COMMON memory)."""
+    return [
+        ast.IoStmt("WRITE", "6,*", (ast.Var("S"), ast.Var("T"),
+                                    ast.Var("K"))),
+        ast.IoStmt("WRITE", "6,*", (ast.ArrayRef("A", (ast.IntLit(3),)),
+                                    ast.ArrayRef("C", (ast.IntLit(7),)))),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# the generator
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GeneratorOptions:
+    """Feature switches (all on by default)."""
+
+    max_blocks: int = 6
+    max_callees: int = 3
+    calls: bool = True
+    functions: bool = True
+    non_affine: bool = True
+    induction: bool = True
+    reductions: bool = True
+    nested: bool = True
+
+
+@dataclass
+class FuzzProgram:
+    """One generated test case: sources, derived annotations, metadata."""
+
+    seed: int
+    sources: Dict[str, str]
+    annotations: str = ""
+    features: List[str] = field(default_factory=list)
+
+    def program(self) -> Program:
+        """A fresh parse of the generated sources."""
+        return Program.from_sources(dict(self.sources),
+                                    f"fuzz-{self.seed}")
+
+    def source_text(self) -> str:
+        return "".join(self.sources[k] for k in sorted(self.sources))
+
+    def line_count(self) -> int:
+        return sum(t.count("\n") for t in self.sources.values())
+
+
+def derive_seed(base: int, index: int) -> int:
+    """The per-program seed of campaign item ``index`` (stable across
+    processes and Python versions — plain integer arithmetic only)."""
+    return (base * 0x9E3779B1 + index * 0x85EBCA77) % (2 ** 63)
+
+
+class ProgramGenerator:
+    """Builds one random program from a :class:`random.Random` stream."""
+
+    def __init__(self, rng: random.Random,
+                 options: GeneratorOptions = GeneratorOptions()):
+        self.rng = rng
+        self.options = options
+        self.features: List[str] = []
+        self._callees: List[ast.ProgramUnit] = []
+        self._functions: List[str] = []
+
+    # -- expression-level pieces -------------------------------------
+
+    def subscript(self, var: str, *, max_c1: int = 2) -> ast.Expr:
+        """In-bounds affine subscript ``c1*var + c2`` over ``var``."""
+        c1 = self.rng.randint(0, max_c1)
+        c2 = self.rng.randint(1, N)
+        return affine_subscript(var, c1, c2)
+
+    def non_affine_subscript(self, var: str) -> ast.Expr:
+        """A subscript the affine dependence tests cannot model:
+        ``var*var`` (plus a small offset) stays within 7*7 + 8 <= 64
+        for var <= 7."""
+        self._note("non-affine")
+        square = ast.BinOp("*", ast.Var(var), ast.Var(var))
+        if self.rng.random() < 0.5:
+            return square
+        return ast.BinOp("+", square, ast.IntLit(self.rng.randint(1, N)))
+
+    def rhs(self, var: str, depth: int = 2) -> ast.Expr:
+        """Random arithmetic over literals, scalars and array reads."""
+        if depth <= 0:
+            choice = self.rng.randint(0, 2)
+            if choice == 0:
+                return ast.RealLit(self.rng.randint(1, 9) / 2.0)
+            if choice == 1:
+                return ast.Var(var)
+            return ast.ArrayRef(self.rng.choice(ARRAYS),
+                                (self.subscript(var),))
+        if self._functions and self.options.functions \
+                and self.rng.random() < 0.15:
+            self._note("funcref")
+            return ast.FuncRef(self.rng.choice(self._functions),
+                               (self.rhs(var, 0),))
+        op = self.rng.choice(["+", "-", "*"])
+        return ast.BinOp(op, self.rhs(var, depth - 1),
+                         self.rhs(var, depth - 1))
+
+    # -- loop-body pieces --------------------------------------------
+
+    def loop_body(self, var: str, *, allow_if: bool = True) -> List[ast.Stmt]:
+        body: List[ast.Stmt] = []
+        for _ in range(self.rng.randint(1, 3)):
+            kind = self.rng.randint(0, 3 if allow_if else 2)
+            if kind == 0:
+                # scalar temporary then use: privatization fodder
+                body.append(ast.Assign(ast.Var("T"), self.rhs(var, 1)))
+                body.append(ast.Assign(
+                    ast.ArrayRef(self.rng.choice(ARRAYS),
+                                 (self.subscript(var),)),
+                    ast.BinOp("+", ast.Var("T"), self.rhs(var, 0))))
+            elif kind == 1:
+                body.append(ast.Assign(
+                    ast.ArrayRef(self.rng.choice(ARRAYS),
+                                 (self.subscript(var),)),
+                    self.rhs(var, 2)))
+            elif kind == 2 and self.options.reductions:
+                self._note("reduction")
+                body.append(ast.Assign(
+                    ast.Var("S"),
+                    ast.BinOp(self.rng.choice(["+", "-"]), ast.Var("S"),
+                              self.rhs(var, 1))))
+            else:
+                cond = ast.BinOp(">", self.rhs(var, 1), ast.RealLit(2.0))
+                body.append(ast.IfBlock([(cond, [ast.Assign(
+                    ast.ArrayRef(self.rng.choice(ARRAYS),
+                                 (self.subscript(var),)),
+                    self.rhs(var, 1))])]))
+        return body
+
+    # -- top-level blocks --------------------------------------------
+
+    def plain_loop(self) -> List[ast.Stmt]:
+        self._note("loop")
+        return [ast.DoLoop("I", ast.IntLit(1), ast.IntLit(N), None,
+                           self.loop_body("I"))]
+
+    def dependent_loop(self) -> List[ast.Stmt]:
+        """A genuine loop-carried dependence: A(I+d) reads A(I)."""
+        self._note("carried-dependence")
+        arr = self.rng.choice(ARRAYS)
+        d = self.rng.randint(1, 3)
+        return [ast.DoLoop("I", ast.IntLit(1), ast.IntLit(N), None, [
+            ast.Assign(
+                ast.ArrayRef(arr, (ast.BinOp("+", ast.Var("I"),
+                                             ast.IntLit(d)),)),
+                ast.BinOp("+", ast.ArrayRef(arr, (ast.Var("I"),)),
+                          self.rhs("I", 1)))])]
+
+    def nested_loop(self) -> List[ast.Stmt]:
+        """A 2-level nest writing a column-major-style flat region:
+        ``A(I + 8*(J-1))`` covers 1..64 disjointly."""
+        self._note("nested")
+        arr = self.rng.choice(ARRAYS)
+        flat = ast.BinOp("+", ast.Var("I"),
+                         ast.BinOp("*", ast.IntLit(N),
+                                   ast.BinOp("-", ast.Var("J"),
+                                             ast.IntLit(1))))
+        inner_body: List[ast.Stmt] = [
+            ast.Assign(ast.ArrayRef(arr, (flat,)), self.rhs("I", 1))]
+        if self.rng.random() < 0.5:
+            inner_body += self.loop_body("J", allow_if=False)[:1]
+        inner = ast.DoLoop("I", ast.IntLit(1), ast.IntLit(N), None,
+                           inner_body)
+        return [ast.DoLoop("J", ast.IntLit(1), ast.IntLit(N), None,
+                           [inner])]
+
+    def reduction_loop(self) -> List[ast.Stmt]:
+        self._note("reduction")
+        return [ast.DoLoop("I", ast.IntLit(1), ast.IntLit(N), None, [
+            ast.Assign(ast.Var("S"),
+                       ast.BinOp("+", ast.Var("S"), self.rhs("I", 1))),
+            ast.Assign(ast.ArrayRef(self.rng.choice(ARRAYS),
+                                    (self.subscript("I"),)),
+                       self.rhs("I", 1)),
+        ])]
+
+    def induction_block(self) -> List[ast.Stmt]:
+        """The ``K = K + c`` induction idiom feeding a subscript; K is
+        re-initialized first so repeats stay in bounds (start <= 4,
+        trips <= 8, step <= 3: K <= 4 + 24 < 64)."""
+        self._note("induction")
+        amount = self.rng.randint(1, 3)
+        writes = [
+            ast.Assign(ast.Var("K"), ast.BinOp("+", ast.Var("K"),
+                                               ast.IntLit(amount))),
+            ast.Assign(ast.ArrayRef("A", (ast.Var("K"),)),
+                       self.rhs("J", 1)),
+        ]
+        if self.rng.random() < 0.5:
+            writes.reverse()
+        loop = ast.DoLoop("J", ast.IntLit(1),
+                          ast.IntLit(self.rng.randint(2, N)), None, writes)
+        return [ast.Assign(ast.Var("K"),
+                           ast.IntLit(self.rng.randint(1, 4))),
+                loop]
+
+    def non_affine_loop(self) -> List[ast.Stmt]:
+        arr = self.rng.choice(ARRAYS)
+        return [ast.DoLoop("I", ast.IntLit(1), ast.IntLit(7), None, [
+            ast.Assign(ast.ArrayRef(arr, (self.non_affine_subscript("I"),)),
+                       self.rhs("I", 1))])]
+
+    def guarded_loop(self) -> List[ast.Stmt]:
+        self._note("guarded")
+        arr = self.rng.choice(ARRAYS)
+        cond = ast.BinOp(">", ast.ArrayRef("B", (ast.Var("I"),)),
+                         ast.RealLit(float(self.rng.randint(1, 6))))
+        return [ast.DoLoop("I", ast.IntLit(1), ast.IntLit(N), None, [
+            ast.IfBlock([
+                (cond, [ast.Assign(ast.ArrayRef(arr, (ast.Var("I"),)),
+                                   self.rhs("I", 1))]),
+                (None, [ast.Assign(ast.ArrayRef(arr, (ast.Var("I"),)),
+                                   ast.RealLit(0.25))]),
+            ])])]
+
+    def call_block(self) -> List[ast.Stmt]:
+        """A loop (or straight-line block) calling a generated callee
+        with an aliasing-prone argument list."""
+        callee = self.rng.choice(self._callees)
+        self._note(f"call:{callee.name}")
+        trips = self.rng.randint(2, N)
+        style = self.rng.randint(0, 2)
+        if style == 0:
+            first: ast.Expr = ast.Var("A")           # whole array
+        elif style == 1:
+            first = ast.ArrayRef("A", (ast.IntLit(self.rng.randint(1, 16)),))
+        else:
+            first = ast.ArrayRef("A", (ast.Var("I"),))  # view moves with I
+        args: Tuple[ast.Expr, ...] = (
+            first,
+            ast.RealLit(float(self.rng.randint(1, 5))),
+            ast.Var("I") if self.rng.random() < 0.7
+            else ast.IntLit(self.rng.randint(1, N)),
+        )
+        call = ast.CallStmt(callee.name, args)
+        if self.rng.random() < 0.75:
+            return [ast.DoLoop("I", ast.IntLit(1), ast.IntLit(trips), None,
+                               [call])]
+        return [ast.Assign(ast.Var("I"), ast.IntLit(self.rng.randint(1, N))),
+                call]
+
+    # -- callees ------------------------------------------------------
+
+    def callee(self, idx: int) -> ast.ProgramUnit:
+        """A leaf subroutine ``SUB<idx>(V, X, M)``: V an assumed-size
+        array formal (bound to a COMMON-array view at call sites), X a
+        scalar, M a trip count <= N.  Most shapes are summarizable so
+        the annotation generator can derive their Figure-12 annotation."""
+        name = f"SUB{idx}"
+        decls: List[ast.Decl] = [
+            ast.DimensionDecl([ast.Entity("V", (ast.Dim(ast.IntLit(1),
+                                                        None),))]),
+            common_decls()[0],
+        ]
+        shape = self.rng.randint(0, 3)
+        body: List[ast.Stmt] = []
+        if shape == 0:
+            # scale the view: V(L) = V(L)*X + c
+            self._note("callee-scale")
+            body = [ast.DoLoop("L", ast.IntLit(1), ast.Var("M"), None, [
+                ast.Assign(ast.ArrayRef("V", (ast.Var("L"),)),
+                           ast.BinOp("+",
+                                     ast.BinOp("*",
+                                               ast.ArrayRef("V",
+                                                            (ast.Var("L"),)),
+                                               ast.Var("X")),
+                                     ast.RealLit(self.rng.randint(1, 4)
+                                                 / 2.0)))])]
+        elif shape == 1:
+            # write a COMMON array from the view (aliasing fodder)
+            self._note("callee-common-write")
+            body = [ast.DoLoop("L", ast.IntLit(1), ast.Var("M"), None, [
+                ast.Assign(ast.ArrayRef("C", (ast.Var("L"),)),
+                           ast.BinOp("*", ast.ArrayRef("V", (ast.Var("L"),)),
+                                     ast.Var("X")))])]
+        elif shape == 2:
+            # scalar COMMON write (S acts as an out-parameter)
+            self._note("callee-scalar-out")
+            body = [ast.Assign(ast.Var("S"),
+                               ast.BinOp("+", ast.Var("S"),
+                                         ast.BinOp("*", ast.Var("X"),
+                                                   ast.RealLit(0.5))))]
+        else:
+            # single-point write with an error-checking conditional the
+            # annotation generator's relaxed policy omits
+            self._note("callee-error-check")
+            body = [
+                ast.IfBlock([(ast.BinOp(">", ast.Var("X"),
+                                        ast.RealLit(1e6)),
+                              [ast.IoStmt("WRITE", "6,*",
+                                          (ast.StringLit("BAD X"),)),
+                               ast.Stop()])]),
+                ast.Assign(ast.ArrayRef("V", (ast.IntLit(1),)),
+                           ast.BinOp("+", ast.ArrayRef("V", (ast.IntLit(1),)),
+                                     ast.Var("X"))),
+            ]
+        return ast.ProgramUnit("SUBROUTINE", name, ["V", "X", "M"],
+                               decls, body + [ast.Return()])
+
+    def function_unit(self) -> ast.ProgramUnit:
+        """A pure scalar FUNCTION used inside expressions."""
+        self._note("function")
+        name = "FN1"
+        c = self.rng.randint(1, 4)
+        body = [ast.Assign(ast.Var(name),
+                           ast.BinOp("+",
+                                     ast.BinOp("*", ast.Var("X"),
+                                               ast.RealLit(0.5)),
+                                     ast.RealLit(float(c)))),
+                ast.Return()]
+        return ast.ProgramUnit("FUNCTION", name, ["X"], [], body,
+                               result_type="REAL")
+
+    # -- assembly -----------------------------------------------------
+
+    _BLOCKS = ("plain", "dependent", "nested", "reduction", "induction",
+               "non_affine", "guarded", "call")
+
+    def build(self) -> Program:
+        opts = self.options
+        if opts.calls:
+            for i in range(self.rng.randint(0, opts.max_callees)):
+                self._callees.append(self.callee(i + 1))
+        funcs: List[ast.ProgramUnit] = []
+        if opts.functions and self.rng.random() < 0.5:
+            fn = self.function_unit()
+            funcs.append(fn)
+            self._functions.append(fn.name)
+
+        menu = ["plain", "guarded"]
+        if opts.nested:
+            menu += ["nested", "dependent"]
+        if opts.reductions:
+            menu.append("reduction")
+        if opts.induction:
+            menu.append("induction")
+        if opts.non_affine:
+            menu.append("non_affine")
+        if self._callees:
+            menu += ["call", "call"]
+
+        body = init_statements()
+        for _ in range(self.rng.randint(1, opts.max_blocks)):
+            kind = self.rng.choice(menu)
+            body += getattr(self, {
+                "plain": "plain_loop", "dependent": "dependent_loop",
+                "nested": "nested_loop", "reduction": "reduction_loop",
+                "induction": "induction_block",
+                "non_affine": "non_affine_loop",
+                "guarded": "guarded_loop", "call": "call_block",
+            }[kind])()
+        body += observe_statements()
+        units = [wrap_main(body)] + self._callees + funcs
+        return make_program(units, "fuzz")
+
+    def _note(self, feature: str) -> None:
+        if feature not in self.features:
+            self.features.append(feature)
+
+
+def generate(seed: int,
+             options: GeneratorOptions = GeneratorOptions()) -> FuzzProgram:
+    """Generate one program (plus auto-derived callee annotations) from
+    ``seed``.  Deterministic: same seed, same bytes."""
+    gen = ProgramGenerator(random.Random(seed), options)
+    program = gen.build()
+    # canonical source: the unparse of the built AST (so the shipped
+    # sources re-parse to exactly the program we built)
+    filename = f"fuzz{seed % 100000}.f"
+    sources = {filename: "".join(program.unparse().values())}
+    annotations = derive_annotations(program)
+    if annotations:
+        gen._note("annotations")
+    return FuzzProgram(seed, sources, annotations, list(gen.features))
+
+
+def derive_annotations(program: Program) -> str:
+    """Auto-derive Figure-12 annotations for every summarizable callee
+    (the fuzz stand-in for the paper's developer-written annotations)."""
+    from repro.annotations.generate import generate_all, render_annotation
+    chunks: List[str] = []
+    for name, res in sorted(generate_all(program).items()):
+        if res.ok:
+            chunks.append(render_annotation(res.annotation))
+    return "\n\n".join(chunks)

@@ -1,0 +1,245 @@
+"""The differential oracle: one generated program, three pipelines,
+zero tolerated disagreements.
+
+For a generated program the oracle establishes a **baseline** (serial
+execution of the unmodified parse) and then, for each of the paper's
+three configurations (``none`` / ``conventional`` / ``annotation``),
+checks:
+
+``crash``
+    the pipeline itself must not raise (an unexpected exception in any
+    inliner, Polaris, or the reverse inliner is a finding, not noise);
+``config-semantics``
+    serial execution of the transformed program equals the baseline —
+    inlining, normalization and reverse inlining preserve meaning;
+``parallel-divergence``
+    :func:`repro.runtime.diff_test` passes — every loop the driver
+    marked parallel computes the same state when its iterations run
+    in-order-parallel and in a **permuted** schedule;
+``unparse-semantics``
+    the unparsed transformed program re-parses and serially re-executes
+    to the baseline (directives and restored CALLs survive the text
+    round-trip);
+``reverse-reanalysis``
+    (annotation config only) the reverse-inlined output, stripped of
+    OpenMP directives and re-run through the *same* annotation pipeline,
+    re-analyzes to the same multiset of ``LoopDecision`` verdicts —
+    reverse inlining is a fixpoint, not a lossy step.
+
+Any violated property yields a :class:`Mismatch`; the campaign layer
+treats one or more mismatches as a failing program and hands it to the
+shrinker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Counter as CounterType
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.fortran import ast
+from repro.program import Program
+from repro.runtime.difftest import diff_test
+from repro.runtime.interpreter import ExecutionResult, Interpreter
+from repro.runtime.machine import INTEL_MAC, MachineModel
+
+CONFIG_KINDS = ("none", "conventional", "annotation")
+
+#: (unit, var, parallelized, reason) — the re-analysis fingerprint of one
+#: loop verdict.  Origins are deliberately excluded: they are stamped by
+#: position and reverse inlining may renumber them, but the *decisions*
+#: must survive.
+VerdictKey = Tuple[str, str, bool, str]
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One violated oracle property."""
+
+    kind: str          # crash | config-semantics | parallel-divergence |
+    #                  # unparse-semantics | reverse-reanalysis
+    config: str        # which configuration exposed it
+    detail: str = ""
+
+    def describe(self) -> str:
+        return f"[{self.config}] {self.kind}: {self.detail}"
+
+
+@dataclass
+class OracleResult:
+    """The oracle's verdict on one program."""
+
+    mismatches: List[Mismatch] = field(default_factory=list)
+    configs_run: int = 0
+    parallel_loops: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def primary(self) -> Optional[Mismatch]:
+        return self.mismatches[0] if self.mismatches else None
+
+    def describe(self) -> str:
+        if self.passed:
+            return "all oracle properties hold"
+        return "; ".join(m.describe() for m in self.mismatches)
+
+
+def _serial(program: Program) -> ExecutionResult:
+    return Interpreter(program, machine=None,
+                       honor_directives=False).run()
+
+
+def _registry(annotations: str):
+    from repro.annotations import AnnotationRegistry
+    if not annotations.strip():
+        return AnnotationRegistry()
+    return AnnotationRegistry.from_text(annotations)
+
+
+def _run_pipeline(program: Program, registry, config: str):
+    """The exact CLI pipeline (cli._pipeline without the timings)."""
+    from repro.annotations import AnnotationInliner, ReverseInliner
+    from repro.inlining import ConventionalInliner
+    from repro.polaris import Polaris
+    if config == "conventional":
+        ConventionalInliner().run(program)
+    elif config == "annotation":
+        AnnotationInliner(registry).run(program)
+    report = Polaris().run(program)
+    if config == "annotation":
+        ReverseInliner(registry).run(program)
+    return report
+
+
+def strip_omp(program: Program) -> None:
+    """Unwrap every ``OmpParallelDo`` back to its plain loop, in place —
+    the re-analysis input must look like ordinary source again."""
+    def unwrap(s: ast.Stmt):
+        if isinstance(s, ast.OmpParallelDo):
+            return [s.loop]
+        return None
+    for unit in program.units:
+        unit.body = ast.map_stmts(unit.body, unwrap)
+    program.invalidate()
+
+
+def verdict_fingerprint(report) -> CounterType[VerdictKey]:
+    return Counter((v.unit, v.var, v.parallelized, v.reason)
+                   for v in report.verdicts)
+
+
+def _fingerprint_delta(first: CounterType[VerdictKey],
+                       second: CounterType[VerdictKey]) -> str:
+    gone = first - second
+    new = second - first
+    bits = []
+    if gone:
+        bits.append("lost " + ", ".join(
+            f"{u}:DO {v} {'par' if p else 'serial(' + r + ')'}"
+            for (u, v, p, r) in gone))
+    if new:
+        bits.append("gained " + ", ".join(
+            f"{u}:DO {v} {'par' if p else 'serial(' + r + ')'}"
+            for (u, v, p, r) in new))
+    return "; ".join(bits)
+
+
+def run_oracle(sources: Dict[str, str], annotations: str = "",
+               machine: MachineModel = INTEL_MAC,
+               configs: Tuple[str, ...] = CONFIG_KINDS) -> OracleResult:
+    """Check every oracle property of the program in ``sources``."""
+    result = OracleResult()
+
+    try:
+        baseline_prog = Program.from_sources(dict(sources), "fuzz")
+        baseline = _serial(baseline_prog)
+    except Exception as exc:  # generator bug, not a pipeline bug
+        result.mismatches.append(Mismatch(
+            "crash", "baseline", f"{type(exc).__name__}: {exc}"))
+        return result
+
+    for config in configs:
+        work = Program.from_sources(dict(sources), "fuzz")
+        try:
+            registry = _registry(annotations)
+            report = _run_pipeline(work, registry, config)
+        except Exception as exc:
+            result.mismatches.append(Mismatch(
+                "crash", config, f"{type(exc).__name__}: {exc}"))
+            continue
+        result.configs_run += 1
+        result.parallel_loops[config] = report.parallel_count()
+
+        # (a) semantic equivalence: transformed, serial == baseline
+        try:
+            transformed = _serial(work)
+        except Exception as exc:
+            result.mismatches.append(Mismatch(
+                "config-semantics", config,
+                f"serial execution raised {type(exc).__name__}: {exc}"))
+            continue
+        if not baseline.memory_equal(transformed):
+            result.mismatches.append(Mismatch(
+                "config-semantics", config,
+                "serial execution of the transformed program diverges "
+                "from the baseline"))
+            continue
+
+        # (b) iteration-order independence of parallel-marked loops
+        try:
+            diff = diff_test(work, machine)
+        except Exception as exc:
+            result.mismatches.append(Mismatch(
+                "parallel-divergence", config,
+                f"parallel execution raised {type(exc).__name__}: {exc}"))
+            continue
+        if not diff.passed:
+            result.mismatches.append(Mismatch(
+                "parallel-divergence", config, diff.explain()))
+            continue
+
+        # text round-trip: unparse, reparse, serial == baseline
+        try:
+            reparsed = Program.from_sources(work.unparse(), "fuzz")
+            rerun = _serial(reparsed)
+        except Exception as exc:
+            result.mismatches.append(Mismatch(
+                "unparse-semantics", config,
+                f"{type(exc).__name__}: {exc}"))
+            continue
+        if not baseline.memory_equal(rerun):
+            result.mismatches.append(Mismatch(
+                "unparse-semantics", config,
+                "unparse/reparse changed serial semantics"))
+            continue
+
+        # (c) reverse-inliner round-trip fidelity
+        if config == "annotation":
+            mismatch = _check_reanalysis(reparsed, annotations, report)
+            if mismatch is not None:
+                result.mismatches.append(mismatch)
+
+    return result
+
+
+def _check_reanalysis(reparsed: Program, annotations: str,
+                      first_report) -> Optional[Mismatch]:
+    """Strip directives from the reverse-inlined output and push it
+    through the annotation pipeline again; the verdicts must agree."""
+    strip_omp(reparsed)
+    registry = _registry(annotations)
+    try:
+        second = _run_pipeline(reparsed, registry, "annotation")
+    except Exception as exc:
+        return Mismatch("reverse-reanalysis", "annotation",
+                        f"re-analysis raised {type(exc).__name__}: {exc}")
+    first_fp = verdict_fingerprint(first_report)
+    second_fp = verdict_fingerprint(second)
+    if first_fp != second_fp:
+        return Mismatch("reverse-reanalysis", "annotation",
+                        _fingerprint_delta(first_fp, second_fp))
+    return None

@@ -18,7 +18,7 @@ counts a loop once no matter how many copies inlining created.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.callgraph import build_callgraph
 from repro.errors import InlineError

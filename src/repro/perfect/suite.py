@@ -37,6 +37,38 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 _PROGRAM_CACHE: Dict[str, Program] = {}
 
 
+@dataclass
+class CacheStats:
+    """Hit/miss counters for a parse-avoidance cache (observable by the
+    bench gate, which records hit rates next to wall-clock numbers)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.memory_hits + self.disk_hits + self.misses
+
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        if lookups == 0:
+            return 0.0
+        return (self.memory_hits + self.disk_hits) / lookups
+
+    def reset(self) -> None:
+        self.memory_hits = self.disk_hits = self.misses = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits, "misses": self.misses,
+                "hit_rate": round(self.hit_rate(), 4)}
+
+
+#: counters for ``Benchmark.program()`` lookups in this process
+PROGRAM_CACHE_STATS = CacheStats()
+
+
 def cache_dir() -> str:
     return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
 
@@ -138,9 +170,14 @@ class Benchmark:
         """
         digest = self.digest()
         base = _PROGRAM_CACHE.get(digest)
-        if base is None:
+        if base is not None:
+            PROGRAM_CACHE_STATS.memory_hits += 1
+        else:
             base = _load_disk(digest)
-            if base is None:
+            if base is not None:
+                PROGRAM_CACHE_STATS.disk_hits += 1
+            else:
+                PROGRAM_CACHE_STATS.misses += 1
                 base = Program.from_sources(dict(self.sources), self.name)
                 base.invalidate()
                 _store_disk(digest, base)

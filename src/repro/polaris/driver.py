@@ -21,7 +21,7 @@ The driver mutates the program in place and returns a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional
 

@@ -17,10 +17,9 @@ calls) come first — the workflow the paper's Section III-B implies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.analysis.defuse import collect_accesses
-from repro.analysis.dependence import DependenceTester
 from repro.analysis.loops import LoopInfo, iter_loops, loop_ctx
 from repro.analysis.privatization import (ScalarClass, array_privatizable,
                                           classify_scalars)

@@ -9,7 +9,7 @@ clause well-formedness before unparsing.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Iterator, List
 
 from repro.errors import SemanticError
 from repro.fortran import ast

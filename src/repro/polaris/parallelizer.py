@@ -23,7 +23,7 @@ The verdict carries the failure reason so reports can explain Table II.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.affine import AffineForm, extract
 from repro.analysis.defuse import collect_accesses

@@ -16,7 +16,7 @@ array *element* to a subroutine passes a view starting at that element.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

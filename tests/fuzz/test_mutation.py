@@ -1,0 +1,70 @@
+"""Mutation test: a deliberately injected dependence-test bug must be
+caught by the oracle and shrunk to a sub-30-line repro.
+
+This is the acceptance check for the whole fuzz loop: if someone breaks
+the dependence tester (here: patched to claim every reference pair
+independent), the campaign must notice within a handful of seeds, and
+the shrinker must hand back a repro small enough to read at a glance.
+"""
+
+from unittest import mock
+
+from repro.analysis.dependence import DependenceTester
+from repro.fuzz.campaign import run_campaign
+from repro.fuzz.generator import derive_seed, generate
+from repro.fuzz.oracle import run_oracle
+from repro.fuzz.shrinker import shrink
+
+
+def _always_independent(self, subs_a, subs_b, loops, dirs):
+    return False
+
+
+def test_injected_dependence_bug_is_caught_and_shrunk():
+    with mock.patch.object(DependenceTester, "may_depend",
+                           _always_independent):
+        caught = None
+        for i in range(20):
+            fuzz = generate(derive_seed(7, i))
+            result = run_oracle(fuzz.sources, fuzz.annotations)
+            if not result.passed:
+                caught = (fuzz, result)
+                break
+        assert caught is not None, \
+            "an always-independent dependence test survived 20 programs"
+        fuzz, result = caught
+        assert any(m.kind == "parallel-divergence"
+                   for m in result.mismatches), result.describe()
+
+        shrunk = shrink(fuzz.sources, fuzz.annotations)
+        assert shrunk is not None
+        assert shrunk.kind == "parallel-divergence"
+        assert shrunk.line_count() < 30, shrunk.source_text()
+        assert shrunk.steps > 0
+        # the minimized program still reproduces the same failure
+        replay = run_oracle(shrunk.sources, shrunk.annotations)
+        assert any(m.kind == "parallel-divergence"
+                   for m in replay.mismatches)
+
+
+def test_injected_bug_is_caught_through_the_campaign(tmp_path):
+    """End to end: the campaign driver itself (serial, so the patch
+    reaches the oracle in-process) flags the bug and persists a corpus
+    entry with a shrunk repro."""
+    corpus = tmp_path / "corpus"
+    with mock.patch.object(DependenceTester, "may_depend",
+                           _always_independent):
+        result = run_campaign(seed=7, count=4, jobs=1,
+                              corpus_dir=str(corpus))
+    assert not result.ok
+    failure = result.failures[0]
+    assert failure.shrunk is not None
+    assert failure.shrunk.line_count() < 30
+    assert failure.corpus_path is not None
+    saved = list(corpus.glob("*.json"))
+    assert saved, "failure was not persisted to the corpus"
+
+
+def test_campaign_is_clean_without_the_mutation():
+    result = run_campaign(seed=7, count=4, jobs=1)
+    assert result.ok, [f.describe() for f in result.failures]

@@ -1,0 +1,67 @@
+"""Shrinker behaviour: minimizes, preserves the failure signature, and
+declines to 'shrink' programs that do not fail."""
+
+from repro.fuzz.generator import derive_seed, generate
+from repro.fuzz.shrinker import Shrinker, shrink
+
+#: the pre-fix repro.annotations.generate bug, as a hand-written unsound
+#: annotation: the oracle flags it, so it is a stable shrinker input
+SOURCES = {"big.f": """\
+      PROGRAM P
+        COMMON /D/A(64),B(64),C(64),S,T,K
+        S = 0.0
+        T = 0.0
+        K = 1
+        DO I = 1, 64
+          A(I) = I*0.5
+          B(I) = I+1.0
+          C(I) = 0.0
+        END DO
+        DO I = 1, 8
+          C(I) = B(I)+1.5
+        END DO
+        DO I = 1, 4
+          CALL SUB1(A(12),2.0,1)
+        END DO
+        DO I = 1, 8
+          T = T+B(I)
+        END DO
+        WRITE(6,*) S, T
+      END
+      SUBROUTINE SUB1(V,X,M)
+        COMMON /D/A(64),B(64),C(64),S,T,K
+        S = S+X*0.5
+      END
+"""}
+
+BAD_ANNOTATION = """\
+subroutine SUB1(V, X, M) {
+  S = unknown(X);
+}
+"""
+
+
+def test_shrinks_to_minimal_repro():
+    result = shrink(SOURCES, BAD_ANNOTATION)
+    assert result is not None
+    assert result.kind == "parallel-divergence"
+    assert result.config == "annotation"
+    # everything irrelevant to the failing call loop must be gone
+    assert result.line_count() < 15, result.source_text()
+    text = result.source_text()
+    assert "CALL SUB1" in text
+    # the unrelated loops were deleted
+    assert "B(I)+1.5" not in text
+
+
+def test_steps_and_oracle_runs_are_accounted():
+    shrinker = Shrinker(SOURCES, BAD_ANNOTATION)
+    result = shrinker.run()
+    assert result.steps > 0
+    assert result.oracle_runs >= result.steps
+    assert result.rounds >= 1
+
+
+def test_passing_program_is_not_shrunk():
+    fuzz = generate(derive_seed(42, 0))
+    assert shrink(fuzz.sources, fuzz.annotations) is None

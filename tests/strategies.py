@@ -1,7 +1,14 @@
 """Hypothesis strategies generating random Fortran ASTs and source programs.
 
-Used by the round-trip property tests (parse . unparse == id) and by the
-dependence-test soundness suite.
+Used by the round-trip property tests (parse . unparse == id), the
+dependence-test soundness suite, and the executable-program semantics
+properties.
+
+The *executable* strategies at the bottom build on the shared
+program-building primitives of :mod:`repro.fuzz.generator` (COMMON
+geometry, bounded affine subscripts, deterministic initialization), so
+the hypothesis properties and the differential fuzzer exercise the same
+program shapes and cannot drift apart.
 """
 
 from __future__ import annotations
@@ -11,6 +18,8 @@ import string
 from hypothesis import strategies as st
 
 from repro.fortran import ast
+from repro.fuzz.generator import (ARRAYS, N, affine_subscript, common_decls,
+                                  init_statements, make_program, wrap_main)
 
 _NAMES = ["X", "Y", "Z", "A2", "FX", "TSTEP", "IDX", "N", "I", "J", "K"]
 _ARRAYS = ["T", "B", "FE", "XY", "PP"]
@@ -120,3 +129,145 @@ def program_units(draw):
                                                ast.Dim.upto(ast.IntLit(10))))])
              for a in _ARRAYS]
     return ast.ProgramUnit("SUBROUTINE", "TESTSUB", ["X", "Y"], decls, body)
+
+
+# ---------------------------------------------------------------------------
+# executable random programs (shared shapes with repro.fuzz.generator)
+# ---------------------------------------------------------------------------
+
+@st.composite
+def subscripts(draw, var: str):
+    """In-bounds subscript over loop variable ``var``: c1*var + c2 with
+    c1 in 0..2 (c1=0 -> constant) and c2 in 1..8."""
+    return affine_subscript(var, draw(st.integers(0, 2)),
+                            draw(st.integers(1, N)))
+
+
+@st.composite
+def rhs_exprs(draw, var: str, depth: int = 2):
+    if depth <= 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return ast.RealLit(float(draw(st.integers(1, 9))) / 2.0)
+        if choice == 1:
+            return ast.Var(var)
+        return ast.ArrayRef(draw(st.sampled_from(ARRAYS)),
+                            (draw(subscripts(var)),))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    return ast.BinOp(op, draw(rhs_exprs(var, depth - 1)),
+                     draw(rhs_exprs(var, depth - 1)))
+
+
+@st.composite
+def loop_bodies(draw, var: str):
+    body = []
+    for _ in range(draw(st.integers(1, 3))):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            # scalar temporary then use (privatization fodder)
+            body.append(ast.Assign(ast.Var("T"),
+                                   draw(rhs_exprs(var, 1))))
+            body.append(ast.Assign(
+                ast.ArrayRef(draw(st.sampled_from(ARRAYS)),
+                             (draw(subscripts(var)),)),
+                ast.BinOp("+", ast.Var("T"), draw(rhs_exprs(var, 0)))))
+        elif kind == 1:
+            body.append(ast.Assign(
+                ast.ArrayRef(draw(st.sampled_from(ARRAYS)),
+                             (draw(subscripts(var)),)),
+                draw(rhs_exprs(var, 2))))
+        elif kind == 2:
+            # reduction fodder
+            body.append(ast.Assign(
+                ast.Var("S"),
+                ast.BinOp("+", ast.Var("S"), draw(rhs_exprs(var, 1)))))
+        else:
+            cond = ast.BinOp(">", draw(rhs_exprs(var, 1)),
+                             ast.RealLit(2.0))
+            body.append(ast.IfBlock([(cond, [ast.Assign(
+                ast.ArrayRef(draw(st.sampled_from(ARRAYS)),
+                             (draw(subscripts(var)),)),
+                draw(rhs_exprs(var, 1)))])]))
+    return body
+
+
+@st.composite
+def induction_loops(draw):
+    """A loop with the K = K + c induction idiom, for the normalize
+    property."""
+    var = "J"
+    amount = draw(st.integers(1, 3))
+    writes = [
+        ast.Assign(ast.Var("K"), ast.BinOp("+", ast.Var("K"),
+                                           ast.IntLit(amount))),
+        ast.Assign(ast.ArrayRef("A", (ast.Var("K"),)),
+                   draw(rhs_exprs(var, 1))),
+    ]
+    if draw(st.booleans()):
+        writes.reverse()
+    loop = ast.DoLoop(var, ast.IntLit(1), ast.IntLit(draw(
+        st.integers(2, 6))), None, writes)
+    # K starts >= 1: the A(K) write may precede the first increment
+    return [ast.Assign(ast.Var("K"), ast.IntLit(draw(st.integers(1, 4)))),
+            loop]
+
+
+@st.composite
+def programs(draw, with_induction: bool = False):
+    """A complete executable PROGRAM over the shared COMMON /D/ state."""
+    body = init_statements()
+    if with_induction:
+        body.extend(draw(induction_loops()))
+    nloops = draw(st.integers(1, 3))
+    for _ in range(nloops):
+        body.append(ast.DoLoop("I", ast.IntLit(1), ast.IntLit(N), None,
+                               draw(loop_bodies("I"))))
+    return make_program([wrap_main(body)])
+
+
+@st.composite
+def callee_programs(draw):
+    """A driver loop invoking a generated leaf subroutine with scalar,
+    whole-array and array-element actuals."""
+    callee_body = draw(loop_bodies("K"))
+    # wrap accesses: the callee works on its formal V (assumed size) and
+    # a scalar formal X
+    def remap(e: ast.Expr):
+        if isinstance(e, ast.ArrayRef) and e.name in ("B", "C"):
+            return ast.ArrayRef("V", e.subs)
+        if isinstance(e, ast.Var) and e.name == "T":
+            return ast.Var("X")
+        return None
+    callee_body = ast.map_stmt_exprs(ast.clone(callee_body), remap)
+    callee_body = [ast.Assign(ast.Var("S"), ast.RealLit(0.0))] \
+        + callee_body
+    callee = ast.ProgramUnit(
+        "SUBROUTINE", "WORK", ["V", "X", "K"],
+        [ast.DimensionDecl([ast.Entity("V", (ast.Dim(ast.IntLit(1),
+                                                     None),))]),
+         ast.CommonDecl("D", [
+             ast.Entity("A", (ast.Dim.upto(ast.IntLit(64)),)),
+             ast.Entity("S")])],
+        callee_body)
+
+    offset = draw(st.integers(1, 16))
+    actual = draw(st.sampled_from(["whole", "element"]))
+    arg0 = ast.Var("A") if actual == "whole" else \
+        ast.ArrayRef("A", (ast.IntLit(offset),))
+    main_body = [
+        ast.DoLoop("I", ast.IntLit(1), ast.IntLit(64), None, [
+            ast.Assign(ast.ArrayRef("A", (ast.Var("I"),)),
+                       ast.BinOp("*", ast.Var("I"), ast.RealLit(0.25)))]),
+        ast.DoLoop("I", ast.IntLit(1), ast.IntLit(N), None, [
+            ast.CallStmt("WORK", (ast.clone(arg0),
+                                  ast.RealLit(
+                                      float(draw(st.integers(1, 5)))),
+                                  ast.Var("I")))]),
+    ]
+    main = ast.ProgramUnit(
+        "PROGRAM", "P", [],
+        [ast.CommonDecl("D", [
+            ast.Entity("A", (ast.Dim.upto(ast.IntLit(64)),)),
+            ast.Entity("S")])],
+        main_body)
+    return make_program([main, callee])
