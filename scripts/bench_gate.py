@@ -21,7 +21,6 @@ Usage:
 import argparse
 import json
 import os
-import statistics
 import sys
 import time
 
@@ -30,6 +29,10 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 SCHEMA = 1
 DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "..",
                                 "BENCH_table2.json")
+#: every gate run appends one record here — the trajectory the
+#: ``repro report`` dashboard plots
+DEFAULT_HISTORY = os.path.join(os.path.dirname(__file__), "..",
+                               "BENCH_history.jsonl")
 #: benchmarks timed by the gate (full Table II suite)
 BENCHMARKS = None  # None = the full suite
 WARM_REPS = 5
@@ -124,11 +127,37 @@ def check(measured: dict, baseline: dict, tolerance: float) -> int:
     return 0
 
 
+def append_history(path: str, measured: dict, mode: str,
+                   passed=None, allowed=None, tolerance=None) -> None:
+    """Append one gate-run record to the JSONL trajectory (best-effort)."""
+    record = {
+        "ts": round(time.time(), 3),
+        "mode": mode,
+        "total_seconds": measured["total_seconds"],
+        "best_seconds": min(measured["total_samples"]),
+        "phases": measured["phases"],
+        "cache": measured["cache"],
+        "calibration_seconds": measured["calibration_seconds"],
+        "passed": passed,
+        "allowed_seconds": None if allowed is None else round(allowed, 4),
+        "tolerance": tolerance,
+    }
+    try:
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    except OSError as exc:
+        print(f"bench gate: cannot append history to {path}: {exc}",
+              file=sys.stderr)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
     parser.add_argument("--output", default=None,
                         help="also write the fresh measurement here")
+    parser.add_argument("--history", default=DEFAULT_HISTORY,
+                        help="JSONL trajectory to append each run to "
+                             "('' disables)")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed slowdown over baseline "
                              "(default 0.25 = 25%%)")
@@ -154,6 +183,8 @@ def main(argv=None) -> int:
             fh.write("\n")
         print(f"baseline written: {args.baseline} "
               f"(total {measured['total_seconds']:.4f}s)")
+        if args.history:
+            append_history(args.history, measured, "write-baseline")
         return 0
 
     if not os.path.exists(args.baseline):
@@ -166,7 +197,15 @@ def main(argv=None) -> int:
         print(f"bench gate: baseline schema {baseline.get('schema')} != "
               f"{SCHEMA}; refresh with --write-baseline", file=sys.stderr)
         return 2
-    return check(measured, baseline, args.tolerance)
+    scale = (measured["calibration_seconds"]
+             / baseline["calibration_seconds"])
+    allowed = baseline["total_seconds"] * scale * (1.0 + args.tolerance)
+    status = check(measured, baseline, args.tolerance)
+    if args.history:
+        append_history(args.history, measured, "check",
+                       passed=(status == 0), allowed=allowed,
+                       tolerance=args.tolerance)
+    return status
 
 
 if __name__ == "__main__":

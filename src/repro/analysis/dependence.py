@@ -66,6 +66,13 @@ class TestStats:
     assumed_dependent: int = 0
     #: repeated queries answered from the per-tester memo table
     cache_hits: int = 0
+    # attempt counters: how many times each test family *ran* (per
+    # subscript dimension for ZIV/GCD/Banerjee, per query for exact) —
+    # kills/attempts is the family's kill rate in the --profile report
+    ziv_attempts: int = 0
+    gcd_attempts: int = 0
+    banerjee_attempts: int = 0
+    exact_attempts: int = 0
 
     def unique_queries(self) -> int:
         return (self.ziv_independent + self.gcd_independent
@@ -133,6 +140,7 @@ class DependenceTester:
                 break
         if not disproved and self.use_exact:
             from repro.analysis.exact import ExactTester
+            self.stats.exact_attempts += 1
             if not ExactTester().may_depend(subs_a, subs_b, loops, dirs):
                 self.stats.exact_independent += 1
                 disproved = True
@@ -169,12 +177,14 @@ class DependenceTester:
 
         if not involved:
             # ZIV
+            self.stats.ziv_attempts += 1
             if dc != 0:
                 self.stats.ziv_independent += 1
                 return False
             return True
 
         # GCD test
+        self.stats.gcd_attempts += 1
         g = 0
         for lp, a, b, d in involved:
             if d == "=":
@@ -185,7 +195,9 @@ class DependenceTester:
             self.stats.gcd_independent += 1
             return False
         if g == 0 and dc != 0:
-            # every involved var contributes exactly zero (a==b under '=')
+            # every involved var contributes exactly zero (a==b under '='):
+            # a degenerate ZIV disproof discovered by the GCD machinery
+            self.stats.ziv_attempts += 1
             self.stats.ziv_independent += 1
             return False
 
@@ -193,6 +205,7 @@ class DependenceTester:
             return True
 
         # Banerjee bounds via polytope vertices
+        self.stats.banerjee_attempts += 1
         lo_total, hi_total = 0.0, 0.0
         for lp, a, b, d in involved:
             lo, hi = _contribution_bounds(a, b, d, lp.lower, lp.upper)

@@ -32,9 +32,22 @@ from repro.program import Program
 _MACHINES = {"intel-mac": None, "amd-opteron": None, "serial": None}
 
 
-def _print_profile(timings: Dict[str, float]) -> None:
-    from repro.experiments.reporting import render_profile
-    print(render_profile(timings), file=sys.stderr)
+def _print_profile(timings: Dict[str, float],
+                   test_stats: Optional[Dict[str, int]] = None,
+                   cprofile_text: str = "") -> None:
+    from repro.obs.profile import render_profile_report
+    print(render_profile_report(timings, test_stats, cprofile_text),
+          file=sys.stderr)
+
+
+def _maybe_cprofile(args, fn, *fn_args, **fn_kwargs):
+    """Run ``fn`` under cProfile when ``--profile-top N`` was given;
+    returns ``(result, top-N text or "")``."""
+    top = getattr(args, "profile_top", None)
+    if top:
+        from repro.obs.profile import profile_call
+        return profile_call(fn, *fn_args, top=top, **fn_kwargs)
+    return fn(*fn_args, **fn_kwargs), ""
 
 
 def _load_program(paths: Sequence[str]) -> Program:
@@ -118,7 +131,8 @@ def cmd_parallelize(args) -> int:
     program = _load_program(args.files)
     parse_seconds = perf_counter() - t0
     registry = _load_registry(args.annotations)
-    report = _pipeline(program, registry, args.config)
+    report, cprofile_text = _maybe_cprofile(args, _pipeline, program,
+                                            registry, args.config)
     report.add_timing("parse", parse_seconds)
     text = "".join(program.unparse().values())
     if args.output:
@@ -130,26 +144,50 @@ def cmd_parallelize(args) -> int:
         print(text, end="")
     if args.report:
         print(report.describe(), file=sys.stderr)
-    if args.profile:
-        _print_profile(report.timings)
+    if args.profile or cprofile_text:
+        _print_profile(report.timings, report.test_stats, cprofile_text)
     return 0
 
 
 def cmd_report(args) -> int:
+    if args.out:
+        return _cmd_report_dashboard(args)
+    if not args.files:
+        print("repro report: needs source files (or --out FILE for the "
+              "HTML dashboard)", file=sys.stderr)
+        return 2
     t0 = perf_counter()
     program = _load_program(args.files)
     parse_seconds = perf_counter() - t0
     registry = _load_registry(args.annotations)
-    report = _pipeline(program, registry, args.config)
+    report, cprofile_text = _maybe_cprofile(args, _pipeline, program,
+                                            registry, args.config)
     report.add_timing("parse", parse_seconds)
-    if args.profile:
-        _print_profile(report.timings)
+    if args.profile or cprofile_text:
+        _print_profile(report.timings, report.test_stats, cprofile_text)
     print(report.describe())
     print(f"\n{report.parallel_count()} loops parallelized")
     reasons = report.reasons_histogram()
     if reasons:
         print("serial loops by reason:",
               ", ".join(f"{k}={v}" for k, v in sorted(reasons.items())))
+    return 0
+
+
+def _cmd_report_dashboard(args) -> int:
+    from repro.obs.dashboard import (CountMismatchError, collect,
+                                     write_dashboard)
+    try:
+        data = collect(benchmarks=args.benchmarks, jobs=args.jobs,
+                       include_figure20=args.figure20,
+                       history_path=args.history)
+    except CountMismatchError as exc:
+        print(f"repro report: count verification failed: {exc}",
+              file=sys.stderr)
+        return 1
+    write_dashboard(args.out, data)
+    print(f"wrote {args.out} ({len(data.rows)} benchmarks, "
+          f"{len(data.decisions)} loop decisions)")
     return 0
 
 
@@ -239,16 +277,20 @@ def cmd_table1(args) -> int:
 
 def cmd_table2(args) -> int:
     from repro.experiments.table2 import render_table2, table2_rows
+    from repro.obs.profile import merge_test_stats
     from repro.polaris.report import merge_timings
     tracer = _make_tracer(args)
-    rows = table2_rows(jobs=args.jobs, benchmarks=_select_benchmarks(args),
-                       tracer=tracer)
+    rows, cprofile_text = _maybe_cprofile(
+        args, table2_rows, jobs=args.jobs,
+        benchmarks=_select_benchmarks(args), tracer=tracer)
     print(render_table2(rows))
-    if args.profile:
+    if args.profile or cprofile_text:
         timings: Dict[str, float] = {}
+        test_stats: Dict[str, int] = {}
         for row in rows:
             merge_timings(timings, row.timings)
-        _print_profile(timings)
+            merge_test_stats(test_stats, row.test_stats)
+        _print_profile(timings, test_stats, cprofile_text)
     if tracer is not None:
         _write_trace(tracer, args.trace)
     return 0
@@ -258,14 +300,15 @@ def cmd_figure20(args) -> int:
     from repro.experiments.figure20 import figure20_all, render_figure20
     from repro.polaris.report import merge_timings
     tracer = _make_tracer(args)
-    cells = figure20_all(jobs=args.jobs,
-                         benchmarks=_select_benchmarks(args), tracer=tracer)
+    cells, cprofile_text = _maybe_cprofile(
+        args, figure20_all, jobs=args.jobs,
+        benchmarks=_select_benchmarks(args), tracer=tracer)
     print(render_figure20(cells))
-    if args.profile:
+    if args.profile or cprofile_text:
         timings: Dict[str, float] = {}
         for cell in cells:
             merge_timings(timings, cell.timings)
-        _print_profile(timings)
+        _print_profile(timings, cprofile_text=cprofile_text)
     if tracer is not None:
         _write_trace(tracer, args.trace)
     return 0
@@ -278,16 +321,17 @@ def cmd_bench(args) -> int:
     from repro.polaris.report import merge_timings
     bench = get_benchmark(args.name)
     tracer = _make_tracer(args)
-    row = table2_row(bench, tracer=tracer)
+    row, cprofile_text = _maybe_cprofile(args, table2_row, bench,
+                                         tracer=tracer)
     print(render_table2([row]))
     print()
     cells = figure20_cells(bench, jobs=args.jobs, tracer=tracer)
     print(render_figure20(cells))
-    if args.profile:
+    if args.profile or cprofile_text:
         timings = dict(row.timings)
         for cell in cells:
             merge_timings(timings, cell.timings)
-        _print_profile(timings)
+        _print_profile(timings, row.test_stats, cprofile_text)
     if tracer is not None:
         _write_trace(tracer, args.trace)
     return 0
@@ -435,6 +479,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Annotation-based inlining for interprocedural "
                     "parallelization (ICPP 2011 reproduction)")
+    parser.add_argument("--log-level", default=None,
+                        choices=("debug", "info", "warning", "error"),
+                        help="structured-log threshold (format from "
+                             "$REPRO_LOG=json|text; default warning, or "
+                             "info when REPRO_LOG is set)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_files(p, annotations=True):
@@ -446,7 +495,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_profile(p):
         p.add_argument("--profile", action="store_true",
-                       help="print per-phase wall-clock timings to stderr")
+                       help="print per-phase wall-clock timings and "
+                            "dependence-test family stats to stderr")
+        p.add_argument("--profile-top", type=int, default=None,
+                       metavar="N",
+                       help="also run under cProfile and print the N "
+                            "most expensive functions (implies the "
+                            "--profile report)")
 
     def add_jobs(p):
         p.add_argument("--jobs", "-j", type=int, default=None,
@@ -468,9 +523,27 @@ def build_parser() -> argparse.ArgumentParser:
     add_profile(p)
     p.set_defaults(fn=cmd_parallelize)
 
-    p = sub.add_parser("report", help="per-loop parallelization report")
-    add_files(p)
+    p = sub.add_parser("report",
+                       help="per-loop parallelization report, or (with "
+                            "--out) the self-contained HTML dashboard")
+    p.add_argument("files", nargs="*", help="Fortran 77 source files")
+    p.add_argument("--annotations", help="annotation file")
+    p.add_argument("--config", default="annotation",
+                   choices=("none", "conventional", "annotation"))
     add_profile(p)
+    p.add_argument("--out", metavar="FILE",
+                   help="run the evaluation and write the HTML "
+                        "dashboard here instead of a per-loop report")
+    p.add_argument("--benchmarks", nargs="+", metavar="NAME",
+                   help="dashboard mode: restrict to these benchmarks")
+    add_jobs(p)
+    p.add_argument("--figure20", action="store_true",
+                   help="dashboard mode: include the (slow) Figure 20 "
+                        "speedup sweep")
+    p.add_argument("--history", metavar="FILE",
+                   default="BENCH_history.jsonl",
+                   help="dashboard mode: bench-gate trajectory JSONL "
+                        "(default BENCH_history.jsonl)")
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("run", help="execute a program on the simulator")
@@ -599,13 +672,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    import os
     from repro.experiments.executor import JobsError
+    from repro.obs import logging as obs_logging
     args = build_parser().parse_args(argv)
-    try:
-        return args.fn(args)
-    except JobsError as exc:
-        print(f"repro: error: {exc}", file=sys.stderr)
-        return 2
+    if args.log_level:
+        # export so spawned worker processes (and the service's pool)
+        # inherit the threshold without re-plumbing the flag
+        os.environ["REPRO_LOG_LEVEL"] = args.log_level
+    obs_logging.configure(level=args.log_level)
+    with obs_logging.log_context(run_id=obs_logging.new_run_id()):
+        try:
+            return args.fn(args)
+        except JobsError as exc:
+            print(f"repro: error: {exc}", file=sys.stderr)
+            return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

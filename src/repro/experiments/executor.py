@@ -30,10 +30,15 @@ import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
+from functools import partial
 from typing import (Any, Callable, Dict, Iterable, List, Optional,
                     TypeVar)
 
+from repro.obs import logging as obs_logging
+from repro.obs import metrics as obs_metrics
 from repro.trace import NULL_TRACER, Tracer
+
+_log = obs_logging.get_logger("repro.executor")
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -88,6 +93,42 @@ def _mark_worker() -> None:  # pragma: no cover - runs in child processes
     os.environ[_IN_WORKER_ENV] = "1"
 
 
+def _observed_task(fn: Callable[[T], R], ctx: Dict[str, object],
+                   log_mode: str, log_level: str, task: T):
+    """Worker-side wrapper around one task.
+
+    Re-establishes the parent's log configuration and correlation
+    context (CLI flags do not survive the process boundary, and a
+    spawned worker starts with a fresh contextvars world), runs the
+    task, and ships back ``(result, metrics-delta)`` — the delta of the
+    worker's default registry around this one task, so long-lived
+    workers never double-report and the parent can merge deltas exactly
+    like PR 3 merges trace spans.
+    """
+    obs_logging.configure(mode=log_mode, level=log_level)
+    registry = obs_metrics.get_registry()
+    before = registry.export()
+    hist = registry.histogram("repro_executor_task_seconds",
+                              "per-task wall-clock in executor workers")
+    with obs_logging.log_context(**ctx):
+        with hist.time():
+            result = fn(task)
+    return result, obs_metrics.MetricsRegistry.delta(before,
+                                                     registry.export())
+
+
+def _run_serial(fn: Callable[[T], R], tasks: List[T]) -> List[R]:
+    """In-process loop: metrics land directly in this registry."""
+    hist = obs_metrics.histogram(
+        "repro_executor_task_seconds",
+        "per-task wall-clock in executor workers")
+    out: List[R] = []
+    for t in tasks:
+        with hist.time():
+            out.append(fn(t))
+    return out
+
+
 def run_tasks(fn: Callable[[T], R], tasks: Iterable[T],
               jobs: Optional[int] = None, chunksize: int = 1,
               tracer: Optional[Tracer] = None,
@@ -100,31 +141,72 @@ def run_tasks(fn: Callable[[T], R], tasks: Iterable[T],
     ``fn``/tasks/results, a worker dying — falls back to the serial loop,
     so callers always get the same result list.  ``fn`` must be a
     module-level callable and tasks/results picklable for the parallel
-    path to engage.
+    path to engage.  (``chunksize`` is retained for signature
+    compatibility; tasks are submitted individually so queue depth is
+    observable.)
 
     ``tracer`` (optional) records one span over the whole batch plus an
     instant event if the pool degrades to the serial fallback — the
-    fan-out itself becomes visible on the trace timeline.
+    fan-out itself becomes visible on the trace timeline.  Pool workers
+    additionally inherit the caller's log context (so worker records
+    carry the parent ``run_id``) and return per-task metric deltas that
+    are merged into this process's default registry, keeping counter
+    values identical for any ``-j``.
     """
     tracer = tracer or NULL_TRACER
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
+    batches = obs_metrics.counter(
+        "repro_executor_batches_total",
+        "task batches by execution mode (serial/pool/fallback)")
+    obs_metrics.counter("repro_executor_tasks_total",
+                        "tasks executed per batch label").inc(
+                            len(tasks), label=label)
+    pending = obs_metrics.gauge("repro_executor_pending_tasks",
+                                "tasks submitted but not yet finished")
     with tracer.span(f"run_tasks {label}", cat="executor",
                      tasks=len(tasks), jobs=jobs):
         if jobs <= 1 or len(tasks) <= 1:
-            return [fn(t) for t in tasks]
+            batches.inc(mode="serial")
+            return _run_serial(fn, tasks)
+        _log.debug("batch-start", label=label, tasks=len(tasks), jobs=jobs)
+        wrapped = partial(_observed_task, fn, obs_logging.current_context(),
+                          obs_logging.configured_mode(),
+                          obs_logging.configured_level())
+        workers = min(jobs, len(tasks))
+        obs_metrics.gauge("repro_executor_workers",
+                          "worker processes in the most recent pool "
+                          "batch").set(workers)
         try:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(tasks)),
+            with ProcessPoolExecutor(max_workers=workers,
                                      initializer=_mark_worker) as pool:
-                return list(pool.map(fn, tasks, chunksize=chunksize))
+                pending.inc(len(tasks))
+                futures = []
+                for t in tasks:
+                    future = pool.submit(wrapped, t)
+                    future.add_done_callback(lambda _f: pending.dec())
+                    futures.append(future)
+                # collect everything before merging any delta, so a
+                # failure mid-batch leaves the registry untouched for
+                # the serial rerun below (no double counting)
+                pairs = [f.result() for f in futures]
         except (BrokenProcessPool, pickle.PicklingError, AttributeError,
                 TypeError, OSError, ImportError):
             # pool could not be started or could not transport the work
             # (sandboxed semaphores, unpicklable closures, killed workers):
             # the tasks themselves are pure, so redo them serially
+            pending.set(0)
             tracer.instant("serial-fallback", cat="executor",
                            tasks=len(tasks), jobs=jobs)
-            return [fn(t) for t in tasks]
+            _log.warning("serial-fallback", label=label, tasks=len(tasks),
+                         jobs=jobs)
+            batches.inc(mode="fallback")
+            return _run_serial(fn, tasks)
+        batches.inc(mode="pool")
+        registry = obs_metrics.get_registry()
+        for _result, delta in pairs:
+            registry.merge(delta)
+        return [result for result, _delta in pairs]
 
 
 def merge_task_traces(tracer: Optional[Tracer],

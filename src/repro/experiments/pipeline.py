@@ -29,6 +29,8 @@ from repro.annotations.reverse import ReverseInliner, ReverseResult
 from repro.annotations.translate import TranslateOptions
 from repro.inlining.conventional import ConventionalInliner, InlineResult
 from repro.inlining.heuristics import InlinePolicy
+from repro.obs import logging as obs_logging
+from repro.obs import metrics as obs_metrics
 from repro.perfect.suite import Benchmark, CacheStats
 from repro.polaris import Polaris, PolarisOptions, Report
 from repro.program import Program
@@ -104,21 +106,36 @@ def prepare_base(benchmark: Benchmark) -> Program:
     """Parse the benchmark and stamp loop origins (done once, before any
     configuration clones the program, so origins are comparable)."""
     digest = benchmark.digest()
+    lookups = obs_metrics.counter("repro_base_cache_total",
+                                  "stamped-base cache lookups by outcome")
     base = _BASE_CACHE.get(digest)
     if base is None:
         BASE_CACHE_STATS.misses += 1
+        lookups.inc(outcome="miss")
         base = benchmark.program()
         for unit in base.units:
             assign_origins(unit)
         _BASE_CACHE[digest] = base
     else:
         BASE_CACHE_STATS.memory_hits += 1
+        lookups.inc(outcome="memory_hit")
     return base
 
 
 def run_config(benchmark: Benchmark, config: Config,
                base: Optional[Program] = None,
                tracer: Optional[Tracer] = None) -> PipelineResult:
+    # every log record inside the pipeline (and below it) carries the
+    # benchmark/config correlation IDs, on top of whatever run_id/job_id
+    # the caller established
+    with obs_logging.log_context(benchmark=benchmark.name,
+                                 config=config.kind):
+        return _run_config(benchmark, config, base, tracer)
+
+
+def _run_config(benchmark: Benchmark, config: Config,
+                base: Optional[Program],
+                tracer: Optional[Tracer]) -> PipelineResult:
     tracer = tracer or NULL_TRACER
     timings: Dict[str, float] = {}
     with tracer.span("pipeline", benchmark=benchmark.name,
@@ -170,6 +187,10 @@ def run_config(benchmark: Benchmark, config: Config,
     if tracer.enabled:
         _stamp_decisions(tracer.decisions[first_decision:], benchmark.name,
                          config.kind, result.reachable_units())
+    obs_logging.get_logger("repro.pipeline").info(
+        "pipeline-done", parallel=len(report.parallel_origins()),
+        lines=result.code_lines,
+        seconds=round(sum(report.timings.values()), 4))
     return result
 
 

@@ -27,6 +27,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 from repro.experiments.executor import merge_task_traces, run_tasks
 from repro.experiments.pipeline import CONFIGS, Config, run_config
 from repro.experiments.reporting import text_table
+from repro.obs.profile import merge_test_stats
 from repro.perfect import all_benchmarks
 from repro.perfect.suite import Benchmark
 from repro.polaris import PolarisOptions
@@ -42,6 +43,8 @@ class Table2Row:
     lines: Dict[str, int]
     #: per-phase wall-clock seconds summed over this row's pipeline runs
     timings: Dict[str, float] = field(default_factory=dict)
+    #: dependence-test family counters summed over this row's runs
+    test_stats: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -65,6 +68,8 @@ class ConfigOutcome:
     timings: Dict[str, float]
     #: worker-local :meth:`repro.trace.Tracer.export`, when requested
     trace: Optional[Dict[str, Any]] = None
+    #: dependence-test family counters from this run's Polaris report
+    test_stats: Dict[str, int] = field(default_factory=dict)
 
 
 def run_config_task(task: Table2Task) -> ConfigOutcome:
@@ -75,7 +80,8 @@ def run_config_task(task: Table2Task) -> ConfigOutcome:
                         tracer=tracer)
     return ConfigOutcome(task.kind, frozenset(result.parallel_origins()),
                          result.code_lines, dict(result.report.timings),
-                         tracer.export() if tracer else None)
+                         tracer.export() if tracer else None,
+                         dict(result.report.test_stats))
 
 
 def _assemble_row(name: str, outcomes: List[ConfigOutcome]) -> Table2Row:
@@ -85,9 +91,11 @@ def _assemble_row(name: str, outcomes: List[ConfigOutcome]) -> Table2Row:
         baseline, set(by_kind[kind].origins)) for kind in CONFIGS}
     lines = {kind: by_kind[kind].code_lines for kind in CONFIGS}
     timings: Dict[str, float] = {}
+    test_stats: Dict[str, int] = {}
     for outcome in outcomes:
         merge_timings(timings, outcome.timings)
-    return Table2Row(name, configs, lines, timings)
+        merge_test_stats(test_stats, outcome.test_stats)
+    return Table2Row(name, configs, lines, timings, test_stats)
 
 
 def table2_row(benchmark: Benchmark,

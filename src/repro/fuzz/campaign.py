@@ -18,6 +18,8 @@ timeline as the pipelines it exercises.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from collections import Counter
 from dataclasses import dataclass, field
@@ -25,6 +27,7 @@ from typing import Dict, List, Optional
 
 from repro.experiments.executor import run_tasks
 from repro.fuzz.corpus import CorpusEntry, save_entry
+from repro.obs import metrics as obs_metrics
 from repro.fuzz.generator import (FuzzProgram, GeneratorOptions, derive_seed,
                                   generate)
 from repro.fuzz.oracle import Mismatch, run_oracle
@@ -162,6 +165,7 @@ def run_campaign(seed: int = 0,
                          f"{stats.mismatches} mismatches, "
                          f"{time.perf_counter() - start:.1f}s]")
     stats.elapsed_seconds = time.perf_counter() - start
+    _persist_stats(stats, seed)
     tracer.instant("fuzz-campaign", cat="fuzz", seed=seed,
                    programs=stats.programs, configs_run=stats.configs_run,
                    mismatches=stats.mismatches,
@@ -179,9 +183,47 @@ def _absorb(stats: CampaignStats, outcome: Dict) -> None:
     for config, n in outcome["parallel_loops"].items():
         stats.parallel_loops[config] = \
             stats.parallel_loops.get(config, 0) + n
+    # parent-side oracle-verdict counters (one _absorb per program, so
+    # any -j yields identical values)
+    obs_metrics.counter("repro_fuzz_programs_total",
+                        "fuzzed programs by oracle verdict").inc(
+        verdict="passed" if outcome["passed"] else "failed")
+    obs_metrics.counter("repro_fuzz_configs_total",
+                        "configurations exercised by the fuzzer").inc(
+        outcome["configs_run"])
     if not outcome["passed"]:
         stats.failing_programs += 1
         stats.mismatches += len(outcome["mismatches"])
+        mismatches = obs_metrics.counter(
+            "repro_fuzz_mismatches_total", "oracle mismatches by kind")
+        for kind, _config, _detail in outcome["mismatches"]:
+            mismatches.inc(kind=kind)
+
+
+def _persist_stats(stats: CampaignStats, seed: int) -> None:
+    """Drop the latest campaign stats where the dashboard finds them
+    (best-effort; the cache dir may be unwritable)."""
+    from repro.perfect.suite import cache_dir
+    payload = {
+        "seed": seed,
+        "programs": stats.programs,
+        "configs_run": stats.configs_run,
+        "failing_programs": stats.failing_programs,
+        "mismatches": stats.mismatches,
+        "shrink_steps": stats.shrink_steps,
+        "source_lines": stats.source_lines,
+        "elapsed_seconds": round(stats.elapsed_seconds, 3),
+        "parallel_loops": dict(stats.parallel_loops),
+        "features": dict(stats.features),
+    }
+    try:
+        os.makedirs(cache_dir(), exist_ok=True)
+        path = os.path.join(cache_dir(), "fuzz_latest.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    except OSError:
+        pass
 
 
 def _handle_failure(outcome: Dict, options: GeneratorOptions,

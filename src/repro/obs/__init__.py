@@ -1,0 +1,26 @@
+"""repro.obs — the unified observability spine.
+
+* :mod:`repro.obs.metrics` — counters/gauges/histograms and the
+  process-wide default :class:`~repro.obs.metrics.MetricsRegistry`,
+  with export/delta/merge for crossing the worker-pool boundary;
+* :mod:`repro.obs.logging` — structured JSON/text logging with
+  contextvars-carried correlation IDs (``run_id``, ``job_id``,
+  ``benchmark``, ``config``);
+* :mod:`repro.obs.profile` — phase timings + dependence-test family
+  stats + optional cProfile top-N behind ``--profile``;
+* :mod:`repro.obs.dashboard` — the ``repro report --out`` self-contained
+  HTML dashboard.
+"""
+
+from repro.obs.logging import (configure, current_context, get_logger,
+                               log_context, new_run_id, validate_record)
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               counter, gauge, get_registry, histogram,
+                               set_registry)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "counter", "gauge", "histogram", "get_registry", "set_registry",
+    "configure", "current_context", "get_logger", "log_context",
+    "new_run_id", "validate_record",
+]

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence
 
 from repro.annotations.registry import AnnotationRegistry
+from repro.obs import metrics as obs_metrics
 from repro.program import Program
 
 #: bump when the AST/pickle layout changes so stale disk entries miss
@@ -169,15 +170,20 @@ class Benchmark:
         result exactly as if it had been parsed from scratch.
         """
         digest = self.digest()
+        lookups = obs_metrics.counter("repro_parse_cache_total",
+                                      "parse-cache lookups by outcome")
         base = _PROGRAM_CACHE.get(digest)
         if base is not None:
             PROGRAM_CACHE_STATS.memory_hits += 1
+            lookups.inc(outcome="memory_hit")
         else:
             base = _load_disk(digest)
             if base is not None:
                 PROGRAM_CACHE_STATS.disk_hits += 1
+                lookups.inc(outcome="disk_hit")
             else:
                 PROGRAM_CACHE_STATS.misses += 1
+                lookups.inc(outcome="miss")
                 base = Program.from_sources(dict(self.sources), self.name)
                 base.invalidate()
                 _store_disk(digest, base)

@@ -31,6 +31,8 @@ from repro.analysis.normalize import normalize_unit
 from repro.analysis.loops import LoopInfo
 from repro.analysis.sideeffects import Summary, compute_summaries
 from repro.fortran import ast
+from repro.obs import metrics as obs_metrics
+from repro.obs.profile import FAMILIES, accumulate_test_stats
 from repro.polaris.parallelizer import LegalityAnalyzer
 from repro.polaris.profitability import ProfitabilityPolicy
 from repro.polaris.report import LoopVerdict, Report
@@ -93,7 +95,37 @@ class Polaris:
                                            report, tracer)
             program.invalidate()
         report.add_timing("dependence", perf_counter() - t0)
+        self._observe(report)
         return report
+
+    @staticmethod
+    def _observe(report: Report) -> None:
+        """Publish this run's dependence-test and verdict counts to the
+        default metrics registry (worker-side deltas of these are what
+        the executor merges back into the parent)."""
+        stats = report.test_stats
+        attempts = obs_metrics.counter(
+            "repro_dep_tests_total", "dependence-test attempts by family")
+        kills = obs_metrics.counter(
+            "repro_dep_independent_total",
+            "dependences disproved, by family")
+        for name, attempts_field, kills_field in FAMILIES:
+            family = name.lower()
+            attempts.inc(stats.get(attempts_field, 0), family=family)
+            kills.inc(stats.get(kills_field, 0), family=family)
+        obs_metrics.counter(
+            "repro_dep_assumed_total",
+            "queries no test could disprove").inc(
+                stats.get("assumed_dependent", 0))
+        obs_metrics.counter(
+            "repro_dep_cache_hits_total",
+            "dependence queries answered from the memo table").inc(
+                stats.get("cache_hits", 0))
+        loops = obs_metrics.counter("repro_loops_total",
+                                    "analyzed loops by verdict")
+        npar = sum(1 for v in report.verdicts if v.parallelized)
+        loops.inc(npar, verdict="parallel")
+        loops.inc(len(report.verdicts) - npar, verdict="serial")
 
     # ------------------------------------------------------------------
     def _parallelize_unit(self, program: Program, unit: ast.ProgramUnit,
@@ -127,6 +159,7 @@ class Polaris:
             return out
 
         unit.body = process(unit.body, [])
+        accumulate_test_stats(report.test_stats, analyzer.tester.stats)
 
     def _try_loop(self, loop: ast.DoLoop, enclosing: List[ast.DoLoop],
                   analyzer: LegalityAnalyzer, policy: ProfitabilityPolicy,

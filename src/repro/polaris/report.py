@@ -50,6 +50,9 @@ class Report:
     #: per-phase wall-clock seconds (keys from PHASES), filled by the
     #: driver and the experiment pipeline, shown by the CLI's --profile
     timings: Dict[str, float] = field(default_factory=dict)
+    #: dependence-test family counters accumulated over every unit's
+    #: tester (TestStats field -> count), shown by --profile
+    test_stats: Dict[str, int] = field(default_factory=dict)
 
     def add(self, v: LoopVerdict) -> None:
         self.verdicts.append(v)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import socket
 from typing import Any, Dict, Optional
 
+from repro.obs.logging import current_context
 from repro.service import protocol
 
 DEFAULT_PORT = 7411  # 'repro' on a phone keypad, roughly
@@ -58,6 +59,11 @@ class ServiceClient:
                include_trace: bool = False) -> Dict[str, Any]:
         message: Dict[str, Any] = {"op": "submit", "payload": payload,
                                    "wait": wait}
+        ctx = current_context()
+        if ctx:
+            # correlation IDs ride next to the payload (never inside it:
+            # they must not perturb the dedup digest)
+            message["ctx"] = ctx
         if deadline is not None:
             message["deadline"] = deadline
         if max_retries is not None:

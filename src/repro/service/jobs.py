@@ -70,6 +70,10 @@ class Job:
     error: str = ""
     result: Optional[Dict[str, Any]] = None
     cached: bool = False                  # answered from the result cache
+    #: correlation IDs carried from the submitting client (run_id, ...).
+    #: Deliberately NOT part of the payload: two clients submitting the
+    #: same work must dedup to one job regardless of who asked.
+    ctx: Dict[str, Any] = field(default_factory=dict)
     finished: threading.Event = field(default_factory=threading.Event,
                                       repr=False)
 

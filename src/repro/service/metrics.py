@@ -1,228 +1,30 @@
-"""Service metrics: counters, gauges, histograms.
+"""Compatibility shim: the metrics primitives now live in
+:mod:`repro.obs.metrics` (the process-wide observability spine).
 
-A single :class:`MetricsRegistry` owns every metric; accessors are
-get-or-create so instrumentation points never race registration.  Two
-render formats:
-
-* ``to_json()`` — nested dict for the ``metrics`` protocol op and tests;
-* ``to_prometheus()`` — the Prometheus text exposition format, so a
-  scraper pointed at ``repro svc-status --prometheus`` (or the raw op)
-  needs no translation layer.
-
-All mutation is lock-protected; observation costs one lock acquire, fine
-at this system's request rates (the pipeline behind each job runs for
-milliseconds to seconds, not nanoseconds).
+``repro.service`` keeps importing from here so the wire protocol, the
+server, and existing callers are untouched; new instrumentation should
+import :mod:`repro.obs.metrics` (or the module-level ``counter`` /
+``gauge`` / ``histogram`` helpers bound to the default registry).
 """
 
-from __future__ import annotations
+from repro.obs.metrics import (  # noqa: F401
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _fmt,
+    _labels_suffix,
+    get_registry,
+    set_registry,
+)
 
-import threading
-from time import perf_counter
-from typing import Dict, List, Sequence, Tuple
-
-#: default histogram buckets (seconds) — the pipeline spans ~1ms probes
-#: to multi-second whole-benchmark runs
-DEFAULT_BUCKETS = (0.005, 0.02, 0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
-
-
-def _fmt(value: float) -> str:
-    """Prometheus sample value: integers render without a decimal."""
-    return str(int(value)) if float(value).is_integer() else repr(value)
-
-
-def _labels_suffix(labels: Tuple[Tuple[str, str], ...]) -> str:
-    if not labels:
-        return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
-    return "{" + inner + "}"
-
-
-class Counter:
-    """Monotonically increasing count, optionally split by one label."""
-
-    kind = "counter"
-
-    def __init__(self, name: str, help: str, lock: threading.Lock):
-        self.name = name
-        self.help = help
-        self._lock = lock
-        self._values: Dict[Tuple[Tuple[str, str], ...], float] = {}
-
-    def inc(self, amount: float = 1, **labels: str) -> None:
-        key = tuple(sorted(labels.items()))
-        with self._lock:
-            self._values[key] = self._values.get(key, 0) + amount
-
-    def value(self, **labels: str) -> float:
-        key = tuple(sorted(labels.items()))
-        with self._lock:
-            return self._values.get(key, 0)
-
-    def total(self) -> float:
-        with self._lock:
-            return sum(self._values.values())
-
-    def to_json(self):
-        with self._lock:
-            if not self._values:
-                return 0
-            if list(self._values) == [()]:
-                return self._values[()]
-            return {_labels_suffix(k) or "total": v
-                    for k, v in sorted(self._values.items())}
-
-    def samples(self) -> List[str]:
-        with self._lock:
-            items = sorted(self._values.items()) or [((), 0)]
-            return [f"{self.name}{_labels_suffix(k)} {_fmt(v)}"
-                    for k, v in items]
-
-
-class Gauge:
-    """A value that goes up and down (queue depth, running jobs)."""
-
-    kind = "gauge"
-
-    def __init__(self, name: str, help: str, lock: threading.Lock):
-        self.name = name
-        self.help = help
-        self._lock = lock
-        self._value = 0.0
-
-    def set(self, value: float) -> None:
-        with self._lock:
-            self._value = value
-
-    def inc(self, amount: float = 1) -> None:
-        with self._lock:
-            self._value += amount
-
-    def dec(self, amount: float = 1) -> None:
-        with self._lock:
-            self._value -= amount
-
-    def value(self) -> float:
-        with self._lock:
-            return self._value
-
-    def to_json(self):
-        return self.value()
-
-    def samples(self) -> List[str]:
-        return [f"{self.name} {_fmt(self.value())}"]
-
-
-class Histogram:
-    """Cumulative-bucket histogram (Prometheus semantics)."""
-
-    kind = "histogram"
-
-    def __init__(self, name: str, help: str, lock: threading.Lock,
-                 buckets: Sequence[float] = DEFAULT_BUCKETS):
-        self.name = name
-        self.help = help
-        self._lock = lock
-        self.buckets = tuple(sorted(buckets))
-        self._counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
-        self._sum = 0.0
-        self._count = 0
-
-    def observe(self, value: float) -> None:
-        with self._lock:
-            self._sum += value
-            self._count += 1
-            for i, bound in enumerate(self.buckets):
-                if value <= bound:
-                    self._counts[i] += 1
-                    return
-            self._counts[-1] += 1
-
-    def time(self) -> "_HistogramTimer":
-        """Context manager observing the elapsed wall clock on exit."""
-        return _HistogramTimer(self)
-
-    def to_json(self):
-        with self._lock:
-            cumulative = 0
-            buckets = {}
-            for bound, n in zip(self.buckets, self._counts):
-                cumulative += n
-                buckets[str(bound)] = cumulative
-            buckets["+Inf"] = self._count
-            return {"count": self._count, "sum": self._sum,
-                    "buckets": buckets}
-
-    def samples(self) -> List[str]:
-        with self._lock:
-            out = []
-            cumulative = 0
-            for bound, n in zip(self.buckets, self._counts):
-                cumulative += n
-                out.append(f'{self.name}_bucket{{le="{bound}"}} '
-                           f'{cumulative}')
-            out.append(f'{self.name}_bucket{{le="+Inf"}} {self._count}')
-            out.append(f"{self.name}_sum {_fmt(self._sum)}")
-            out.append(f"{self.name}_count {self._count}")
-            return out
-
-
-class _HistogramTimer:
-    def __init__(self, histogram: Histogram):
-        self._histogram = histogram
-        self._t0 = 0.0
-
-    def __enter__(self) -> "_HistogramTimer":
-        self._t0 = perf_counter()
-        return self
-
-    def __exit__(self, *exc) -> bool:
-        self._histogram.observe(perf_counter() - self._t0)
-        return False
-
-
-class MetricsRegistry:
-    """Thread-safe, get-or-create home for every service metric."""
-
-    def __init__(self):
-        self._lock = threading.Lock()          # guards the metric table
-        self._metrics: Dict[str, object] = {}  # name -> metric (ordered)
-
-    def _get(self, cls, name: str, help: str, **kwargs):
-        with self._lock:
-            metric = self._metrics.get(name)
-            if metric is None:
-                metric = cls(name, help, threading.Lock(), **kwargs)
-                self._metrics[name] = metric
-            elif not isinstance(metric, cls):
-                raise TypeError(f"metric {name!r} already registered "
-                                f"as {type(metric).__name__}")
-            return metric
-
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get(Counter, name, help)
-
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get(Gauge, name, help)
-
-    def histogram(self, name: str, help: str = "",
-                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
-        return self._get(Histogram, name, help, buckets=buckets)
-
-    def _snapshot(self) -> List[object]:
-        with self._lock:
-            return list(self._metrics.values())
-
-    def to_json(self) -> Dict[str, object]:
-        out: Dict[str, object] = {}
-        for metric in self._snapshot():
-            out[metric.name] = metric.to_json()
-        return out
-
-    def to_prometheus(self) -> str:
-        lines: List[str] = []
-        for metric in self._snapshot():
-            if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
-            lines.append(f"# TYPE {metric.name} {metric.kind}")
-            lines.extend(metric.samples())
-        return "\n".join(lines) + "\n"
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+]

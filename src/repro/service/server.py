@@ -34,6 +34,8 @@ from typing import Any, Dict, Optional, Tuple
 from repro.experiments.executor import (WorkerCrashError, WorkerPool,
                                         WorkerTimeout, in_worker,
                                         resolve_jobs)
+from repro.obs import logging as obs_logging
+from repro.obs import metrics as obs_metrics
 from repro.service import protocol
 from repro.service.cache import ResultCache
 from repro.service.jobs import (FINAL_STATES, Job, JobQueue, JobState,
@@ -45,6 +47,8 @@ PAYLOAD_KINDS = ("benchmark", "sources", "probe")
 
 #: states a digest counts as "in flight" for deduplication
 _LIVE_STATES = (JobState.QUEUED, JobState.RUNNING)
+
+_log = obs_logging.get_logger("repro.service")
 
 
 # ---------------------------------------------------------------------------
@@ -104,6 +108,30 @@ def _run_pipeline(benchmark, config_kind: str,
     if tracer is not None:
         summary["trace"] = tracer.export()
     return summary
+
+
+def run_job_observed(item: Tuple[Dict[str, Any], Dict[str, Any]]
+                     ) -> Tuple[Dict[str, Any], Optional[Dict]]:
+    """Worker entry point wrapping :func:`execute_payload` with
+    observability: the client's correlation IDs become log context, and
+    every metric the pipeline touches in the worker comes back as a
+    registry delta for the parent to merge (same protocol as
+    :func:`repro.experiments.executor._observed_task`).
+
+    Inline pools share the parent's default registry, so there the
+    metrics already landed — the delta is None and merging is skipped.
+    """
+    payload, ctx = item
+    if not in_worker():
+        with obs_logging.log_context(**ctx):
+            return execute_payload(payload), None
+    obs_logging.configure()  # spawned fresh: read REPRO_LOG* env
+    registry = obs_metrics.get_registry()
+    before = registry.export()
+    with obs_logging.log_context(**ctx):
+        result = execute_payload(payload)
+    return result, obs_metrics.MetricsRegistry.delta(before,
+                                                     registry.export())
 
 
 def _execute_probe(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -255,10 +283,13 @@ class ParallelizationServer:
 
     def submit(self, payload: Dict[str, Any],
                deadline: Optional[float] = None,
-               max_retries: Optional[int] = None) -> Job:
+               max_retries: Optional[int] = None,
+               ctx: Optional[Dict[str, Any]] = None) -> Job:
         """Admit a payload: dedup against in-flight work, answer from
         cache, or enqueue.  Raises :class:`QueueFullError` on
-        backpressure and ValueError on malformed payloads."""
+        backpressure and ValueError on malformed payloads.  ``ctx``
+        carries the client's correlation IDs into the job's logs; it
+        never participates in dedup (see :class:`Job`)."""
         kind = payload.get("kind")
         if kind not in PAYLOAD_KINDS:
             raise ValueError(f"unknown payload kind {kind!r}; "
@@ -279,7 +310,7 @@ class ParallelizationServer:
                 del self._by_digest[digest]  # stale index entry
 
             job = Job(digest=digest, payload=payload, deadline=deadline,
-                      max_retries=max_retries)
+                      max_retries=max_retries, ctx=dict(ctx or {}))
             cached = self.cache.get(digest)
             if cached is not None:
                 self._m_cache_hits.inc()
@@ -345,22 +376,36 @@ class ParallelizationServer:
         job.started_at = time.monotonic()
         job.attempts += 1
         self._m_running.inc()
-        try:
-            result = self.pool.run(execute_payload, job.payload,
-                                   timeout=job.remaining())
-        except WorkerTimeout:
-            self._finalize(job, JobState.TIMEOUT,
-                           error="deadline expired while running")
-        except WorkerCrashError as exc:
-            self._handle_crash(job, exc)
-        except Exception as exc:  # deterministic task failure: no retry
-            self._finalize(job, JobState.FAILED,
-                           error=f"{type(exc).__name__}: {exc}")
-        else:
-            self.cache.put(job.digest, result)
-            self._finalize(job, JobState.DONE, result=result)
-        finally:
-            self._m_running.dec()
+        with obs_logging.log_context(job_id=job.id, **job.ctx):
+            _log.info("job-start", digest=job.digest[:12],
+                      attempt=job.attempts,
+                      kind=job.payload.get("kind"))
+            try:
+                result, delta = self.pool.run(run_job_observed,
+                                              (job.payload, job.ctx),
+                                              timeout=job.remaining())
+            except WorkerTimeout:
+                self._finalize(job, JobState.TIMEOUT,
+                               error="deadline expired while running")
+                _log.warning("job-timeout", digest=job.digest[:12])
+            except WorkerCrashError as exc:
+                self._handle_crash(job, exc)
+                _log.warning("job-crash", digest=job.digest[:12],
+                             attempt=job.attempts, error=str(exc))
+            except Exception as exc:  # deterministic failure: no retry
+                self._finalize(job, JobState.FAILED,
+                               error=f"{type(exc).__name__}: {exc}")
+                _log.warning("job-failed", digest=job.digest[:12],
+                             error=f"{type(exc).__name__}: {exc}")
+            else:
+                if delta:
+                    obs_metrics.get_registry().merge(delta)
+                self.cache.put(job.digest, result)
+                self._finalize(job, JobState.DONE, result=result)
+                _log.info("job-done", digest=job.digest[:12],
+                          latency=round(job.latency() or 0.0, 4))
+            finally:
+                self._m_running.dec()
 
     def _handle_crash(self, job: Job, exc: WorkerCrashError) -> None:
         if job.attempts > job.max_retries:
@@ -490,10 +535,20 @@ class ParallelizationServer:
             digest = payload_digest(payload)
             live = self._by_digest.get(digest)
             before = live if live else None
+        ctx = request.get("ctx")
+        if ctx is not None and not (
+                isinstance(ctx, dict)
+                and all(isinstance(k, str)
+                        and isinstance(v, (str, int, float, bool))
+                        for k, v in ctx.items())):
+            return protocol.error_response(
+                "'ctx' must map string keys to scalar values",
+                code="bad-request")
         try:
             job = self.submit(payload,
                               deadline=request.get("deadline"),
-                              max_retries=request.get("max_retries"))
+                              max_retries=request.get("max_retries"),
+                              ctx=ctx)
         except QueueFullError as exc:
             return protocol.error_response(exc.reason, code="backpressure")
         except (ValueError, KeyError) as exc:
@@ -562,17 +617,31 @@ class ParallelizationServer:
             "cache_stats": self.cache.stats(),
         }
 
+    def _exported_metrics(self) -> MetricsRegistry:
+        """The server's own registry unioned with the process-default one.
+
+        Pipeline instrumentation from finished jobs (dependence tests,
+        cache lookups, …) is merged into the process-default registry;
+        the server keeps its service metrics in a private registry so
+        concurrent servers in one process (tests) don't share counts.
+        The metrics op must expose both.
+        """
+        combined = MetricsRegistry()
+        combined.merge(self.metrics.export())
+        combined.merge(obs_metrics.get_registry().export())
+        return combined
+
     def _op_metrics(self, request: Dict[str, Any]) -> Dict[str, Any]:
         self._m_uptime.set(self.uptime())
         fmt = request.get("format", "json")
         if fmt == "prometheus":
             return {"ok": True, "format": "prometheus",
-                    "text": self.metrics.to_prometheus()}
+                    "text": self._exported_metrics().to_prometheus()}
         if fmt != "json":
             return protocol.error_response(
                 f"unknown metrics format {fmt!r}", code="bad-request")
         return {"ok": True, "format": "json",
-                "metrics": self.metrics.to_json()}
+                "metrics": self._exported_metrics().to_json()}
 
     def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
         return {"ok": True, "stopping": True, "_shutdown": True}

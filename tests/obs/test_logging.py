@@ -1,0 +1,144 @@
+"""Structured logging: record schema, level thresholds, context
+layering, and correlation-ID propagation across the executor boundary.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.experiments.executor import run_tasks
+from repro.obs import logging as obs_logging
+from repro.obs.logging import (LEVELS, configure, current_context,
+                               get_logger, log_context, new_run_id,
+                               validate_record)
+
+
+@pytest.fixture()
+def capture():
+    """Route logs to a buffer at info/json; restore defaults after."""
+    buf = io.StringIO()
+    configure(mode="json", level="info", stream=buf)
+    try:
+        yield buf
+    finally:
+        configure()
+
+
+def _records(buf):
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+class TestEmission:
+    def test_json_records_validate(self, capture):
+        log = get_logger("repro.test")
+        with log_context(run_id="abc123", benchmark="TRFD"):
+            log.info("unit-done", loops=4, seconds=0.25)
+        (record,) = _records(capture)
+        assert validate_record(record) == []
+        assert record["event"] == "unit-done"
+        assert record["logger"] == "repro.test"
+        assert record["run_id"] == "abc123"
+        assert record["benchmark"] == "TRFD"
+        assert record["loops"] == 4
+
+    def test_level_threshold(self, capture):
+        log = get_logger("repro.test")
+        log.debug("hidden")
+        log.info("shown")
+        log.error("also-shown")
+        events = [r["event"] for r in _records(capture)]
+        assert events == ["shown", "also-shown"]
+
+    def test_text_mode_line(self):
+        buf = io.StringIO()
+        configure(mode="text", level="info", stream=buf)
+        try:
+            with log_context(run_id="r1"):
+                get_logger("repro.test").info("evt", n=2)
+        finally:
+            configure()
+        line = buf.getvalue().strip()
+        assert "INFO" in line and "repro.test" in line and "evt" in line
+        assert "run_id=r1" in line and "n=2" in line
+
+    def test_default_level_is_warning(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
+        buf = io.StringIO()
+        configure(stream=buf)  # no env, no args
+        try:
+            get_logger("repro.test").info("quiet")
+            get_logger("repro.test").warning("loud")
+        finally:
+            configure()
+        events = [r.split()[3] for r in buf.getvalue().splitlines()]
+        assert events == ["loud"]
+
+
+class TestContext:
+    def test_nesting_and_restore(self):
+        assert current_context() == {}
+        with log_context(run_id="r1"):
+            with log_context(benchmark="ADM", config="none"):
+                assert current_context() == {"run_id": "r1",
+                                             "benchmark": "ADM",
+                                             "config": "none"}
+            assert current_context() == {"run_id": "r1"}
+        assert current_context() == {}
+
+    def test_none_values_dropped(self):
+        with log_context(run_id="r1", job_id=None):
+            assert current_context() == {"run_id": "r1"}
+
+    def test_run_ids_are_unique(self):
+        ids = {new_run_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(i) == 12 for i in ids)
+
+
+class TestValidateRecord:
+    def test_rejects_bad_shapes(self):
+        assert validate_record("not a dict")
+        assert validate_record({"ts": -1, "level": "info",
+                                "logger": "l", "event": "e"})
+        assert validate_record({"ts": 1.0, "level": "loud",
+                                "logger": "l", "event": "e"})
+        assert validate_record({"ts": 1.0, "level": "info",
+                                "logger": "", "event": "e"})
+        assert validate_record({"ts": 1.0, "level": "info",
+                                "logger": "l", "event": "e",
+                                "nested": {"no": 1}})
+
+    def test_accepts_minimal_record(self):
+        assert validate_record({"ts": 1.0, "level": "info",
+                                "logger": "l", "event": "e"}) == []
+
+
+def _task_context(_task):
+    return dict(obs_logging.current_context())
+
+
+class TestExecutorPropagation:
+    """The parent's correlation IDs are re-established inside pool
+    workers (``_observed_task`` ships them with each task)."""
+
+    def test_context_reaches_workers(self):
+        with log_context(run_id="runX", benchmark="QCD"):
+            try:
+                contexts = run_tasks(_task_context, [1, 2, 3], jobs=2)
+            except (OSError, PermissionError):
+                pytest.skip("sandbox cannot start worker processes")
+        for ctx in contexts:
+            assert ctx["run_id"] == "runX"
+            assert ctx["benchmark"] == "QCD"
+
+    def test_context_in_serial_mode(self):
+        with log_context(run_id="runY"):
+            contexts = run_tasks(_task_context, [1], jobs=1)
+        assert contexts[0]["run_id"] == "runY"
+
+
+def test_levels_table_is_ordered():
+    assert (LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"]
+            < LEVELS["error"])

@@ -1,0 +1,209 @@
+"""Shared metrics registry: conflict detection, render consistency,
+export/delta/merge arithmetic, and concurrent observation from threads
+and pool workers.
+"""
+
+import threading
+
+import pytest
+
+from repro.experiments.executor import run_tasks
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    """Isolate the process-wide default registry per test."""
+    fresh = MetricsRegistry()
+    previous = obs_metrics.set_registry(fresh)
+    try:
+        yield fresh
+    finally:
+        obs_metrics.set_registry(previous)
+
+
+class TestConflictDetection:
+    def test_conflicting_help_raises(self):
+        m = MetricsRegistry()
+        m.counter("repro_x_total", "one meaning")
+        with pytest.raises(ValueError, match="conflicting help"):
+            m.counter("repro_x_total", "another meaning")
+
+    def test_empty_help_is_no_opinion(self):
+        m = MetricsRegistry()
+        a = m.counter("repro_x_total", "the meaning")
+        assert m.counter("repro_x_total") is a
+        assert m.counter("repro_x_total", "the meaning") is a
+
+    def test_late_help_is_adopted(self):
+        m = MetricsRegistry()
+        a = m.counter("repro_x_total")
+        assert a.help == ""
+        m.counter("repro_x_total", "finally documented")
+        assert a.help == "finally documented"
+
+    def test_conflicting_buckets_raise(self):
+        m = MetricsRegistry()
+        m.histogram("repro_h_seconds", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="conflicting buckets"):
+            m.histogram("repro_h_seconds", buckets=(1.0, 5.0))
+
+    def test_omitted_buckets_match_anything(self):
+        m = MetricsRegistry()
+        h = m.histogram("repro_h_seconds", buckets=(1.0, 2.0))
+        assert m.histogram("repro_h_seconds") is h
+        d = m.histogram("repro_d_seconds")  # default buckets
+        assert d.buckets == tuple(sorted(DEFAULT_BUCKETS))
+        assert m.histogram("repro_d_seconds",
+                           buckets=DEFAULT_BUCKETS) is d
+
+    def test_kind_conflict_raises_type_error(self):
+        m = MetricsRegistry()
+        m.counter("repro_x")
+        with pytest.raises(TypeError):
+            m.histogram("repro_x")
+
+
+class TestRenderConsistency:
+    def test_bucket_labels_match_between_json_and_samples(self):
+        m = MetricsRegistry()
+        h = m.histogram("repro_h_seconds", buckets=(0.1, 1.0, 10.0))
+        h.observe(0.05)
+        h.observe(3.0)
+        json_labels = set(m.to_json()["repro_h_seconds"]["buckets"])
+        sample_text = "\n".join(h.samples())
+        for label in json_labels - {"+Inf"}:
+            assert f'le="{label}"' in sample_text
+        # integral bounds render without a trailing .0 in both places
+        assert "1" in json_labels and "1.0" not in json_labels
+        assert 'le="1"' in sample_text and 'le="1.0"' not in sample_text
+
+
+class TestExportDeltaMerge:
+    def test_counter_round_trip(self):
+        a = MetricsRegistry()
+        c = a.counter("repro_x_total", "x")
+        c.inc(3, kind="a")
+        before = a.export()
+        c.inc(2, kind="a")
+        c.inc(5, kind="b")
+        delta = MetricsRegistry.delta(before, a.export())
+        b = MetricsRegistry()
+        b.counter("repro_x_total", "x").inc(10, kind="a")
+        b.merge(delta)
+        assert b.counter("repro_x_total").value(kind="a") == 12
+        assert b.counter("repro_x_total").value(kind="b") == 5
+
+    def test_zero_deltas_are_dropped(self):
+        a = MetricsRegistry()
+        a.counter("repro_x_total").inc()
+        a.gauge("repro_g").set(4)
+        snap = a.export()
+        assert MetricsRegistry.delta(snap, a.export()) == {}
+
+    def test_histogram_round_trip(self):
+        a = MetricsRegistry()
+        h = a.histogram("repro_h_seconds", "h", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        before = a.export()
+        h.observe(5.0)
+        delta = MetricsRegistry.delta(before, a.export())
+        b = MetricsRegistry()
+        b.merge(delta)
+        merged = b.histogram("repro_h_seconds")
+        assert merged.count() == 1
+        assert merged.sum() == 5.0
+        assert merged.buckets == (1.0, 10.0)
+
+    def test_merge_creates_missing_metrics(self):
+        a = MetricsRegistry()
+        a.counter("repro_x_total", "x").inc(7)
+        b = MetricsRegistry()
+        b.merge(a.export())
+        assert b.counter("repro_x_total").value() == 7
+        assert b.counter("repro_x_total").help == "x"
+
+    def test_gauge_delta_adds(self):
+        a = MetricsRegistry()
+        g = a.gauge("repro_g")
+        g.set(2)
+        before = a.export()
+        g.set(5)
+        delta = MetricsRegistry.delta(before, a.export())
+        b = MetricsRegistry()
+        b.gauge("repro_g").set(10)
+        b.merge(delta)
+        assert b.gauge("repro_g").value() == 13
+
+
+class TestThreadConcurrency:
+    def test_many_threads_one_counter(self, registry):
+        c = obs_metrics.counter("repro_thread_total")
+        n_threads, per_thread = 8, 2000
+
+        def work():
+            for _ in range(per_thread):
+                c.inc(shard="x")
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value(shard="x") == n_threads * per_thread
+
+    def test_concurrent_registration_yields_one_metric(self, registry):
+        results = []
+        barrier = threading.Barrier(6)
+
+        def register():
+            barrier.wait()
+            results.append(obs_metrics.counter("repro_race_total"))
+
+        threads = [threading.Thread(target=register) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r is results[0] for r in results)
+
+
+def _observed_square(task):
+    obs_metrics.counter("repro_obs_test_total",
+                        "per-task increments").inc(task)
+    obs_metrics.histogram("repro_obs_test_seconds").observe(0.001)
+    return task * task
+
+
+class TestWorkerPoolMerge:
+    """Worker-side observations land in the parent default registry with
+    the same values for any worker count (the PR's delta-merge
+    protocol)."""
+
+    def _run(self, jobs):
+        fresh = MetricsRegistry()
+        previous = obs_metrics.set_registry(fresh)
+        try:
+            results = run_tasks(_observed_square, list(range(1, 9)),
+                                jobs=jobs)
+        finally:
+            obs_metrics.set_registry(previous)
+        return results, fresh
+
+    def test_serial_counts(self):
+        results, registry = self._run(jobs=1)
+        assert results == [i * i for i in range(1, 9)]
+        assert registry.counter("repro_obs_test_total").total() == 36
+        assert registry.histogram("repro_obs_test_seconds").count() == 8
+
+    def test_process_pool_counts_match_serial(self):
+        try:
+            results, registry = self._run(jobs=2)
+        except (OSError, PermissionError):
+            pytest.skip("sandbox cannot start worker processes")
+        assert results == [i * i for i in range(1, 9)]
+        assert registry.counter("repro_obs_test_total").total() == 36
+        assert registry.histogram("repro_obs_test_seconds").count() == 8
+        # the executor's own accounting rode along
+        assert registry.counter("repro_executor_tasks_total").total() == 8

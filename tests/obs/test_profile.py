@@ -1,0 +1,69 @@
+"""Deep profiling: family-stat accumulation, report rendering, and the
+cProfile wrapper.
+"""
+
+from repro.analysis.dependence import TestStats as DepTestStats
+from repro.obs.profile import (FAMILIES, accumulate_test_stats,
+                               merge_test_stats, profile_call,
+                               render_profile_report, render_test_stats)
+
+
+class TestAccumulate:
+    def test_folds_test_stats_fields(self):
+        stats = DepTestStats(ziv_attempts=3, ziv_independent=1,
+                          gcd_attempts=5, gcd_independent=2,
+                          banerjee_attempts=4, banerjee_independent=3,
+                          assumed_dependent=2, cache_hits=7)
+        acc = accumulate_test_stats({}, stats)
+        acc = accumulate_test_stats(acc, stats)
+        assert acc["ziv_attempts"] == 6
+        assert acc["banerjee_independent"] == 6
+        assert acc["cache_hits"] == 14
+
+    def test_merge_dict_shaped(self):
+        acc = merge_test_stats({"gcd_attempts": 1}, {"gcd_attempts": 2,
+                                                     "cache_hits": 3})
+        assert acc == {"gcd_attempts": 3, "cache_hits": 3}
+
+
+class TestRender:
+    def test_family_table_lists_every_family(self):
+        stats = {"gcd_attempts": 10, "gcd_independent": 4,
+                 "banerjee_attempts": 6, "banerjee_independent": 6,
+                 "assumed_dependent": 2, "cache_hits": 5}
+        text = render_test_stats(stats)
+        for name, _attempts, _kills in FAMILIES:
+            assert name in text
+        assert "40.0%" in text       # GCD kill rate
+        assert "memo hits: 5" in text
+
+    def test_full_report_sections(self):
+        text = render_profile_report(
+            {"parse": 0.5, "dependence": 1.0},
+            {"gcd_attempts": 1, "gcd_independent": 1},
+            "cProfile top 2 (cumulative)\nncalls ...")
+        assert "phase timings" in text
+        assert "dependence-test family stats" in text
+        assert "cProfile top 2" in text
+
+    def test_timings_only(self):
+        text = render_profile_report({"parse": 0.5})
+        assert "phase timings" in text
+        assert "dependence-test" not in text
+
+
+class TestProfileCall:
+    def test_returns_result_and_table(self):
+        result, text = profile_call(sorted, [3, 1, 2], top=5)
+        assert result == [1, 2, 3]
+        assert text.startswith("cProfile top 5")
+        assert "ncalls" in text
+
+    def test_exception_propagates(self):
+        import pytest
+
+        def boom():
+            raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            profile_call(boom)

@@ -54,9 +54,11 @@ class TestHistogram:
         data = m.to_json()["repro_lat_seconds"]
         assert data["count"] == 5
         assert data["sum"] == 56.05
+        # bucket labels use the Prometheus float rendering (1, not 1.0)
+        # consistently across to_json() and samples()
         assert data["buckets"]["0.1"] == 1
-        assert data["buckets"]["1.0"] == 3
-        assert data["buckets"]["10.0"] == 4
+        assert data["buckets"]["1"] == 3
+        assert data["buckets"]["10"] == 4
         assert data["buckets"]["+Inf"] == 5
 
 
@@ -75,7 +77,7 @@ class TestPrometheusText:
         assert "repro_jobs_submitted_total 7" in text
         assert "repro_queue_depth 2" in text
         assert 'repro_jobs_completed_total{state="done"} 1' in text
-        assert 'repro_lat_seconds_bucket{le="1.0"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="1"} 1' in text
         assert 'repro_lat_seconds_bucket{le="+Inf"} 2' in text
         assert "repro_lat_seconds_sum 2.5" in text
         assert "repro_lat_seconds_count 2" in text
