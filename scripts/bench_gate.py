@@ -1,11 +1,19 @@
 #!/usr/bin/env python
 """Bench regression gate (used by CI, runnable locally).
 
-Runs the warm Table II pipeline (the workload PR 1 parallelized and
-cached), records per-phase wall-clock and cache hit rates into
-``BENCH_table2.json``, and — in ``--check`` mode — fails when the
-measured total is more than ``--tolerance`` (default 25%) slower than
-the committed baseline.
+Two suites, selected with ``--suite``:
+
+* ``table2`` (default) — the warm Table II pipeline (the workload PR 1
+  parallelized and cached); baseline in ``BENCH_table2.json``.
+* ``figure20`` — the full Figure 20 run (12 benchmarks x 2 machines x
+  3 configs, tuning included) under the current runtime backend
+  (``REPRO_BACKEND``, compiled by default); baseline in
+  ``BENCH_figure20.json``.
+
+Each run records per-phase wall-clock (and, for table2, cache hit
+rates) into the suite's baseline file, and — in ``--check`` mode —
+fails when the measured total is more than ``--tolerance`` (default
+25%) slower than the committed baseline.
 
 Raw wall-clock is not comparable across machines, so the baseline also
 stores a *calibration* measurement (a fixed pure-Python workload); the
@@ -27,15 +35,20 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 SCHEMA = 1
-DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "..",
-                                "BENCH_table2.json")
+_ROOT = os.path.join(os.path.dirname(__file__), "..")
+BASELINES = {
+    "table2": os.path.join(_ROOT, "BENCH_table2.json"),
+    "figure20": os.path.join(_ROOT, "BENCH_figure20.json"),
+}
 #: every gate run appends one record here — the trajectory the
-#: ``repro report`` dashboard plots
-DEFAULT_HISTORY = os.path.join(os.path.dirname(__file__), "..",
-                               "BENCH_history.jsonl")
+#: ``repro report`` dashboard plots (one line per suite)
+DEFAULT_HISTORY = os.path.join(_ROOT, "BENCH_history.jsonl")
 #: benchmarks timed by the gate (full Table II suite)
 BENCHMARKS = None  # None = the full suite
 WARM_REPS = 5
+#: figure20 reps are lower: one cold rep warms every cache, and a
+#: single warm rep is ~15s of simulated tuning
+FIG20_WARM_REPS = 3
 
 
 def calibrate(reps: int = 3) -> float:
@@ -81,6 +94,7 @@ def measure() -> dict:
     median_idx = totals.index(sorted(totals)[len(totals) // 2])
     return {
         "schema": SCHEMA,
+        "suite": "table2",
         "benchmarks": [b.name for b in benchmarks],
         "warm_reps": WARM_REPS,
         "total_seconds": round(sorted(totals)[len(totals) // 2], 4),
@@ -93,6 +107,43 @@ def measure() -> dict:
         },
         "calibration_seconds": round(calibrate(), 4),
     }
+
+
+def measure_figure20() -> dict:
+    """Warm Figure 20 timings (median of FIG20_WARM_REPS) under the
+    current runtime backend."""
+    from repro.experiments.figure20 import figure20_all
+    from repro.polaris.report import merge_timings
+    from repro.runtime.backend import default_backend
+
+    figure20_all()  # cold rep: warms the parse and pipeline caches
+
+    totals = []
+    phase_samples = []
+    for _ in range(FIG20_WARM_REPS):
+        t0 = time.perf_counter()
+        cells = figure20_all()
+        totals.append(time.perf_counter() - t0)
+        phases = {}
+        for cell in cells:
+            merge_timings(phases, cell.timings)
+        phase_samples.append(phases)
+
+    median_idx = totals.index(sorted(totals)[len(totals) // 2])
+    return {
+        "schema": SCHEMA,
+        "suite": "figure20",
+        "backend": default_backend(),
+        "warm_reps": FIG20_WARM_REPS,
+        "total_seconds": round(sorted(totals)[len(totals) // 2], 4),
+        "total_samples": [round(t, 4) for t in totals],
+        "phases": {k: round(v, 4) for k, v in
+                   sorted(phase_samples[median_idx].items())},
+        "calibration_seconds": round(calibrate(), 4),
+    }
+
+
+MEASURERS = {"table2": measure, "figure20": measure_figure20}
 
 
 def check(measured: dict, baseline: dict, tolerance: float) -> int:
@@ -114,8 +165,7 @@ def check(measured: dict, baseline: dict, tolerance: float) -> int:
         delta = "" if base is None else \
             f"  (baseline {base:.4f}s, x{seconds / base if base else 0:.2f})"
         print(f"  {phase:<12}{seconds:.4f}s{delta}")
-    for label in ("program", "base"):
-        now = measured["cache"][label]
+    for label, now in measured.get("cache", {}).items():
         print(f"  cache/{label:<7}hit rate {now['hit_rate']:.2f} "
               f"({now['memory_hits']}+{now['disk_hits']} hits, "
               f"{now['misses']} misses)")
@@ -133,15 +183,19 @@ def append_history(path: str, measured: dict, mode: str,
     record = {
         "ts": round(time.time(), 3),
         "mode": mode,
+        "suite": measured.get("suite", "table2"),
         "total_seconds": measured["total_seconds"],
         "best_seconds": min(measured["total_samples"]),
         "phases": measured["phases"],
-        "cache": measured["cache"],
         "calibration_seconds": measured["calibration_seconds"],
         "passed": passed,
         "allowed_seconds": None if allowed is None else round(allowed, 4),
         "tolerance": tolerance,
     }
+    if "cache" in measured:
+        record["cache"] = measured["cache"]
+    if "backend" in measured:
+        record["backend"] = measured["backend"]
     try:
         with open(path, "a", encoding="utf-8") as fh:
             fh.write(json.dumps(record, sort_keys=True) + "\n")
@@ -152,7 +206,12 @@ def append_history(path: str, measured: dict, mode: str,
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--suite", choices=sorted(BASELINES),
+                        default="table2",
+                        help="which workload to time (default table2)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file (default: the suite's "
+                             "committed BENCH_<suite>.json)")
     parser.add_argument("--output", default=None,
                         help="also write the fresh measurement here")
     parser.add_argument("--history", default=DEFAULT_HISTORY,
@@ -169,8 +228,10 @@ def main(argv=None) -> int:
                       help="overwrite the committed baseline with a "
                            "fresh measurement")
     args = parser.parse_args(argv)
+    if args.baseline is None:
+        args.baseline = BASELINES[args.suite]
 
-    measured = measure()
+    measured = MEASURERS[args.suite]()
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(measured, fh, indent=2, sort_keys=True)
@@ -196,6 +257,11 @@ def main(argv=None) -> int:
     if baseline.get("schema") != SCHEMA:
         print(f"bench gate: baseline schema {baseline.get('schema')} != "
               f"{SCHEMA}; refresh with --write-baseline", file=sys.stderr)
+        return 2
+    if baseline.get("suite", "table2") != args.suite:
+        print(f"bench gate: baseline {args.baseline} is for suite "
+              f"{baseline.get('suite', 'table2')!r}, not {args.suite!r}",
+              file=sys.stderr)
         return 2
     scale = (measured["calibration_seconds"]
              / baseline["calibration_seconds"])

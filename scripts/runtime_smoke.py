@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Runtime backend smoke check (used by CI, runnable locally).
+
+Runs one PERFECT benchmark end to end under BOTH runtime backends and
+asserts the compiled closure backend is a bit-exact stand-in for the
+tree-walker:
+
+1. serial execution: identical output lines, simulated cost, stop
+   message, and COMMON contents (compared via ``tobytes()``, so
+   ``-0.0`` vs ``0.0`` or NaN payload differences fail);
+2. the full three-mode differential check
+   (:func:`repro.runtime.difftest.backend_equivalence`) on the same
+   benchmark after the annotation pipeline has parallelized it;
+3. the compile-template cache actually serves repeat constructions.
+
+Usage:
+  PYTHONPATH=src python scripts/runtime_smoke.py [BENCHMARK]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+FAILURES = []
+
+
+def check(ok, message):
+    print(("ok   " if ok else "FAIL ") + message)
+    if not ok:
+        FAILURES.append(message)
+
+
+def main(argv=None) -> int:
+    name = (argv or sys.argv[1:] or ["TRFD"])[0]
+
+    from repro.annotations import AnnotationInliner, AnnotationRegistry
+    from repro.perfect import get_benchmark
+    from repro.polaris import Polaris
+    from repro.runtime.backend import make_interpreter
+    from repro.runtime.compiler import (clear_compile_cache,
+                                        compile_cache_info)
+    from repro.runtime.difftest import backend_equivalence
+    from repro.runtime.machine import INTEL_MAC
+
+    bench = get_benchmark(name)
+    print(f"benchmark: {bench.name}")
+
+    # 1. serial, both backends, exact comparison
+    results = {}
+    for backend in ("tree", "compiled"):
+        interp = make_interpreter(bench.program(), backend,
+                                  inputs=list(bench.inputs))
+        results[backend] = interp.run()
+    tree, comp = results["tree"], results["compiled"]
+    check(tree.output == comp.output,
+          f"serial output identical ({len(tree.output)} lines)")
+    check(tree.cost == comp.cost,
+          f"serial cost identical ({tree.cost})")
+    check(tree.stop_message == comp.stop_message,
+          f"serial stop message identical ({tree.stop_message!r})")
+    check(set(tree.commons) == set(comp.commons),
+          f"same COMMON blocks ({sorted(tree.commons)})")
+    for cname in sorted(tree.commons):
+        a, b = tree.commons[cname], comp.commons[cname]
+        check(a.shape == b.shape and a.tobytes() == b.tobytes(),
+              f"COMMON /{cname}/ bit-identical")
+
+    # 2. parallelized program, all three execution modes
+    program = bench.program()
+    registry = (AnnotationRegistry.from_text(bench.annotations)
+                if bench.annotations.strip() else AnnotationRegistry())
+    AnnotationInliner(registry).run(program)
+    Polaris().run(program)
+    divergence = backend_equivalence(program, INTEL_MAC, bench.inputs)
+    check(divergence is None,
+          "backend_equivalence over serial/parallel/permuted"
+          + (f" — {divergence}" if divergence else ""))
+
+    # 3. template cache serves repeat constructions
+    clear_compile_cache()
+    make_interpreter(bench.program(), "compiled").run()
+    first = compile_cache_info()
+    make_interpreter(bench.program(), "compiled").run()
+    second = compile_cache_info()
+    check(first["misses"] >= 1, f"cold run compiles ({first['misses']} "
+                                f"template misses)")
+    check(second["hits"] > first["hits"]
+          and second["misses"] == first["misses"],
+          f"warm run reuses every template ({second['hits']} hits)")
+
+    if FAILURES:
+        print(f"\nruntime smoke FAILED ({len(FAILURES)} checks):")
+        for f in FAILURES:
+            print(f"  - {f}")
+        return 1
+    print("\nruntime smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

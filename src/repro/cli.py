@@ -192,12 +192,12 @@ def _cmd_report_dashboard(args) -> int:
 
 
 def cmd_run(args) -> int:
-    from repro.runtime import Interpreter
+    from repro.runtime import make_interpreter
     program = _load_program(args.files)
     machine = _machine(args.machine)
-    interp = Interpreter(program, machine=machine,
-                         honor_directives=machine is not None,
-                         inputs=[float(x) for x in args.inputs])
+    interp = make_interpreter(program, machine=machine,
+                              honor_directives=machine is not None,
+                              inputs=[float(x) for x in args.inputs])
     result = interp.run()
     for line in result.output:
         print(line)
@@ -484,6 +484,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="structured-log threshold (format from "
                              "$REPRO_LOG=json|text; default warning, or "
                              "info when REPRO_LOG is set)")
+    parser.add_argument("--backend", default=None,
+                        choices=("tree", "compiled"),
+                        help="runtime execution backend: the reference "
+                             "tree-walker or the compiled closure backend "
+                             "(default from $REPRO_BACKEND, else compiled)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_files(p, annotations=True):
@@ -680,6 +685,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # export so spawned worker processes (and the service's pool)
         # inherit the threshold without re-plumbing the flag
         os.environ["REPRO_LOG_LEVEL"] = args.log_level
+    if args.backend:
+        # same trick: one env var reaches every make_interpreter call,
+        # including worker processes
+        os.environ["REPRO_BACKEND"] = args.backend
     obs_logging.configure(level=args.log_level)
     with obs_logging.log_context(run_id=obs_logging.new_run_id()):
         try:

@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence
 
 from repro.fortran import ast
 from repro.program import Program
-from repro.runtime.interpreter import Interpreter
+from repro.runtime.backend import make_interpreter
 from repro.runtime.machine import MachineModel
 
 
@@ -61,9 +61,9 @@ def _directive_sites(program: Program):
 
 def _measure(program: Program, machine: Optional[MachineModel],
              inputs: Sequence[float]):
-    interp = Interpreter(program, machine=machine,
-                         honor_directives=machine is not None,
-                         inputs=list(inputs))
+    interp = make_interpreter(program, machine=machine,
+                              honor_directives=machine is not None,
+                              inputs=list(inputs))
     cost = interp.run().cost
     return cost, interp.omp_stats
 

@@ -16,6 +16,10 @@ checks:
     :func:`repro.runtime.diff_test` passes — every loop the driver
     marked parallel computes the same state when its iterations run
     in-order-parallel and in a **permuted** schedule;
+``backend-divergence``
+    :func:`repro.runtime.difftest.backend_equivalence` — the compiled
+    closure backend produces bit-identical output, cost, COMMON memory
+    and stop/error messages to the tree-walker in every execution mode;
 ``unparse-semantics``
     the unparsed transformed program re-parses and serially re-executes
     to the baseline (directives and restored CALLs survive the text
@@ -40,7 +44,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.fortran import ast
 from repro.program import Program
-from repro.runtime.difftest import diff_test
+from repro.runtime.difftest import backend_equivalence, diff_test
 from repro.runtime.interpreter import ExecutionResult, Interpreter
 from repro.runtime.machine import INTEL_MAC, MachineModel
 
@@ -58,7 +62,8 @@ class Mismatch:
     """One violated oracle property."""
 
     kind: str          # crash | config-semantics | parallel-divergence |
-    #                  # unparse-semantics | reverse-reanalysis
+    #                  # backend-divergence | unparse-semantics |
+    #                  # reverse-reanalysis
     config: str        # which configuration exposed it
     detail: str = ""
 
@@ -200,6 +205,15 @@ def run_oracle(sources: Dict[str, str], annotations: str = "",
         if not diff.passed:
             result.mismatches.append(Mismatch(
                 "parallel-divergence", config, diff.explain()))
+            continue
+
+        # (b') backend equivalence: tree-walker vs compiled closures must
+        # agree exactly (output, cost, COMMON bits, stop/error messages)
+        # in every execution mode
+        divergence = backend_equivalence(work, machine)
+        if divergence is not None:
+            result.mismatches.append(Mismatch(
+                "backend-divergence", config, divergence))
             continue
 
         # text round-trip: unparse, reparse, serial == baseline

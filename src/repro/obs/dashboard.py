@@ -10,7 +10,8 @@ aggregating everything the paper's evaluation talks about:
   failing test, privatization/reduction clauses, dependence-test deltas —
   grouped per (benchmark, configuration);
 * parse/base cache hit rates and the full metrics registry;
-* the bench trajectory from ``BENCH_history.jsonl`` (an SVG line chart);
+* the bench trajectory from ``BENCH_history.jsonl`` (one SVG line chart
+  per suite: the warm Table II pipeline and the warm Figure 20 run);
 * the latest fuzz campaign stats, when a campaign has run.
 
 :func:`collect` runs the Table II pipeline with tracing enabled and
@@ -406,6 +407,20 @@ def _history_section(data: DashboardData) -> str:
         return ("<section><h2>Bench trajectory</h2>"
                 '<p class="dim">No entries in BENCH_history.jsonl yet — '
                 "run scripts/bench_gate.py to record one.</p></section>")
+    charts = []
+    labels = {"table2": "Warm Table II pipeline",
+              "figure20": "Warm Figure 20 run (tuning included)"}
+    for suite in ("table2", "figure20"):
+        suite_entries = [e for e in entries
+                         if e.get("suite", "table2") == suite]
+        if suite_entries:
+            charts.append(_history_chart(suite, labels[suite],
+                                         suite_entries))
+    return ("<section><h2>Bench trajectory</h2>" + "".join(charts)
+            + "</section>")
+
+
+def _history_chart(suite: str, label: str, entries: list) -> str:
     values = [float(e["total_seconds"]) for e in entries]
     w, h, pad = 640, 160, 30
     vmax = max(values) * 1.15 or 1.0
@@ -436,15 +451,14 @@ def _history_section(data: DashboardData) -> str:
             f'stroke="var(--series-1)" stroke-width="2"/>'
             if n > 1 else "")
     return (
-        f"<section><h2>Bench trajectory</h2>"
-        f'<p class="sub">Warm Table II wall-clock (median of each '
+        f'<p class="sub">{_e(label)} — wall-clock (median of each '
         f"bench-gate run, seconds) across {n} recorded "
         f"run{'s' if n != 1 else ''}.</p>"
         f'<svg viewBox="0 0 {w} {h}" role="img" '
-        f'aria-label="bench trajectory line chart">'
+        f'aria-label="{_e(suite)} bench trajectory line chart">'
         f'{grid}<line x1="{pad}" y1="{h - pad}" x2="{w - pad}" '
         f'y2="{h - pad}" stroke="var(--baseline)"/>'
-        f"{line}{''.join(dots)}</svg></section>")
+        f"{line}{''.join(dots)}</svg>")
 
 
 def _fuzz_section(data: DashboardData) -> str:

@@ -1,0 +1,1825 @@
+"""Compiled closure backend: lower once, execute many.
+
+The tree-walking :class:`~repro.runtime.interpreter.Interpreter` re-visits
+every AST node on every execution.  This module compiles each program
+unit once into a flat list of Python closures — one instruction per
+statement, with jump targets pre-resolved so GOTO and DO dispatch is an
+index bump instead of exception unwinding — and, where the subscript
+analysis proves an inner loop body affine, branch-free and call-free,
+emits a NumPy gather/compute/scatter kernel instead of per-iteration
+closures.
+
+The cost-accounting contract of the tree-walker is preserved *exactly*:
+
+* every executed statement charges 1.0 and one step (with the same step
+  limit), every visited expression node charges 0.5;
+* all charges are multiples of 0.5 with magnitudes far below 2**52, so
+  float sums are exact and order-independent — which lets the compiler
+  fold the 0.5-per-node charges of a call-free ("strict") subtree into
+  one constant without changing any observable cost: the folded total is
+  bit-for-bit what the tree-walker accumulates, at every boundary where
+  cost is observable (statement granularity, parallel-loop iteration
+  deltas, and FORTRAN ``STOP``);
+* expressions containing user calls or short-circuit operators keep
+  per-node charging closures in tree-walker order, so a ``STOP`` (or a
+  cost delta measured around a parallel iteration) sees the identical
+  running total.
+
+Because :class:`~repro.runtime.machine.MachineModel.parallel_time` is fed
+the identical per-iteration costs, Figure 20 is bit-for-bit identical
+under either backend.  Compiled units are cached process-wide per unit
+content hash (alongside the parse cache's program hash), so repeated
+executions of the same program — the tuning loop, Table II's config
+sweep — re-lower nothing.
+
+The tree-walker remains the differential oracle: see
+:func:`repro.runtime.difftest.backend_equivalence` and the fuzzer's
+``backend-divergence`` property.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import pickle
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FortranStop, InterpreterError
+from repro.fortran import ast
+from repro.fortran.intrinsics import is_intrinsic
+from repro.fortran.symbols import build_symbol_table, expr_type
+from repro.program import Program
+from repro.runtime.interpreter import (ORDER_PERMUTED, ExecutionResult,
+                                       Interpreter, _GotoSignal,
+                                       _ReturnSignal)
+from repro.runtime.intrinsics import call_intrinsic
+from repro.runtime.values import ArrayView, ScalarRef
+
+__all__ = ["CompiledInterpreter", "collect_omp_sites", "compile_cache_info",
+           "clear_compile_cache"]
+
+
+class _CrossGoto(Exception):
+    """A GOTO that leaves a parallel-loop body for an enclosing region.
+
+    ``levels`` counts the OmpParallelDo boundaries still to cross;
+    ``cell`` holds the target pc in the region that owns the label.
+    """
+
+    def __init__(self, levels: int, cell: List[int]):
+        self.levels = levels
+        self.cell = cell
+
+
+class _VectorBail(Exception):
+    """Raised inside a vector kernel to abandon it and fall back to the
+    scalar instruction path (which reproduces tree-walker behaviour
+    exactly, including any error it would raise)."""
+
+
+# ---------------------------------------------------------------------------
+# template cache
+# ---------------------------------------------------------------------------
+
+_CACHE_LIMIT = 512
+_TEMPLATE_CACHE: "OrderedDict[tuple, _UnitTemplate]" = OrderedDict()
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+_metrics = None
+
+
+def _get_metrics():
+    """Lazy metric handles (avoids import cycles at module load)."""
+    global _metrics
+    if _metrics is None:
+        from repro.obs.metrics import counter, histogram
+        _metrics = {
+            "compile_seconds": histogram(
+                "repro_runtime_compile_seconds",
+                "Time spent lowering one program unit to closures"),
+            "cache_total": counter(
+                "repro_runtime_compile_cache_total",
+                "Compiled-unit cache lookups by outcome"),
+        }
+    return _metrics
+
+
+def _unit_digest(unit: ast.ProgramUnit) -> bytes:
+    return hashlib.blake2b(pickle.dumps(unit, protocol=4),
+                           digest_size=16).digest()
+
+
+def _template_for(unit: ast.ProgramUnit, honor: bool) -> "_UnitTemplate":
+    key = (_unit_digest(unit), honor)
+    tmpl = _TEMPLATE_CACHE.get(key)
+    metrics = _get_metrics()
+    if tmpl is not None:
+        _TEMPLATE_CACHE.move_to_end(key)
+        _CACHE_STATS["hits"] += 1
+        metrics["cache_total"].inc(outcome="hit")
+        return tmpl
+    _CACHE_STATS["misses"] += 1
+    metrics["cache_total"].inc(outcome="miss")
+    started = time.perf_counter()
+    tmpl = _compile_unit(unit, honor)
+    metrics["compile_seconds"].observe(time.perf_counter() - started)
+    _TEMPLATE_CACHE[key] = tmpl
+    while len(_TEMPLATE_CACHE) > _CACHE_LIMIT:
+        _TEMPLATE_CACHE.popitem(last=False)
+    return tmpl
+
+
+def compile_cache_info() -> Dict[str, int]:
+    return {"entries": len(_TEMPLATE_CACHE), **_CACHE_STATS}
+
+
+def clear_compile_cache() -> None:
+    _TEMPLATE_CACHE.clear()
+    _CACHE_STATS["hits"] = _CACHE_STATS["misses"] = 0
+
+
+def collect_omp_sites(body: Sequence[ast.Stmt]) -> List[ast.OmpParallelDo]:
+    """Every OmpParallelDo in ``body``, in the deterministic preorder the
+    compiler uses to number directive sites.  Both compilation (on the
+    template's structural twin) and per-interpreter binding (on the live
+    unit) call this, so site index ``k`` always resolves to the node the
+    tuning pass knows by identity."""
+    out: List[ast.OmpParallelDo] = []
+
+    def walk(stmts: Sequence[ast.Stmt]) -> None:
+        for s in stmts:
+            if isinstance(s, ast.OmpParallelDo):
+                out.append(s)
+                walk(s.loop.body)
+            elif isinstance(s, ast.DoLoop):
+                walk(s.body)
+            elif isinstance(s, ast.IfBlock):
+                for _cond, arm in s.arms:
+                    walk(arm)
+            # TaggedBlock bodies are summaries, never executed or compiled
+
+    walk(body)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# shared runtime helpers
+# ---------------------------------------------------------------------------
+
+def _stmt_charge(ex: Interpreter, amount: float) -> None:
+    ex.cost += amount
+    ex.steps += 1
+    if ex.steps > ex.max_steps:
+        raise InterpreterError("execution step limit exceeded")
+
+
+def run_region(ex: Interpreter, region: tuple, fr) -> None:
+    instrs, n_loops = region
+    ls: Optional[list] = [None] * n_loops if n_loops else None
+    pc = 0
+    n = len(instrs)
+    while pc < n:
+        pc = instrs[pc](ex, fr, ls)
+
+
+# ---------------------------------------------------------------------------
+# expression compilation
+#
+# compile_expr returns (pure, charged, count):
+#   * pure(ex, fr)    — evaluate without touching ex.cost; None when the
+#                       subtree is non-strict (user calls, short-circuit
+#                       operators, array regions, or lazily-shaped arrays
+#                       whose dimension expressions contain calls);
+#   * charged(ex, fr) — evaluate charging exactly what the tree-walker
+#                       charges, in the same order;
+#   * count           — tree-walker node visits on normal completion.
+# ---------------------------------------------------------------------------
+
+def _charged_of(pure, count: int):
+    c = 0.5 * count
+
+    def charged(ex, fr):
+        ex.cost += c
+        return pure(ex, fr)
+
+    return charged
+
+
+def _const_closure(v):
+    def pure(ex, fr):
+        return v
+    return pure
+
+
+def _dims_may_call(info) -> bool:
+    """True when touching this array can trigger user calls during the
+    lazy `_shape` evaluation — those accesses must stay non-strict so the
+    calls land at the tree-walker's exact cost position."""
+    for d in info.dims or ():
+        for e in (d.lower, d.upper):
+            if e is None:
+                continue
+            for node in ast.walk_expr(e):
+                if isinstance(node, ast.FuncRef) \
+                        and not is_intrinsic(node.name):
+                    return True
+    return False
+
+
+class _Ctx:
+    """Per-unit compilation context."""
+
+    def __init__(self, unit: ast.ProgramUnit, honor: bool):
+        self.unit = unit
+        self.table = build_symbol_table(unit)
+        self.params = {n for n, i in self.table.variables.items()
+                       if i.parameter_value is not None}
+        self.honor = honor
+        #: scope chain for label resolution: (labels dict, omp depth)
+        self.scopes: List[Tuple[Dict[int, List[int]], int]] = []
+        self.omp_depth = 0
+        self.omp_index = {id(s): i
+                          for i, s in enumerate(collect_omp_sites(unit.body))}
+
+    def lazy_call_risk(self, name: str) -> bool:
+        info = self.table.variables.get(name.upper())
+        return info is not None and info.dims is not None \
+            and _dims_may_call(info)
+
+
+def _resolve(ex, fr, name):
+    ref = fr.vars.get(name)
+    if ref is None:
+        ref = ex._local(name, fr)
+    return ref
+
+
+def compile_expr(e: ast.Expr, cc: _Ctx):
+    if isinstance(e, ast.IntLit):
+        return _const_closure(float(e.value)), None, 1
+    if isinstance(e, ast.RealLit):
+        return _const_closure(e.value), None, 1
+    if isinstance(e, ast.LogicalLit):
+        return _const_closure(1.0 if e.value else 0.0), None, 1
+    if isinstance(e, ast.StringLit):
+        return _const_closure(e.value), None, 1
+    if isinstance(e, ast.Var):
+        return _compile_var(e, cc)
+    if isinstance(e, ast.ArrayRef):
+        return _compile_arrayref(e, cc)
+    if isinstance(e, ast.FuncRef):
+        return _compile_funcref(e, cc)
+    if isinstance(e, ast.UnOp):
+        return _compile_unop(e, cc)
+    if isinstance(e, ast.BinOp):
+        return _compile_binop(e, cc)
+    # tree-walker: charge 0.5, then "cannot evaluate <Type>"
+    tname = type(e).__name__
+
+    def pure(ex, fr):
+        raise InterpreterError(f"cannot evaluate {tname}")
+    return pure, None, 1
+
+
+def _finish(pure, count):
+    """Package a strict node: (pure, charged, count)."""
+    return pure, None, count
+
+
+def compiled_parts(triple):
+    """(pure_or_None, charged, count) with charged materialized."""
+    pure, charged, count = triple
+    if charged is None:
+        charged = _charged_of(pure, count)
+    return pure, charged, count
+
+
+def _plain_scalar_var(e, cc: _Ctx):
+    """Upper-cased name of ``e`` when it is a plain Var whose read can be
+    fused inline into an enclosing closure (not a PARAMETER, no lazy-call
+    risk, not statically an array), else None.  Fused call sites must
+    still fall back to the compiled sub-closure when the runtime binding
+    is not a ScalarRef so error paths stay byte-identical."""
+    if not isinstance(e, ast.Var):
+        return None
+    name = e.name.upper()
+    if name in cc.params or cc.lazy_call_risk(name):
+        return None
+    info = cc.table.variables.get(name)
+    if info is not None and info.dims is not None:
+        return None
+    return name
+
+
+def _compile_var(e: ast.Var, cc: _Ctx):
+    name = e.name.upper()
+    if name in cc.params:
+        def pure(ex, fr):
+            return fr.parameters[name]
+        return _finish(pure, 1)
+    lazy_risk = cc.lazy_call_risk(name)
+    info = cc.table.variables.get(name)
+
+    if info is not None and info.dims is None:
+        if info.typename == "INTEGER":
+            def pure(ex, fr):
+                ref = fr.vars.get(name)
+                if ref is None:
+                    ref = ex._local(name, fr)
+                return float(int(ref.buffer[ref.offset]))
+        else:
+            def pure(ex, fr):
+                ref = fr.vars.get(name)
+                if ref is None:
+                    ref = ex._local(name, fr)
+                return float(ref.buffer[ref.offset])
+    else:
+        def pure(ex, fr):
+            ref = fr.vars.get(name)
+            if ref is None:
+                ref = ex._local(name, fr)
+            if ref.__class__ is ScalarRef:
+                # inlined ScalarRef.get (hot path)
+                if ref.typename == "INTEGER":
+                    return float(int(ref.buffer[ref.offset]))
+                return float(ref.buffer[ref.offset])
+            if isinstance(ref, ArrayView):
+                raise InterpreterError(
+                    f"array {name} used where a scalar value is needed")
+            return ref.get()
+    if lazy_risk:
+        # charge the node, then resolve (tree order: 0.5 first, then the
+        # lazy _shape evaluation with its embedded calls)
+        def charged(ex, fr):
+            ex.cost += 0.5
+            return pure(ex, fr)
+        return None, charged, 1
+    return _finish(pure, 1)
+
+
+def _compile_arrayref(e: ast.ArrayRef, cc: _Ctx):
+    name = e.name.upper()
+    raw = e.name
+    lazy_risk = cc.lazy_call_risk(name)
+    if any(isinstance(x, ast.RangeExpr) for x in e.subs):
+        # region read: charged-only path (generated code only)
+        infos = []
+        for sub in e.subs:
+            if isinstance(sub, ast.RangeExpr):
+                lo_c = None if sub.lo is None else \
+                    compiled_parts(compile_expr(sub.lo, cc))[1]
+                infos.append((True, lo_c))
+            else:
+                infos.append((False,
+                              compiled_parts(compile_expr(sub, cc))[1]))
+
+        def charged(ex, fr):
+            ex.cost += 0.5
+            view = _resolve(ex, fr, name)
+            if isinstance(view, ScalarRef):
+                raise InterpreterError(
+                    f"{raw} subscripted but declared scalar")
+            subs = []
+            for k, (is_range, fn) in enumerate(infos):
+                if is_range:
+                    subs.append(view.lowers[k] if fn is None
+                                else int(fn(ex, fr)))
+                else:
+                    subs.append(int(fn(ex, fr)))
+            return view.get(subs)
+        return None, charged, 1
+
+    sub_triples = [compile_expr(x, cc) for x in e.subs]
+    count = 1 + sum(t[2] for t in sub_triples)
+    strict = (not lazy_risk) and all(t[1] is None for t in sub_triples)
+    if strict:
+        sub_pures = tuple(t[0] for t in sub_triples)
+        if len(sub_pures) == 1:
+            p0 = sub_pures[0]
+            sname = _plain_scalar_var(e.subs[0], cc)
+
+            def pure(ex, fr):
+                view = fr.vars.get(name)
+                if view is None:
+                    view = ex._local(name, fr)
+                if isinstance(view, ScalarRef):
+                    raise InterpreterError(
+                        f"{raw} subscripted but declared scalar")
+                # fused subscript read: int() of the raw cell equals
+                # int() of the Var closure's float for every typename
+                if sname is not None:
+                    sref = fr.vars.get(sname)
+                    if sref is None:
+                        sref = ex._local(sname, fr)
+                    if sref.__class__ is ScalarRef:
+                        sub = int(sref.buffer[sref.offset])
+                    else:
+                        sub = int(p0(ex, fr))
+                else:
+                    sub = int(p0(ex, fr))
+                # inlined rank-1 flat_offset + get (hot path); strides[0]
+                # is always 1 and offset/rel are non-negative, so only the
+                # upper storage bound needs checking
+                if len(view.extents) != 1:
+                    return view.get((sub,))
+                lower = view.lowers[0]
+                rel = sub - lower
+                ext = view.extents[0]
+                if rel < 0 or (ext is not None and rel >= ext):
+                    raise InterpreterError(
+                        f"subscript {sub} out of bounds for dimension of "
+                        f"{view.name} ({lower}:{lower + (ext or 0) - 1})")
+                off = view.offset + rel
+                buf = view.buffer
+                if off >= len(buf):
+                    raise InterpreterError(
+                        f"reference beyond storage of {view.name}")
+                if view.typename == "INTEGER":
+                    return float(int(buf[off]))
+                return float(buf[off])
+        else:
+            sub_specs = tuple((_plain_scalar_var(x, cc), p)
+                              for x, p in zip(e.subs, sub_pures))
+
+            def pure(ex, fr):
+                view = fr.vars.get(name)
+                if view is None:
+                    view = ex._local(name, fr)
+                if isinstance(view, ScalarRef):
+                    raise InterpreterError(
+                        f"{raw} subscripted but declared scalar")
+                subs = []
+                for sn, p in sub_specs:
+                    if sn is not None:
+                        sref = fr.vars.get(sn)
+                        if sref is None:
+                            sref = ex._local(sn, fr)
+                        if sref.__class__ is ScalarRef:
+                            subs.append(int(sref.buffer[sref.offset]))
+                            continue
+                    subs.append(int(p(ex, fr)))
+                extents = view.extents
+                if len(extents) != len(subs):
+                    return view.get(subs)  # exact rank-mismatch error
+                # inlined flat_offset + get (hot path)
+                off = view.offset
+                for sub, lower, ext, stride in zip(subs, view.lowers,
+                                                   extents, view.strides):
+                    rel = sub - lower
+                    if rel < 0 or (ext is not None and rel >= ext):
+                        raise InterpreterError(
+                            f"subscript {sub} out of bounds for dimension "
+                            f"of {view.name} "
+                            f"({lower}:{lower + (ext or 0) - 1})")
+                    off += rel * stride
+                buf = view.buffer
+                if off >= len(buf):
+                    raise InterpreterError(
+                        f"reference beyond storage of {view.name}")
+                if view.typename == "INTEGER":
+                    return float(int(buf[off]))
+                return float(buf[off])
+        return _finish(pure, count)
+
+    sub_chargeds = tuple(compiled_parts(t)[1] for t in sub_triples)
+
+    def charged(ex, fr):
+        ex.cost += 0.5
+        view = _resolve(ex, fr, name)
+        if isinstance(view, ScalarRef):
+            raise InterpreterError(f"{raw} subscripted but declared scalar")
+        return view.get([int(c(ex, fr)) for c in sub_chargeds])
+    return None, charged, count
+
+
+def _compile_funcref(e: ast.FuncRef, cc: _Ctx):
+    if is_intrinsic(e.name):
+        iname = e.name
+        arg_triples = [compile_expr(a, cc) for a in e.args]
+        count = 1 + sum(t[2] for t in arg_triples)
+        if all(t[1] is None for t in arg_triples):
+            arg_pures = tuple(t[0] for t in arg_triples)
+
+            def pure(ex, fr):
+                return call_intrinsic(iname,
+                                      [p(ex, fr) for p in arg_pures])
+            return _finish(pure, count)
+        arg_chargeds = tuple(compiled_parts(t)[1] for t in arg_triples)
+
+        def charged(ex, fr):
+            ex.cost += 0.5
+            return call_intrinsic(iname,
+                                  [c(ex, fr) for c in arg_chargeds])
+        return None, charged, count
+
+    fname, fargs = e.name, e.args
+
+    def charged(ex, fr):
+        ex.cost += 0.5
+        result = ex._call(fname, fargs, fr)
+        if result is None:
+            raise InterpreterError(
+                f"{fname} is a subroutine, not a function")
+        return result
+    return None, charged, 1
+
+
+def _compile_unop(e: ast.UnOp, cc: _Ctx):
+    op = e.op
+    triple = compile_expr(e.operand, cc)
+    pure, charged, count = triple
+    total = count + 1
+    if op == "-":
+        fn = lambda v: -v               # noqa: E731
+    elif op == "+":
+        fn = lambda v: v                # noqa: E731
+    elif op == ".NOT.":
+        fn = lambda v: 0.0 if v != 0.0 else 1.0  # noqa: E731
+    else:
+        def fn(v):
+            raise InterpreterError(f"unknown unary {op}")
+    if charged is None:
+        def p(ex, fr):
+            return fn(pure(ex, fr))
+        return _finish(p, total)
+
+    def c(ex, fr):
+        ex.cost += 0.5
+        return fn(charged(ex, fr))
+    return None, c, total
+
+
+def _op_kernel(e: ast.BinOp, cc: _Ctx):
+    """Value combiner for a non-short-circuit binary op, replicating the
+    tree-walker's semantics (including the deferred INTEGER-division type
+    query and its SemanticError timing)."""
+    op = e.op
+    if op == "+":
+        return lambda a, b: a + b
+    if op == "-":
+        return lambda a, b: a - b
+    if op == "*":
+        return lambda a, b: a * b
+    if op == "/":
+        left, right = e.left, e.right
+        try:
+            known = (expr_type(left, cc.table) == "INTEGER"
+                     and expr_type(right, cc.table) == "INTEGER")
+        except Exception:
+            known = None
+
+        if known is None:
+            def kern(a, b, fr):
+                if b == 0:
+                    raise InterpreterError("division by zero")
+                is_int = (expr_type(left, fr.table) == "INTEGER"
+                          and expr_type(right, fr.table) == "INTEGER")
+                if is_int:
+                    ia, ib = int(a), int(b)
+                    q = abs(ia) // abs(ib)
+                    return float(q if (ia < 0) == (ib < 0) else -q)
+                return a / b
+            kern.needs_frame = True
+            return kern
+        if known:
+            def kern(a, b):
+                if b == 0:
+                    raise InterpreterError("division by zero")
+                ia, ib = int(a), int(b)
+                q = abs(ia) // abs(ib)
+                return float(q if (ia < 0) == (ib < 0) else -q)
+            return kern
+
+        def kern(a, b):
+            if b == 0:
+                raise InterpreterError("division by zero")
+            return a / b
+        return kern
+    if op == "**":
+        def kern(a, b):
+            if b == int(b):
+                return float(a ** int(b))
+            if a < 0:
+                raise InterpreterError("negative base with real exponent")
+            return float(a ** b)
+        return kern
+    if op == "==":
+        return lambda a, b: 1.0 if a == b else 0.0
+    if op == "/=":
+        return lambda a, b: 1.0 if a != b else 0.0
+    if op == "<":
+        return lambda a, b: 1.0 if a < b else 0.0
+    if op == "<=":
+        return lambda a, b: 1.0 if a <= b else 0.0
+    if op == ">":
+        return lambda a, b: 1.0 if a > b else 0.0
+    if op == ">=":
+        return lambda a, b: 1.0 if a >= b else 0.0
+    if op == ".EQV.":
+        return lambda a, b: 1.0 if (a != 0.0) == (b != 0.0) else 0.0
+    if op == ".NEQV.":
+        return lambda a, b: 1.0 if (a != 0.0) != (b != 0.0) else 0.0
+    if op == "//":
+        return lambda a, b: str(a) + str(b)
+
+    def kern(a, b):
+        raise InterpreterError(f"unknown operator {op}")
+    return kern
+
+
+def _compile_binop(e: ast.BinOp, cc: _Ctx):
+    op = e.op
+    if op in (".AND.", ".OR."):
+        lc = compiled_parts(compile_expr(e.left, cc))[1]
+        rc = compiled_parts(compile_expr(e.right, cc))[1]
+        if op == ".AND.":
+            def charged(ex, fr):
+                ex.cost += 0.5
+                return 1.0 if (lc(ex, fr) != 0.0
+                               and rc(ex, fr) != 0.0) else 0.0
+        else:
+            def charged(ex, fr):
+                ex.cost += 0.5
+                return 1.0 if (lc(ex, fr) != 0.0
+                               or rc(ex, fr) != 0.0) else 0.0
+        return None, charged, 1
+    lt = compile_expr(e.left, cc)
+    rt = compile_expr(e.right, cc)
+    kern = _op_kernel(e, cc)
+    needs_frame = getattr(kern, "needs_frame", False)
+    total = 1 + lt[2] + rt[2]
+    if lt[1] is None and rt[1] is None:
+        lp, rp = lt[0], rt[0]
+        if needs_frame:
+            def pure(ex, fr):
+                return kern(lp(ex, fr), rp(ex, fr), fr)
+        else:
+            lname = _plain_scalar_var(e.left, cc)
+            rname = _plain_scalar_var(e.right, cc)
+            # 1=+, 2=-, 3=* are folded inline (their kernels are plain
+            # lambdas); anything else dispatches through kern
+            opc = {"+": 1, "-": 2, "*": 3}.get(op, 0)
+
+            def pure(ex, fr):
+                # fused operand reads (float() keeps Python-float
+                # arithmetic semantics, e.g. OverflowError from **)
+                if lname is not None:
+                    ref = fr.vars.get(lname)
+                    if ref is None:
+                        ref = ex._local(lname, fr)
+                    if ref.__class__ is ScalarRef:
+                        if ref.typename == "INTEGER":
+                            a = float(int(ref.buffer[ref.offset]))
+                        else:
+                            a = float(ref.buffer[ref.offset])
+                    else:
+                        a = lp(ex, fr)
+                else:
+                    a = lp(ex, fr)
+                if rname is not None:
+                    ref = fr.vars.get(rname)
+                    if ref is None:
+                        ref = ex._local(rname, fr)
+                    if ref.__class__ is ScalarRef:
+                        if ref.typename == "INTEGER":
+                            b = float(int(ref.buffer[ref.offset]))
+                        else:
+                            b = float(ref.buffer[ref.offset])
+                    else:
+                        b = rp(ex, fr)
+                else:
+                    b = rp(ex, fr)
+                if opc == 1:
+                    return a + b
+                if opc == 2:
+                    return a - b
+                if opc == 3:
+                    return a * b
+                return kern(a, b)
+        return _finish(pure, total)
+    lcg = compiled_parts(lt)[1]
+    rcg = compiled_parts(rt)[1]
+    if needs_frame:
+        def charged(ex, fr):
+            ex.cost += 0.5
+            a = lcg(ex, fr)
+            b = rcg(ex, fr)
+            return kern(a, b, fr)
+    else:
+        def charged(ex, fr):
+            ex.cost += 0.5
+            a = lcg(ex, fr)
+            b = rcg(ex, fr)
+            return kern(a, b)
+    return None, charged, total
+
+
+# ---------------------------------------------------------------------------
+# vectorization: affine, branch-free, call-free inner loops
+#
+# An eligible DO body (all assignments, array targets, affine subscripts,
+# whitelisted operators/intrinsics) lowers to one gather/compute/scatter
+# kernel.  The kernel is *speculative*: a deferred-scatter design computes
+# everything into temporaries and validates every hazard (bounds, aliasing,
+# division by zero, non-integral subscripts, ...) before mutating any
+# state; any doubt raises _VectorBail and the scalar instruction path
+# replays the loop with exact tree-walker semantics, including whatever
+# error the tree-walker would have raised, at the same program state.
+# The committed charge is trips * (what the tree-walker charges per
+# iteration) — bit-exact, because all charges are multiples of 0.5.
+# ---------------------------------------------------------------------------
+
+_VEC_MIN_TRIPS = 4
+_VEC_ABS = {"ABS", "DABS"}
+_VEC_SQRT = {"SQRT", "DSQRT"}
+_VEC_MAX = {"MAX", "AMAX1", "DMAX1"}
+_VEC_MIN = {"MIN", "AMIN1", "DMIN1"}
+_TWO53 = float(2 ** 53)
+
+
+class _KernelCtx:
+    __slots__ = ("ex", "fr", "trips", "start", "istep", "arange", "vals",
+                 "temps", "reads", "writes", "pending")
+
+    def __init__(self, ex, fr, trips, start, step):
+        self.ex = ex
+        self.fr = fr
+        self.trips = trips
+        self.istep = int(step)
+        self.arange = np.arange(trips)
+        self.vals = start + step * self.arange
+        self.temps: Dict[tuple, object] = {}
+        self.reads: List[tuple] = []
+        self.writes: List[tuple] = []
+        self.pending: List[tuple] = []
+
+
+def _node_count(e: ast.Expr) -> int:
+    return sum(1 for _ in ast.walk_expr(e))
+
+
+def _vec_sub_spec(sub: ast.Expr, var: str, cc: _Ctx, vst: dict):
+    """Compile one subscript: (pure closure, coeff wrt loop var, names of
+    the scalars it reads), or None."""
+    from repro.analysis.affine import extract
+    sub_names = []
+    has_var = False
+    for n in ast.walk_expr(sub):
+        if isinstance(n, (ast.IntLit, ast.RealLit)):
+            continue
+        if isinstance(n, ast.Var):
+            nm = n.name.upper()
+            if nm == var:
+                has_var = True
+            elif nm not in cc.params:
+                if nm in vst["scalar_targets"]:
+                    # a subscript reading a scalar the loop writes is not
+                    # loop-invariant; leave it to the scalar path
+                    return None
+                vst["names"].add(nm)
+                sub_names.append(nm)
+            continue
+        if isinstance(n, ast.UnOp) and n.op in ("-", "+"):
+            continue
+        if isinstance(n, ast.BinOp) and n.op in ("+", "-", "*"):
+            continue
+        return None
+    form = extract(sub, [var])
+    if form is not None:
+        coeff = form.coeff(var)
+    elif not has_var:
+        coeff = 0  # loop-invariant: affine with slope zero
+    else:
+        return None
+    pure, charged, _count = compile_expr(sub, cc)
+    if pure is None:
+        return None
+    return pure, coeff, tuple(sub_names)
+
+
+def _vec_access_factory(e: ast.ArrayRef, var: str, cc: _Ctx, vst: dict):
+    """Compile an array access into a runtime resolver returning
+    (view, off0, B, lo, hi) for the current frame, or None if the
+    subscripts are not affine/simple.  All validation failures at runtime
+    raise _VectorBail (never mutating state)."""
+    name = e.name.upper()
+    if name in vst["scalar_targets"]:
+        return None
+    if any(isinstance(x, ast.RangeExpr) for x in e.subs):
+        return None
+    specs = []
+    for sub in e.subs:
+        spec = _vec_sub_spec(sub, var, cc, vst)
+        if spec is None:
+            return None
+        specs.append(spec)
+    vst["names"].add(name)
+    specs = tuple(specs)
+
+    def resolve(kc):
+        frv = kc.fr.vars
+        view = frv.get(name)
+        if not isinstance(view, ArrayView):
+            raise _VectorBail
+        if len(specs) != view.rank:
+            raise _VectorBail
+        off0 = view.offset
+        stride_total = 0
+        trips = kc.trips
+        for (sp, c, snames), lower, ext, stride in zip(specs, view.lowers,
+                                                       view.extents,
+                                                       view.strides):
+            for nm in snames:
+                # subscripts are evaluated once and assumed loop-invariant:
+                # record the cells they read so any write aliasing them
+                # (sequence-associated COMMON storage) bails the kernel
+                ref = frv.get(nm)
+                if not isinstance(ref, ScalarRef):
+                    raise _VectorBail
+                kc.reads.append((ref.buffer, ref.offset, ref.offset, None))
+            base = float(sp(kc.ex, kc.fr))
+            if base != int(base):
+                raise _VectorBail
+            b0 = int(base)
+            dstep = c * kc.istep
+            if dstep != int(dstep):
+                # int() truncation per iteration would break affinity
+                raise _VectorBail
+            dstep = int(dstep)
+            rel0 = b0 - lower
+            rel1 = b0 + (trips - 1) * dstep - lower
+            if rel0 < 0 or rel1 < 0:
+                raise _VectorBail
+            if ext is not None and (rel0 >= ext or rel1 >= ext):
+                raise _VectorBail
+            off0 += rel0 * stride
+            stride_total += dstep * stride
+        buflen = len(view.buffer)
+        off_last = off0 + (trips - 1) * stride_total
+        if off0 < 0 or off0 >= buflen or off_last < 0 or off_last >= buflen:
+            raise _VectorBail
+        lo = off0 if stride_total >= 0 else off_last
+        hi = off_last if stride_total >= 0 else off0
+        return view, off0, stride_total, lo, hi
+
+    return resolve, (name, repr(e.subs))
+
+
+def _vec_value(e: ast.Expr, var: str, cc: _Ctx, vst: dict):
+    """Compile a loop-body value expression to vfn(kc) -> vector|scalar,
+    or None when ineligible."""
+    if isinstance(e, ast.IntLit):
+        v = float(e.value)
+        return lambda kc: v
+    if isinstance(e, ast.RealLit):
+        v = e.value
+        return lambda kc: v
+    if isinstance(e, ast.LogicalLit):
+        v = 1.0 if e.value else 0.0
+        return lambda kc: v
+    if isinstance(e, ast.Var):
+        name = e.name.upper()
+        if name in cc.params:
+            return lambda kc: kc.fr.parameters[name]
+        if name == var:
+            return lambda kc: kc.vals
+        if name in vst["scalar_targets"]:
+            if name not in vst["written"]:
+                # read before the loop's own write: a cross-iteration
+                # recurrence the deferred-scatter kernel cannot express
+                return None
+            key = (name, None)
+            return lambda kc: kc.temps[key]
+        vst["names"].add(name)
+
+        def vfn(kc):
+            ref = kc.fr.vars.get(name)
+            if not isinstance(ref, ScalarRef):
+                raise _VectorBail
+            kc.reads.append((ref.buffer, ref.offset, ref.offset, None))
+            return ref.get()
+        return vfn
+    if isinstance(e, ast.ArrayRef):
+        acc = _vec_access_factory(e, var, cc, vst)
+        if acc is None:
+            return None
+        resolve, key = acc
+
+        def vfn(kc):
+            tmp = kc.temps.get(key)
+            if tmp is not None:
+                return tmp
+            view, off0, B, lo, hi = resolve(kc)
+            kc.reads.append((view.buffer, lo, hi, key))
+            if B == 0:
+                v = float(view.buffer[off0])
+                if view.typename == "INTEGER":
+                    v = float(int(v))
+                return v
+            g = view.buffer[off0 + B * kc.arange]
+            if view.typename == "INTEGER":
+                if not np.isfinite(g).all():
+                    raise _VectorBail
+                g = np.trunc(g) + 0.0
+            return g
+        return vfn
+    if isinstance(e, ast.UnOp):
+        if e.op not in ("-", "+"):
+            return None
+        child = _vec_value(e.operand, var, cc, vst)
+        if child is None:
+            return None
+        if e.op == "+":
+            return child
+        return lambda kc: -child(kc)
+    if isinstance(e, ast.BinOp):
+        if e.op not in ("+", "-", "*", "/"):
+            return None
+        if e.op == "/":
+            try:
+                if expr_type(e.left, cc.table) == "INTEGER" \
+                        and expr_type(e.right, cc.table) == "INTEGER":
+                    return None
+            except Exception:
+                return None
+        left = _vec_value(e.left, var, cc, vst)
+        right = _vec_value(e.right, var, cc, vst)
+        if left is None or right is None:
+            return None
+        op = e.op
+        if op == "+":
+            return lambda kc: left(kc) + right(kc)
+        if op == "-":
+            return lambda kc: left(kc) - right(kc)
+        if op == "*":
+            return lambda kc: left(kc) * right(kc)
+
+        def vdiv(kc):
+            a = left(kc)
+            b = right(kc)
+            if np.any(b == 0.0):
+                raise _VectorBail
+            return a / b
+        return vdiv
+    if isinstance(e, ast.FuncRef):
+        fname = e.name.upper()
+        args = [_vec_value(a, var, cc, vst) for a in e.args]
+        if any(a is None for a in args):
+            return None
+        if fname in _VEC_ABS and len(args) == 1:
+            a0 = args[0]
+            return lambda kc: np.abs(a0(kc))
+        if fname in _VEC_SQRT and len(args) == 1:
+            a0 = args[0]
+
+            def vsqrt(kc):
+                x = a0(kc)
+                if np.any(x < 0.0):
+                    raise _VectorBail
+                return np.sqrt(x)
+            return vsqrt
+        if fname in _VEC_MAX and len(args) >= 2:
+            def vmax(kc, fns=tuple(args)):
+                m = fns[0](kc)
+                for fn in fns[1:]:
+                    b = fn(kc)
+                    # ties and NaN keep the earlier operand — exactly
+                    # Python's max(), which the tree-walker uses
+                    m = np.where(b > m, b, m)
+                return m
+            return vmax
+        if fname in _VEC_MIN and len(args) >= 2:
+            def vmin(kc, fns=tuple(args)):
+                m = fns[0](kc)
+                for fn in fns[1:]:
+                    b = fn(kc)
+                    m = np.where(b < m, b, m)
+                return m
+            return vmin
+        return None
+    return None
+
+
+def _match_reduction(e: ast.Expr, tname: str, occurs: int):
+    """Match ``S = S + t`` / ``S = t + S`` / ``S = S - t`` / ``S = S * t``
+    / ``S = t * S`` and return (accumulating ufunc, the t expression).
+    ``+`` and ``*`` are bitwise-commutative for non-NaN doubles, so both
+    operand orders map onto ufunc.accumulate's carry-op-element order."""
+    if occurs != 1 or not isinstance(e, ast.BinOp):
+        return None
+
+    def is_t(x):
+        return isinstance(x, ast.Var) and x.name.upper() == tname
+
+    if e.op == "+":
+        if is_t(e.left):
+            return np.add, e.right
+        if is_t(e.right):
+            return np.add, e.left
+    elif e.op == "-":
+        if is_t(e.left):
+            return np.subtract, e.right
+    elif e.op == "*":
+        if is_t(e.left):
+            return np.multiply, e.right
+        if is_t(e.right):
+            return np.multiply, e.left
+    return None
+
+
+def _try_vectorize(s: ast.DoLoop, cc: _Ctx):
+    """Build a speculative vector kernel for ``s`` or return None."""
+    var = s.var.upper()
+    if var in cc.params or not s.body:
+        return None
+    scalar_targets = set()
+    for stmt in s.body:
+        if isinstance(stmt, ast.Continue):
+            continue
+        if not isinstance(stmt, ast.Assign):
+            return None
+        if isinstance(stmt.target, ast.Var):
+            t = stmt.target.name.upper()
+            if t == var or t in cc.params:
+                return None
+            scalar_targets.add(t)
+        elif not isinstance(stmt.target, ast.ArrayRef):
+            return None
+    vst = {"names": set(), "scalar_targets": frozenset(scalar_targets),
+           "written": set()}
+    reduced: set = set()
+    plans = []
+    per_iter = 0.0
+    for stmt in s.body:
+        if isinstance(stmt, ast.Continue):
+            per_iter += 1.0
+            continue
+        if isinstance(stmt.target, ast.Var):
+            t = stmt.target.name.upper()
+            if t in reduced:
+                # a later write to a reduced scalar would invalidate the
+                # accumulate's carry chain (next iteration reads *this*
+                # statement's result, not the reduction's)
+                return None
+            vst["names"].add(t)
+            occurs = sum(1 for n in ast.walk_expr(stmt.value)
+                         if isinstance(n, ast.Var) and n.name.upper() == t)
+            if occurs and t not in vst["written"]:
+                # S = S op <t>: a sequential reduction.  ufunc.accumulate
+                # performs the identical left-to-right float operations
+                # (verified by the backend-equivalence suite), so the
+                # final value and every prefix are bit-exact.
+                red = _match_reduction(stmt.value, t, occurs)
+                if red is None:
+                    return None
+                ufunc, rest = red
+                rest_fn = _vec_value(rest, var, cc, vst)
+                if rest_fn is None:
+                    return None
+                per_iter += 1.0 + 0.5 * _node_count(stmt.value)
+                plans.append(("red", rest_fn, t, ufunc))
+                vst["written"].add(t)
+                reduced.add(t)
+                continue
+            value_fn = _vec_value(stmt.value, var, cc, vst)
+            if value_fn is None:
+                return None
+            per_iter += 1.0 + 0.5 * _node_count(stmt.value)
+            plans.append(("sca", value_fn, t, None))
+            vst["written"].add(t)
+            continue
+        value_fn = _vec_value(stmt.value, var, cc, vst)
+        if value_fn is None:
+            return None
+        acc = _vec_access_factory(stmt.target, var, cc, vst)
+        if acc is None:
+            return None
+        resolve, key = acc
+        per_iter += 1.0 + 0.5 * (_node_count(stmt.value)
+                                 + sum(_node_count(x)
+                                       for x in stmt.target.subs))
+        plans.append(("arr", value_fn, resolve, key))
+    if not plans:
+        return None
+    n_stmts = len(s.body)
+    all_names = tuple(sorted(vst["names"]))
+
+    def kernel(ex, fr, var_ref, trips, start, step):
+        fstart = float(start)
+        fstep = float(step)
+        if not (math.isfinite(fstart) and math.isfinite(fstep)):
+            return False
+        if fstart != int(fstart) or fstep != int(fstep):
+            return False
+        if abs(fstart) + abs(fstep) * trips >= _TWO53:
+            return False
+        if ex.steps + trips * n_stmts > ex.max_steps:
+            return False
+        frv = fr.vars
+        for nm in all_names:
+            if nm not in frv:
+                return False
+        try:
+            var_ref.set(fstart)
+            kc = _KernelCtx(ex, fr, trips, fstart, fstep)
+            kc.writes.append((var_ref.buffer, var_ref.offset,
+                              var_ref.offset, ()))
+            with np.errstate(all="ignore"):
+                for kind, value_fn, where, key in plans:
+                    val = value_fn(kc)
+                    if kind == "red":
+                        ref = frv.get(where)
+                        if not isinstance(ref, ScalarRef):
+                            return False
+                        if ref.typename == "INTEGER":
+                            # per-iteration truncation feeds back into the
+                            # accumulation; leave it to the scalar path
+                            return False
+                        skey = (where, None)
+                        kc.reads.append((ref.buffer, ref.offset,
+                                         ref.offset, skey))
+                        arr = np.empty(trips + 1, dtype=np.float64)
+                        arr[0] = ref.get()
+                        arr[1:] = val
+                        acc = key.accumulate(arr)
+                        kc.writes.append((ref.buffer, ref.offset,
+                                          ref.offset, skey))
+                        kc.pending.append((ref.buffer, ref.offset,
+                                           float(acc[-1])))
+                        kc.temps[skey] = acc[1:]
+                        continue
+                    if kind == "sca":
+                        ref = frv.get(where)
+                        if not isinstance(ref, ScalarRef):
+                            return False
+                        if ref.typename == "INTEGER":
+                            if isinstance(val, np.ndarray):
+                                if not np.all(np.isfinite(val)):
+                                    return False
+                                val = np.trunc(val) + 0.0
+                            else:
+                                if not math.isfinite(val):
+                                    return False
+                                val = float(int(val))
+                        skey = (where, None)
+                        kc.writes.append((ref.buffer, ref.offset,
+                                          ref.offset, skey))
+                        final = float(val[-1]) \
+                            if isinstance(val, np.ndarray) else float(val)
+                        kc.pending.append((ref.buffer, ref.offset, final))
+                        kc.temps[skey] = val
+                        continue
+                    view, off0, B, lo, hi = where(kc)
+                    if B == 0:
+                        return False
+                    if view.typename == "INTEGER":
+                        if not np.all(np.isfinite(val)):
+                            return False
+                        val = np.trunc(val) + 0.0
+                    kc.writes.append((view.buffer, lo, hi, key))
+                    kc.pending.append((view.buffer,
+                                       off0 + B * kc.arange, val))
+                    kc.temps[key] = val
+            for wbuf, wlo, whi, wkey in kc.writes:
+                for rbuf, rlo, rhi, rkey in kc.reads:
+                    if rkey != wkey and rbuf is wbuf \
+                            and rlo <= whi and wlo <= rhi:
+                        return False
+                for obuf, olo, ohi, okey in kc.writes:
+                    if okey != wkey and obuf is wbuf \
+                            and olo <= whi and wlo <= ohi:
+                        return False
+        except _VectorBail:
+            return False
+        except (ValueError, OverflowError):
+            return False
+        for buf, idx, val in kc.pending:
+            buf[idx] = val
+        ex.cost += trips * per_iter
+        ex.steps += trips * n_stmts
+        var_ref.set(fstart + trips * fstep)
+        return True
+
+    return kernel
+
+
+# ---------------------------------------------------------------------------
+# statement compilation
+# ---------------------------------------------------------------------------
+
+class _Region:
+    """One flat instruction list.  The unit body is one region; every
+    honored OmpParallelDo body is a sub-region (the directive instruction
+    drives its iterations)."""
+
+    __slots__ = ("instrs", "n_loops")
+
+    def __init__(self):
+        self.instrs: List[Callable] = []
+        self.n_loops = 0
+
+    def packed(self) -> tuple:
+        return (self.instrs, self.n_loops)
+
+
+class _UnitTemplate:
+    __slots__ = ("region",)
+
+    def __init__(self, region: tuple):
+        self.region = region
+
+
+def _seq_fold(triples):
+    """Fold the longest strict prefix of an evaluation sequence into one
+    upfront constant; later expressions keep their charging closures (a
+    strict one folds at its own evaluation point)."""
+    fold = 0.0
+    evals = []
+    prefix = True
+    for triple in triples:
+        pure, charged, count = triple
+        if prefix and charged is None:
+            fold += 0.5 * count
+            evals.append(pure)
+        else:
+            prefix = False
+            evals.append(compiled_parts(triple)[1])
+    return fold, tuple(evals)
+
+
+def _compile_unit(unit: ast.ProgramUnit, honor: bool) -> _UnitTemplate:
+    cc = _Ctx(unit, honor)
+    reg = _Region()
+    _compile_block(cc, reg, unit.body)
+    return _UnitTemplate(reg.packed())
+
+
+def _compile_block(cc: _Ctx, reg: _Region, body: Sequence[ast.Stmt]) -> None:
+    labels: Dict[int, List[int]] = {}
+    for s in body:
+        lab = getattr(s, "label", None)
+        if lab:
+            labels[lab] = [None]
+    cc.scopes.append((labels, cc.omp_depth))
+    for s in body:
+        lab = getattr(s, "label", None)
+        if lab:
+            # duplicate labels: the last occurrence wins, like the
+            # tree-walker's labels dict comprehension
+            labels[lab][0] = len(reg.instrs)
+        _emit_stmt(cc, reg, s)
+    cc.scopes.pop()
+
+
+def _emit_stmt(cc: _Ctx, reg: _Region, s: ast.Stmt) -> None:
+    instrs = reg.instrs
+    if isinstance(s, ast.Assign):
+        _emit_assign(cc, reg, s)
+    elif isinstance(s, ast.IfBlock):
+        _emit_if(cc, reg, s)
+    elif isinstance(s, ast.DoLoop):
+        _emit_do(cc, reg, s, omp_charge=False)
+    elif isinstance(s, ast.OmpParallelDo):
+        if cc.honor:
+            _emit_omp(cc, reg, s)
+        else:
+            # directives ignored: the plain serial loop, charged at the
+            # directive statement exactly like _exec_omp -> _exec_do
+            _emit_do(cc, reg, s.loop, omp_charge=False)
+    elif isinstance(s, ast.CallStmt):
+        cname, cargs = s.name, s.args
+        nxt = len(instrs) + 1
+
+        def instr(ex, fr, ls):
+            _stmt_charge(ex, 1.0)
+            ex._call(cname, cargs, fr)
+            return nxt
+        instrs.append(instr)
+    elif isinstance(s, ast.Goto):
+        _emit_goto(cc, reg, s)
+    elif isinstance(s, ast.Continue):
+        nxt = len(instrs) + 1
+
+        def instr(ex, fr, ls):
+            _stmt_charge(ex, 1.0)
+            return nxt
+        instrs.append(instr)
+    elif isinstance(s, ast.Return):
+        def instr(ex, fr, ls):
+            _stmt_charge(ex, 1.0)
+            raise _ReturnSignal()
+        instrs.append(instr)
+    elif isinstance(s, ast.Stop):
+        msg = s.message or ""
+
+        def instr(ex, fr, ls):
+            _stmt_charge(ex, 1.0)
+            raise FortranStop(msg)
+        instrs.append(instr)
+    elif isinstance(s, ast.IoStmt):
+        _emit_io(cc, reg, s)
+    elif isinstance(s, ast.TaggedBlock):
+        def instr(ex, fr, ls):
+            _stmt_charge(ex, 1.0)
+            raise InterpreterError(
+                "annotation-inlined code is not executable (it is a "
+                "summary, not an implementation); reverse-inline first")
+        instrs.append(instr)
+    else:
+        tname = type(s).__name__
+
+        def instr(ex, fr, ls):
+            _stmt_charge(ex, 1.0)
+            raise InterpreterError(f"cannot execute {tname}")
+        instrs.append(instr)
+
+
+def _emit_assign(cc: _Ctx, reg: _Region, s: ast.Assign) -> None:
+    instrs = reg.instrs
+    nxt = len(instrs) + 1
+    vtriple = compile_expr(s.value, cc)
+    vpure, vcharged, vcount = vtriple
+    if vcharged is None:
+        amt = 1.0 + 0.5 * vcount
+        veval = vpure
+    else:
+        amt = 1.0
+        veval = vcharged
+    target = s.target
+    if isinstance(target, ast.Var):
+        tname = target.name.upper()
+
+        def instr(ex, fr, ls):
+            _stmt_charge(ex, amt)
+            v = veval(ex, fr)
+            ref = fr.vars.get(tname)
+            if ref is None:
+                ref = ex._local(tname, fr)
+            if ref.__class__ is ScalarRef:
+                # inlined ScalarRef.set (hot path); float(v) first, then
+                # the INTEGER truncation — the tree-walker's error order
+                value = float(v)
+                if ref.typename == "INTEGER":
+                    value = float(int(value))
+                ref.buffer[ref.offset] = value
+            elif isinstance(ref, ArrayView):
+                ref.fill(float(v))
+            else:
+                ref.set(float(v))
+            return nxt
+        instrs.append(instr)
+        return
+    if isinstance(target, ast.ArrayRef):
+        tname = target.name.upper()
+        raw = target.name
+        if any(isinstance(x, ast.RangeExpr) for x in target.subs):
+            subs_ast = target.subs
+
+            def instr(ex, fr, ls):
+                _stmt_charge(ex, amt)
+                v = veval(ex, fr)
+                view = _resolve(ex, fr, tname)
+                if isinstance(view, ScalarRef):
+                    raise InterpreterError(
+                        f"{raw} subscripted but declared scalar")
+                ex._store_region(view, subs_ast, float(v), fr)
+                return nxt
+            instrs.append(instr)
+            return
+        # subscripts charge after the (possibly lazily shaped) view
+        # resolves, preserving tree-walker charge order
+        sub_triples = [compile_expr(x, cc) for x in target.subs]
+        sub_evals = tuple(compiled_parts(t)[1] for t in sub_triples)
+        if len(sub_evals) == 1:
+            s0 = sub_evals[0]
+            t0 = sub_triples[0]
+            sname = _plain_scalar_var(target.subs[0], cc) \
+                if t0[1] is None and t0[2] == 1 else None
+
+            def instr(ex, fr, ls):
+                _stmt_charge(ex, amt)
+                v = veval(ex, fr)
+                view = fr.vars.get(tname)
+                if view is None:
+                    view = ex._local(tname, fr)
+                if isinstance(view, ScalarRef):
+                    raise InterpreterError(
+                        f"{raw} subscripted but declared scalar")
+                if sname is not None:
+                    # fused charged subscript: 0.5 for the Var node, then
+                    # the raw cell read
+                    ex.cost += 0.5
+                    sref = fr.vars.get(sname)
+                    if sref is None:
+                        sref = ex._local(sname, fr)
+                    if sref.__class__ is ScalarRef:
+                        sub = int(sref.buffer[sref.offset])
+                    else:
+                        sub = int(t0[0](ex, fr))
+                else:
+                    sub = int(s0(ex, fr))
+                if len(view.extents) != 1:
+                    view.set((sub,), float(v))
+                    return nxt
+                # inlined rank-1 set (hot path); the tree-walker's order
+                # is float(v) -> INTEGER truncation -> bounds checks
+                value = float(v)
+                if view.typename == "INTEGER":
+                    value = float(int(value))
+                lower = view.lowers[0]
+                rel = sub - lower
+                ext = view.extents[0]
+                if rel < 0 or (ext is not None and rel >= ext):
+                    raise InterpreterError(
+                        f"subscript {sub} out of bounds for dimension of "
+                        f"{view.name} ({lower}:{lower + (ext or 0) - 1})")
+                off = view.offset + rel
+                buf = view.buffer
+                if off >= len(buf):
+                    raise InterpreterError(
+                        f"reference beyond storage of {view.name}")
+                buf[off] = value
+                return nxt
+        else:
+            def instr(ex, fr, ls):
+                _stmt_charge(ex, amt)
+                v = veval(ex, fr)
+                view = fr.vars.get(tname)
+                if view is None:
+                    view = ex._local(tname, fr)
+                if isinstance(view, ScalarRef):
+                    raise InterpreterError(
+                        f"{raw} subscripted but declared scalar")
+                view.set([int(f(ex, fr)) for f in sub_evals], float(v))
+                return nxt
+        instrs.append(instr)
+        return
+    trepr = repr(target)
+
+    def instr(ex, fr, ls):
+        _stmt_charge(ex, amt)
+        veval(ex, fr)
+        raise InterpreterError(f"bad assignment target {trepr}")
+    instrs.append(instr)
+
+
+def _emit_if(cc: _Ctx, reg: _Region, s: ast.IfBlock) -> None:
+    instrs = reg.instrs
+    head_pc = len(instrs)
+    instrs.append(None)  # patched below
+    end_cell = [None]
+    pairs = []
+    arm_cells = []
+    for cond, _arm in s.arms:
+        ceval = None if cond is None else \
+            compiled_parts(compile_expr(cond, cc))[1]
+        cell = [None]
+        arm_cells.append(cell)
+        pairs.append((ceval, cell))
+    pairs = tuple(pairs)
+
+    def head(ex, fr, ls):
+        _stmt_charge(ex, 1.0)
+        for ceval, cell in pairs:
+            if ceval is None or ceval(ex, fr) != 0.0:
+                return cell[0]
+        return end_cell[0]
+    instrs[head_pc] = head
+    last = len(s.arms) - 1
+    for i, (cond, arm) in enumerate(s.arms):
+        arm_cells[i][0] = len(instrs)
+        _compile_block(cc, reg, arm)
+        if i != last:
+            def jump(ex, fr, ls, cell=end_cell):
+                return cell[0]
+            instrs.append(jump)
+    end_cell[0] = len(instrs)
+
+
+def _emit_do(cc: _Ctx, reg: _Region, s: ast.DoLoop,
+             omp_charge: bool) -> None:
+    instrs = reg.instrs
+    li = reg.n_loops
+    reg.n_loops += 1
+    bounds = [compile_expr(s.start, cc), compile_expr(s.stop, cc)]
+    if s.step is not None:
+        bounds.append(compile_expr(s.step, cc))
+    fold, evals = _seq_fold(bounds)
+    amt = 1.0 + fold
+    has_step = s.step is not None
+    sev = evals[0]
+    tev = evals[1]
+    pev = evals[2] if has_step else None
+    rawvar = s.var
+    vname = s.var.upper()
+    kernel = _try_vectorize(s, cc)
+    init_pc = len(instrs)
+    body_pc = init_pc + 1
+    exit_cell = [None]
+
+    def do_init(ex, fr, ls):
+        _stmt_charge(ex, amt)
+        start = sev(ex, fr)
+        stop = tev(ex, fr)
+        step = pev(ex, fr) if pev is not None else 1.0
+        if step == 0:
+            raise InterpreterError("DO step is zero")
+        trips = max(0, int((stop - start + step) // step))
+        var = fr.vars.get(vname)
+        if var is None:
+            var = ex._local(vname, fr)
+        if not isinstance(var, ScalarRef):
+            raise InterpreterError(f"DO variable {rawvar} is an array")
+        if kernel is not None and trips >= _VEC_MIN_TRIPS \
+                and kernel(ex, fr, var, trips, start, step):
+            return exit_cell[0]
+        if trips <= 0:
+            var.set(start)
+            return exit_cell[0]
+        ls[li] = [trips - 1, start, step, var]
+        var.set(start)
+        return body_pc
+
+    instrs.append(do_init)
+    _compile_block(cc, reg, s.body)
+    incr_pc = len(instrs)
+
+    def do_incr(ex, fr, ls):
+        st = ls[li]
+        value = st[1] + st[2]
+        st[1] = value
+        var = st[3]
+        # inlined ScalarRef.set (runs once per iteration)
+        if var.typename == "INTEGER":
+            var.buffer[var.offset] = float(int(value))
+        else:
+            var.buffer[var.offset] = value
+        if st[0] > 0:
+            st[0] -= 1
+            return body_pc
+        return incr_pc + 1
+    instrs.append(do_incr)
+    exit_cell[0] = len(instrs)
+
+
+def _emit_goto(cc: _Ctx, reg: _Region, s: ast.Goto) -> None:
+    instrs = reg.instrs
+    target = s.target
+    cell = None
+    levels = 0
+    for labels, depth in reversed(cc.scopes):
+        if target in labels:
+            cell = labels[target]
+            levels = cc.omp_depth - depth
+            break
+    if cell is None:
+        def instr(ex, fr, ls):
+            _stmt_charge(ex, 1.0)
+            raise _GotoSignal(target)
+    elif levels == 0:
+        def instr(ex, fr, ls, cell=cell):
+            _stmt_charge(ex, 1.0)
+            return cell[0]
+    else:
+        def instr(ex, fr, ls, cell=cell, levels=levels):
+            _stmt_charge(ex, 1.0)
+            raise _CrossGoto(levels, cell)
+    instrs.append(instr)
+
+
+def _emit_io(cc: _Ctx, reg: _Region, s: ast.IoStmt) -> None:
+    instrs = reg.instrs
+    nxt = len(instrs) + 1
+    if s.kind == "READ":
+        items = s.items
+
+        def instr(ex, fr, ls):
+            _stmt_charge(ex, 1.0)
+            for item in items:
+                if not ex.inputs:
+                    raise InterpreterError("READ beyond provided input")
+                ex._store(item, ex.inputs.pop(0), fr)
+            return nxt
+        instrs.append(instr)
+        return
+    fold, evals = _seq_fold([compile_expr(item, cc) for item in s.items])
+    amt = 1.0 + fold
+
+    def instr(ex, fr, ls):
+        _stmt_charge(ex, amt)
+        parts = []
+        for f in evals:
+            v = f(ex, fr)
+            parts.append(v if isinstance(v, str) else str(v))
+        ex.output.append(" ".join(parts))
+        return nxt
+    instrs.append(instr)
+
+
+def _emit_omp(cc: _Ctx, reg: _Region, s: ast.OmpParallelDo) -> None:
+    instrs = reg.instrs
+    nxt = len(instrs) + 1
+    loop = s.loop
+    bounds = [compile_expr(loop.start, cc), compile_expr(loop.stop, cc)]
+    if loop.step is not None:
+        bounds.append(compile_expr(loop.step, cc))
+    fold, evals = _seq_fold(bounds)
+    amt = 1.0 + fold
+    has_step = loop.step is not None
+    sev = evals[0]
+    tev = evals[1]
+    pev = evals[2] if has_step else None
+    vname = loop.var.upper()
+    private_names = tuple(n.upper() for n in s.private)
+    site_idx = cc.omp_index[id(s)]
+    sub = _Region()
+    cc.omp_depth += 1
+    _compile_block(cc, sub, loop.body)
+    cc.omp_depth -= 1
+    body_region = sub.packed()
+    binstrs, bn_loops = body_region
+    n_bi = len(binstrs)
+
+    def instr(ex, fr, ls):
+        _stmt_charge(ex, amt)
+        start = sev(ex, fr)
+        stop = tev(ex, fr)
+        step = pev(ex, fr) if pev is not None else 1.0
+        if step == 0:
+            raise InterpreterError("DO step is zero")
+        trips = max(0, int((stop - start + step) // step))
+        var = fr.vars.get(vname)
+        if var is None:
+            var = ex._local(vname, fr)
+        # no ScalarRef check here: the tree-walker omits it for the
+        # parallel path (an array DO variable fails in var.set instead)
+        slices = []
+        for name in private_names:
+            ref = fr.vars.get(name)
+            if ref is None:
+                ref = ex._local(name, fr)
+            if isinstance(ref, ScalarRef):
+                slices.append((ref.buffer, ref.offset, 1))
+            else:
+                slices.append((ref.buffer, ref.offset, ref.size()))
+        saved = [(buf, off, buf[off:off + size].copy())
+                 for buf, off, size in slices]
+        order = range(trips)
+        if ex.order == ORDER_PERMUTED and trips > 1:
+            order = list(reversed(range(trips - 1))) + [trips - 1]
+        iteration_costs: List[float] = []
+        ic_append = iteration_costs.append
+        last = trips - 1
+        # inlined ScalarRef.set + run_region for the per-iteration path;
+        # non-ScalarRef DO variables keep the generic set() (same error)
+        if var.__class__ is ScalarRef:
+            vbuf, voff = var.buffer, var.offset
+            vint = var.typename == "INTEGER"
+        else:
+            vbuf = None
+        try:
+            ex.parallel_depth += 1
+            try:
+                for k in order:
+                    if k == last:
+                        for buf, off, data in saved:
+                            buf[off:off + len(data)] = data
+                    else:
+                        for buf, off, size in slices:
+                            buf[off:off + size] = 0.0
+                    v = start + k * step
+                    if vbuf is not None:
+                        vbuf[voff] = float(int(v)) if vint else v
+                    else:
+                        var.set(v)
+                    before = ex.cost
+                    bls = [None] * bn_loops if bn_loops else None
+                    pc = 0
+                    while pc < n_bi:
+                        pc = binstrs[pc](ex, fr, bls)
+                    ic_append(ex.cost - before)
+                var.set(start + trips * step)
+            finally:
+                ex.parallel_depth -= 1
+        except _CrossGoto as cg:
+            if cg.levels <= 1:
+                return cg.cell[0]
+            cg.levels -= 1
+            raise
+        if ex.machine is not None:
+            serial_cost = sum(iteration_costs)
+            parallel_cost = ex.machine.parallel_time(
+                iteration_costs, nested=ex.parallel_depth > 0)
+            ex.cost += parallel_cost - serial_cost
+            node = ex._omp_site(fr.unit, site_idx)
+            stat = ex.omp_stats.setdefault(id(node), [0.0, 0.0])
+            stat[0] += serial_cost
+            stat[1] += parallel_cost
+        return nxt
+    instrs.append(instr)
+
+
+# ---------------------------------------------------------------------------
+# the compiled interpreter
+# ---------------------------------------------------------------------------
+
+class CompiledInterpreter(Interpreter):
+    """Drop-in :class:`Interpreter` executing compiled closure templates.
+
+    Frame construction, COMMON allocation, DATA statements, argument
+    binding and the cost model are shared with (or mirrored exactly from)
+    the tree-walker; only statement dispatch and expression evaluation
+    are compiled.  Templates are cached process-wide per unit content
+    hash, so constructing many interpreters over the same program only
+    lowers each unit once.
+    """
+
+    def __init__(self, program: Program, **kwargs):
+        super().__init__(program, **kwargs)
+        self._templates: Dict[int, _UnitTemplate] = {}
+        self._omp_sites: Dict[int, List[ast.OmpParallelDo]] = {}
+
+    # -- template binding ------------------------------------------------
+    def _template(self, unit: ast.ProgramUnit) -> _UnitTemplate:
+        tmpl = self._templates.get(id(unit))
+        if tmpl is None:
+            tmpl = _template_for(unit, self.honor)
+            self._templates[id(unit)] = tmpl
+        return tmpl
+
+    def _omp_site(self, unit: ast.ProgramUnit,
+                  index: int) -> ast.OmpParallelDo:
+        sites = self._omp_sites.get(id(unit))
+        if sites is None:
+            sites = collect_omp_sites(unit.body)
+            self._omp_sites[id(unit)] = sites
+        return sites[index]
+
+    # -- entry points ----------------------------------------------------
+    def run(self) -> ExecutionResult:
+        main = self.program.main
+        stop_message: Optional[str] = None
+        try:
+            frame = self._new_frame(main)
+            self._apply_data(frame)
+            try:
+                run_region(self, self._template(main).region, frame)
+            except _GotoSignal as g:
+                raise InterpreterError(
+                    f"GOTO {g.label} has no target in {main.name}")
+        except FortranStop as stop:
+            stop_message = stop.message or ""
+        return ExecutionResult(self.output, self.cost,
+                               {k: v.copy() for k, v in self.commons.items()},
+                               stop_message)
+
+    def _call(self, name: str, args: Sequence[ast.Expr],
+              frame) -> Optional[float]:
+        name = name.upper()
+        unit = self.program.procedures.get(name)
+        if unit is None:
+            raise InterpreterError(
+                f"procedure {name} is not defined in the program (external "
+                f"library code cannot be executed)")
+        self._charge(5.0)
+        callee_table = self._table(unit)
+        bound = []
+        array_bindings = []
+        if len(args) != len(unit.params):
+            raise InterpreterError(
+                f"{name}: expected {len(unit.params)} arguments, got "
+                f"{len(args)}")
+        for formal, actual in zip(unit.params, args):
+            finfo = callee_table.info(formal)
+            ref = self._argument_ref(actual, frame)
+            if finfo.dims is not None:
+                array_bindings.append((formal.upper(), finfo, ref))
+            else:
+                bound.append((formal.upper(),
+                              self._as_scalar_ref(ref, finfo.typename)))
+        callee_frame = self._new_frame(unit)
+        for fname, ref in bound:
+            callee_frame.vars[fname] = ref
+        for fname, finfo, ref in array_bindings:
+            lowers, extents = self._shape(finfo, callee_frame, callee_table)
+            callee_frame.vars[fname] = self._as_array_view(
+                ref, lowers, extents, finfo.typename, fname)
+        self._apply_data(callee_frame)
+        try:
+            run_region(self, self._template(unit).region, callee_frame)
+        except _ReturnSignal:
+            pass
+        except _GotoSignal as g:
+            raise InterpreterError(
+                f"GOTO {g.label} has no target in {unit.name}")
+        if unit.kind == "FUNCTION":
+            result = callee_frame.vars.get(unit.name.upper())
+            if not isinstance(result, ScalarRef):
+                raise InterpreterError(
+                    f"function {unit.name} never set its result")
+            return result.get()
+        return None

@@ -26,9 +26,8 @@ import numpy as np
 
 from repro.program import Program
 from repro.runtime.interpreter import (ORDER_PERMUTED, ORDER_SEQUENTIAL,
-                                       ExecutionResult, Interpreter,
-                                       outputs_equal)
-from repro.runtime.machine import MachineModel
+                                       ExecutionResult, outputs_equal)
+from repro.runtime.machine import INTEL_MAC, MachineModel
 
 
 def _common_divergences(serial: ExecutionResult, other: ExecutionResult,
@@ -99,14 +98,88 @@ class DiffTestResult:
 
 def diff_test(program: Program,
               machine: Optional[MachineModel] = None,
-              inputs: Optional[Sequence[float]] = None) -> DiffTestResult:
-    """Run the three-way differential test on ``program``."""
-    serial = Interpreter(program, machine=None, honor_directives=False,
-                         inputs=list(inputs or [])).run()
-    parallel = Interpreter(program, machine=machine, honor_directives=True,
-                           iteration_order=ORDER_SEQUENTIAL,
-                           inputs=list(inputs or [])).run()
-    permuted = Interpreter(program, machine=machine, honor_directives=True,
-                           iteration_order=ORDER_PERMUTED,
-                           inputs=list(inputs or [])).run()
+              inputs: Optional[Sequence[float]] = None,
+              backend: Optional[str] = None) -> DiffTestResult:
+    """Run the three-way differential test on ``program``.
+
+    ``backend`` picks the execution backend (tree-walker or compiled
+    closures); ``None`` follows the process default (``REPRO_BACKEND``).
+    """
+    from repro.runtime.backend import make_interpreter
+    serial = make_interpreter(program, backend, machine=None,
+                              honor_directives=False,
+                              inputs=list(inputs or [])).run()
+    parallel = make_interpreter(program, backend, machine=machine,
+                                honor_directives=True,
+                                iteration_order=ORDER_SEQUENTIAL,
+                                inputs=list(inputs or [])).run()
+    permuted = make_interpreter(program, backend, machine=machine,
+                                honor_directives=True,
+                                iteration_order=ORDER_PERMUTED,
+                                inputs=list(inputs or [])).run()
     return DiffTestResult(serial, parallel, permuted)
+
+
+def _run_both(program: Program, inputs, **kwargs):
+    from repro.runtime.backend import make_interpreter
+
+    def attempt(backend):
+        try:
+            return make_interpreter(program, backend, inputs=list(inputs),
+                                    **kwargs).run(), None
+        except Exception as exc:  # noqa: BLE001 - errors are part of the contract
+            return None, f"{type(exc).__name__}: {exc}"
+
+    return attempt("tree"), attempt("compiled")
+
+
+def backend_equivalence(program: Program,
+                        machine: Optional[MachineModel] = None,
+                        inputs: Optional[Sequence[float]] = None
+                        ) -> Optional[str]:
+    """Run ``program`` under both backends in every execution mode and
+    return a description of the first divergence, or ``None``.
+
+    Unlike :func:`diff_test` (which compares *modes* under tolerances,
+    testing the parallelization), this compares *backends* exactly —
+    output strings, cost, steps, COMMON contents bit-for-bit, stop and
+    error messages — because the compiled backend claims to be a perfect
+    stand-in for the tree-walker.
+    """
+    inputs = list(inputs or [])
+    modes = [("serial", dict(machine=None, honor_directives=False)),
+             ("parallel", dict(machine=machine or INTEL_MAC,
+                               honor_directives=True,
+                               iteration_order=ORDER_SEQUENTIAL)),
+             ("permuted", dict(machine=machine or INTEL_MAC,
+                               honor_directives=True,
+                               iteration_order=ORDER_PERMUTED))]
+    for mode, kwargs in modes:
+        (tree, terr), (comp, cerr) = _run_both(program, inputs, **kwargs)
+        if terr != cerr:
+            return (f"{mode}: error divergence (tree: {terr or 'ok'}; "
+                    f"compiled: {cerr or 'ok'})")
+        if tree is None:
+            continue  # same error from both backends
+        if tree.output != comp.output:
+            detail = f"{len(tree.output)} vs {len(comp.output)} lines"
+            for i, (la, lb) in enumerate(zip(tree.output, comp.output)):
+                if la != lb:
+                    detail = f"line {i}: {la!r} vs {lb!r}"
+                    break
+            return f"{mode}: output diverges ({detail})"
+        if tree.cost != comp.cost:
+            return f"{mode}: cost diverges ({tree.cost} vs {comp.cost})"
+        if tree.stop_message != comp.stop_message:
+            return (f"{mode}: stop message diverges "
+                    f"({tree.stop_message!r} vs {comp.stop_message!r})")
+        if set(tree.commons) != set(comp.commons):
+            return (f"{mode}: COMMON blocks diverge "
+                    f"({sorted(tree.commons)} vs {sorted(comp.commons)})")
+        for name in tree.commons:
+            a, b = tree.commons[name], comp.commons[name]
+            # bit-for-bit: tobytes() distinguishes -0.0 from 0.0 and
+            # matches NaNs to themselves, unlike array_equal
+            if a.shape != b.shape or a.tobytes() != b.tobytes():
+                return f"{mode}: COMMON /{name}/ contents diverge"
+    return None

@@ -67,7 +67,9 @@ def outputs_equal(a: List[str], b: List[str], rtol: float = 1e-9) -> bool:
                 if xa != xb:
                     return False
                 continue
-            if not (abs(fa - fb) <= abs(fb) * rtol + 1e-12):
+            # symmetric tolerance: scale by the larger magnitude so the
+            # verdict cannot depend on comparison order
+            if not (abs(fa - fb) <= max(abs(fa), abs(fb)) * rtol + 1e-12):
                 return False
     return True
 

@@ -69,13 +69,14 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """
     kind = payload.get("kind")
     trace = bool(payload.get("trace"))
+    backend = payload.get("backend")
     if kind == "probe":
         return _execute_probe(payload)
     if kind == "benchmark":
         from repro.perfect import get_benchmark
         benchmark = get_benchmark(payload["benchmark"])
         return _run_pipeline(benchmark, payload.get("config", "annotation"),
-                             trace=trace)
+                             trace=trace, backend=backend)
     if kind == "sources":
         from repro.perfect.suite import Benchmark
         sources = payload.get("sources")
@@ -88,23 +89,43 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             sources=dict(sources),
             annotations=payload.get("annotations", ""))
         return _run_pipeline(benchmark, payload.get("config", "annotation"),
-                             trace=trace)
+                             trace=trace, backend=backend)
     raise ValueError(f"unknown payload kind {kind!r}; "
                      f"expected one of {PAYLOAD_KINDS}")
 
 
-def _run_pipeline(benchmark, config_kind: str,
-                  trace: bool = False) -> Dict[str, Any]:
+def _run_pipeline(benchmark, config_kind: str, trace: bool = False,
+                  backend: Optional[str] = None) -> Dict[str, Any]:
+    import os
+
     from repro.experiments.pipeline import (Config, run_config,
                                             summarize_result)
+    from repro.runtime.backend import BACKEND_ENV, BACKENDS, default_backend
     if config_kind not in ("none", "conventional", "annotation"):
         raise ValueError(f"unknown config {config_kind!r}")
+    if backend is not None and backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; "
+                         f"expected one of {BACKENDS}")
     tracer = None
     if trace:
         from repro.trace import Tracer
         tracer = Tracer(label=f"service {benchmark.name}/{config_kind}")
-    summary = summarize_result(run_config(benchmark, Config(config_kind),
-                                          tracer=tracer))
+    saved = os.environ.get(BACKEND_ENV)
+    if backend is not None:
+        # scope the requested backend to this job: anything in the
+        # pipeline that executes programs goes through make_interpreter,
+        # which reads the env at construction time
+        os.environ[BACKEND_ENV] = backend
+    try:
+        summary = summarize_result(run_config(benchmark, Config(config_kind),
+                                              tracer=tracer))
+    finally:
+        if backend is not None:
+            if saved is None:
+                os.environ.pop(BACKEND_ENV, None)
+            else:
+                os.environ[BACKEND_ENV] = saved
+    summary["backend"] = backend or default_backend()
     if tracer is not None:
         summary["trace"] = tracer.export()
     return summary
