@@ -14,6 +14,8 @@
     python -m repro serve [--port N] [-j N]        # parallelization daemon
     python -m repro submit NAME|file.f ...         # run a job on the daemon
     python -m repro svc-status [--metrics]         # daemon health/metrics
+    python -m repro cluster gateway|shard|worker   # distributed tier
+    python -m repro loadtest [--sessions N]        # concurrent-session replay
 
 ``parallelize`` runs the paper's full Figure-15 pipeline and writes (or
 prints) the optimized source: the original program plus OpenMP
@@ -279,6 +281,19 @@ def cmd_table2(args) -> int:
     from repro.experiments.table2 import render_table2, table2_rows
     from repro.obs.profile import merge_test_stats
     from repro.polaris.report import merge_timings
+    if getattr(args, "service", None):
+        from repro.cluster.backend import table2_rows_via_service
+        from repro.cluster.shardcache import parse_shard_spec
+        from repro.service.client import ServiceError
+        try:
+            host, port = parse_shard_spec(args.service)
+            rows = table2_rows_via_service(
+                host, port, benchmarks=_select_benchmarks(args))
+        except (ValueError, ServiceError) as exc:
+            print(f"repro table2: service error: {exc}", file=sys.stderr)
+            return 2
+        print(render_table2(rows))
+        return 0
     tracer = _make_tracer(args)
     rows, cprofile_text = _maybe_cprofile(
         args, table2_rows, jobs=args.jobs,
@@ -337,6 +352,23 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _drain_on_sigterm(stop_fn, what: str) -> None:
+    """SIGTERM = finish in-flight jobs, then exit (graceful drain).
+
+    The handler hands the (possibly slow) drain to a thread so the
+    signal context returns immediately; SIGINT keeps its fast-stop
+    KeyboardInterrupt behavior.
+    """
+    import signal
+    import threading
+
+    def handler(signum, frame):
+        print(f"{what}: SIGTERM received, draining", file=sys.stderr)
+        threading.Thread(target=stop_fn, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, handler)
+
+
 def cmd_serve(args) -> int:
     from repro.perfect.suite import cache_dir, disk_cache_enabled
     from repro.service.server import ParallelizationServer
@@ -350,16 +382,151 @@ def cmd_serve(args) -> int:
         host=args.host, port=args.port, jobs=args.jobs,
         queue_capacity=args.queue_capacity, cache_dir=directory,
         default_deadline=args.default_deadline,
-        max_retries=args.max_retries)
+        max_retries=args.max_retries,
+        drain_timeout=args.drain_timeout)
     host, port = server.start()
     print(f"repro service listening on {host}:{port} "
           f"({server.workers} worker{'s' if server.workers != 1 else ''}, "
           f"queue capacity {server.queue.capacity})", flush=True)
+    _drain_on_sigterm(lambda: server.stop(drain=True), "repro serve")
     try:
         server.wait()
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
         server.stop()
+    return 0
+
+
+def cmd_cluster_gateway(args) -> int:
+    from repro.cluster.gateway import ClusterGateway
+    from repro.cluster.shardcache import LocalShard, ShardedCache
+    if args.shard:
+        shards = ShardedCache.from_specs(args.shard)
+    else:
+        shards = ShardedCache({"local": LocalShard(
+            capacity=args.cache_capacity, directory=args.cache_dir)})
+    gateway = ClusterGateway(
+        host=args.host, port=args.port, shards=shards,
+        queue_capacity=args.queue_capacity,
+        default_deadline=args.default_deadline,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
+        drain_timeout=args.drain_timeout,
+        heartbeat_timeout=args.heartbeat_timeout,
+        local_workers=args.local_workers,
+        inline=True if args.inline else None)
+    host, port = gateway.start_background()
+    print(f"repro cluster gateway listening on {host}:{port} "
+          f"({len(shards.shard_names)} cache shard"
+          f"{'s' if len(shards.shard_names) != 1 else ''}, "
+          f"{args.local_workers} local worker"
+          f"{'s' if args.local_workers != 1 else ''})", flush=True)
+    _drain_on_sigterm(lambda: gateway.stop(drain=True),
+                      "repro cluster gateway")
+    try:
+        gateway.wait()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+        gateway.stop()
+        gateway.wait(timeout=10.0)
+    return 0
+
+
+def cmd_cluster_shard(args) -> int:
+    from repro.cluster.shardcache import CacheShardServer
+    shard = CacheShardServer(host=args.host, port=args.port,
+                             capacity=args.capacity,
+                             directory=args.cache_dir,
+                             max_bytes=args.max_bytes)
+    host, port = shard.start()
+    print(f"repro cache shard listening on {host}:{port} "
+          f"(capacity {args.capacity})", flush=True)
+    _drain_on_sigterm(shard.stop, "repro cluster shard")
+    try:
+        shard.wait()
+    except KeyboardInterrupt:
+        shard.stop()
+    return 0
+
+
+def cmd_cluster_worker(args) -> int:
+    from repro.cluster.shardcache import parse_shard_spec
+    from repro.cluster.workers import WorkerNode
+    try:
+        host, port = parse_shard_spec(args.gateway)
+    except ValueError as exc:
+        print(f"repro cluster worker: {exc}", file=sys.stderr)
+        return 2
+    node = WorkerNode(host, port, name=args.name,
+                      threads=args.threads, jobs=args.jobs,
+                      pull_wait=args.pull_wait,
+                      heartbeat_interval=args.heartbeat_interval,
+                      inline=True if args.inline else None)
+    print(f"repro worker {node.name}: {args.threads} thread"
+          f"{'s' if args.threads != 1 else ''} pulling from "
+          f"{host}:{port}", flush=True)
+    _drain_on_sigterm(node.stop, "repro cluster worker")
+    try:
+        node.run()
+    except KeyboardInterrupt:
+        node.stop()
+        node.wait(timeout=10.0)
+    return 0
+
+
+def cmd_loadtest(args) -> int:
+    import json
+    from repro.cluster.loadtest import append_history, run_loadtest
+    cluster = None
+    host, port = args.host, args.port
+    if args.spawn:
+        import tempfile
+        from repro.cluster.topology import LocalCluster
+        cluster = LocalCluster(shards=args.spawn_shards,
+                               workers=args.spawn_workers,
+                               worker_threads=args.spawn_threads,
+                               cache_dir=tempfile.mkdtemp(
+                                   prefix="repro-loadtest-"))
+        host, port = cluster.start()
+        print(f"spawned localhost cluster: gateway {host}:{port}, "
+              f"{args.spawn_shards} shards, {args.spawn_workers} workers",
+              file=sys.stderr)
+    try:
+        report = run_loadtest(
+            host, port, sessions=args.sessions,
+            jobs_per_session=args.jobs_per_session,
+            distinct=args.distinct, kind=args.kind,
+            benchmark=args.benchmark,
+            wait_timeout=args.wait_timeout,
+            verify=not args.no_verify)
+    finally:
+        if cluster is not None:
+            cluster.stop()
+    if args.gate:
+        append_history(report, path=args.history)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        lat = report["latency"]
+        print(f"loadtest: {report['jobs']} jobs over "
+              f"{report['sessions']} concurrent sessions in "
+              f"{report['duration_seconds']}s "
+              f"({report['throughput_jobs_per_sec']} jobs/s)")
+        print(f"  latency: p50={lat['p50']}s p90={lat['p90']}s "
+              f"p99={lat['p99']}s max={lat['max']}s")
+        print(f"  outcomes: {report['outcomes']}  "
+              f"deduped={report['deduped']} cached={report['cached']}")
+        print(f"  lost={report['lost']} mismatches={report['mismatches']}"
+              f" verified={report['verified']}")
+        service = report.get("service", {})
+        retried = service.get("repro_jobs_retried_total")
+        steals = service.get("repro_cluster_steals_total")
+        if retried is not None or steals is not None:
+            print(f"  service: retries={retried} steals={steals}")
+    if not report["ok"]:
+        print("loadtest FAILED: jobs were lost or returned wrong "
+              "results", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -592,6 +759,11 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--benchmarks", nargs="+", metavar="NAME",
                            help="restrict to these benchmarks "
                                 "(default: the full suite)")
+        if fn is cmd_table2:
+            p.add_argument("--service", metavar="HOST:PORT",
+                           help="assemble the table from submissions to "
+                                "a running daemon or cluster gateway "
+                                "instead of an in-process pool")
         p.set_defaults(fn=fn)
 
     p = sub.add_parser("bench", help="full report for one benchmark")
@@ -644,7 +816,134 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-job deadline when the client sets none")
     p.add_argument("--max-retries", type=int, default=1,
                    help="crash retries per job (default 1)")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="on SIGTERM or `shutdown drain`, wait up to "
+                        "this long for in-flight jobs (default 30)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("cluster",
+                       help="distributed tier: gateway, cache shards, "
+                            "worker nodes")
+    csub = p.add_subparsers(dest="cluster_command", required=True)
+
+    c = csub.add_parser("gateway",
+                        help="asyncio front door + fleet coordinator")
+    add_endpoint(c)
+    c.add_argument("--shard", action="append", default=[],
+                   metavar="HOST:PORT",
+                   help="cache-shard address (repeat per shard; "
+                        "default: one in-process shard)")
+    c.add_argument("--queue-capacity", type=int, default=256,
+                   help="bounded job queue size (default 256)")
+    c.add_argument("--cache-capacity", type=int, default=512,
+                   help="in-process shard LRU capacity when no --shard "
+                        "is given (default 512)")
+    c.add_argument("--cache-dir", default=None,
+                   help="in-process shard disk tier when no --shard is "
+                        "given (default: memory-only)")
+    c.add_argument("--default-deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-job deadline when the client sets none")
+    c.add_argument("--max-retries", type=int, default=1,
+                   help="crash retries per job (default 1)")
+    c.add_argument("--retry-backoff", type=float, default=0.5,
+                   metavar="SECONDS",
+                   help="base of the exponential crash-retry backoff "
+                        "(default 0.5)")
+    c.add_argument("--heartbeat-timeout", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="declare a worker node dead after this many "
+                        "silent seconds (default 5)")
+    c.add_argument("--drain-timeout", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="on SIGTERM or `shutdown drain`, wait up to "
+                        "this long for in-flight jobs (default 30)")
+    c.add_argument("--local-workers", type=int, default=0, metavar="N",
+                   help="embed N worker loops in the gateway process "
+                        "(default 0: execution comes from the fleet)")
+    c.add_argument("--inline", action="store_true",
+                   help="run embedded workers in-thread instead of a "
+                        "process pool (tests/sandboxes)")
+    c.set_defaults(fn=cmd_cluster_gateway)
+
+    c = csub.add_parser("shard", help="one cache-shard node")
+    add_endpoint(c)
+    c.add_argument("--capacity", type=int, default=512,
+                   help="memory LRU capacity (default 512)")
+    c.add_argument("--cache-dir", default=None,
+                   help="disk tier directory (default: memory-only)")
+    c.add_argument("--max-bytes", type=int, default=None,
+                   help="disk tier size bound in bytes (default: "
+                        "$REPRO_CACHE_MAX_BYTES, else 256 MiB; "
+                        "0 = unlimited)")
+    c.set_defaults(fn=cmd_cluster_shard)
+
+    c = csub.add_parser("worker", help="one worker node of the fleet")
+    c.add_argument("--gateway", default="127.0.0.1:7411",
+                   metavar="HOST:PORT",
+                   help="gateway to pull work from "
+                        "(default 127.0.0.1:7411)")
+    c.add_argument("--name", default=None,
+                   help="node name (default worker-<host>-<pid>)")
+    c.add_argument("--threads", type=int, default=1,
+                   help="concurrent jobs this node executes (default 1)")
+    add_jobs(c)
+    c.add_argument("--pull-wait", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="work-pull long-poll budget (default 1)")
+    c.add_argument("--heartbeat-interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="seconds between heartbeats (default 1)")
+    c.add_argument("--inline", action="store_true",
+                   help="execute in-thread instead of a process pool "
+                        "(tests/sandboxes)")
+    c.set_defaults(fn=cmd_cluster_worker)
+
+    p = sub.add_parser("loadtest",
+                       help="replay concurrent client sessions against "
+                            "a daemon or gateway and report latency, "
+                            "throughput, and correctness")
+    add_endpoint(p)
+    p.add_argument("--sessions", type=int, default=1000,
+                   help="concurrent client sessions (default 1000)")
+    p.add_argument("--jobs-per-session", type=int, default=1,
+                   help="submits each session performs (default 1)")
+    p.add_argument("--distinct", type=int, default=64,
+                   help="distinct payloads across the run — smaller "
+                        "values exercise dedup harder (default 64)")
+    p.add_argument("--kind", default="probe",
+                   choices=("probe", "benchmark"),
+                   help="payload kind: instant probes measure the "
+                        "service, benchmark payloads soak the pipeline")
+    p.add_argument("--benchmark", default="tref",
+                   help="benchmark name for --kind benchmark "
+                        "(default tref)")
+    p.add_argument("--wait-timeout", type=float, default=120.0,
+                   metavar="SECONDS",
+                   help="per-job wait budget (default 120)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip comparing results against a locally "
+                        "computed reference")
+    p.add_argument("--spawn", action="store_true",
+                   help="spawn a throwaway localhost cluster (gateway + "
+                        "shards + workers) and loadtest that instead of "
+                        "--host/--port")
+    p.add_argument("--spawn-shards", type=int, default=2,
+                   help="--spawn: cache shards (default 2)")
+    p.add_argument("--spawn-workers", type=int, default=2,
+                   help="--spawn: worker nodes (default 2)")
+    p.add_argument("--spawn-threads", type=int, default=2,
+                   help="--spawn: threads per worker (default 2)")
+    p.add_argument("--gate", action="store_true",
+                   help="append a 'loadtest' suite record to the bench "
+                        "history for the dashboard trajectory chart")
+    p.add_argument("--history", default="BENCH_history.jsonl",
+                   help="history JSONL for --gate "
+                        "(default BENCH_history.jsonl)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full JSON report")
+    p.set_defaults(fn=cmd_loadtest)
 
     p = sub.add_parser("submit",
                        help="submit a benchmark name or source files "

@@ -409,8 +409,9 @@ def _history_section(data: DashboardData) -> str:
                 "run scripts/bench_gate.py to record one.</p></section>")
     charts = []
     labels = {"table2": "Warm Table II pipeline",
-              "figure20": "Warm Figure 20 run (tuning included)"}
-    for suite in ("table2", "figure20"):
+              "figure20": "Warm Figure 20 run (tuning included)",
+              "loadtest": "Service loadtest (p99 latency)"}
+    for suite in ("table2", "figure20", "loadtest"):
         suite_entries = [e for e in entries
                          if e.get("suite", "table2") == suite]
         if suite_entries:
@@ -434,13 +435,13 @@ def _history_chart(suite: str, label: str, entries: list) -> str:
     dots = []
     for i, (entry, v) in enumerate(zip(entries, values)):
         passed = entry.get("passed")
-        label = (f"run {i + 1}: {v:.3f}s"
-                 + (f" ({'pass' if passed else 'FAIL'})"
-                    if isinstance(passed, bool) else ""))
+        tooltip = (f"run {i + 1}: {v:.3f}s"
+                   + (f" ({'pass' if passed else 'FAIL'})"
+                      if isinstance(passed, bool) else ""))
         dots.append(
             f'<circle cx="{x(i):.1f}" cy="{y(v):.1f}" r="4" '
             f'fill="var(--series-1)" stroke="var(--surface-1)" '
-            f'stroke-width="2"><title>{_e(label)}</title></circle>')
+            f'stroke-width="2"><title>{_e(tooltip)}</title></circle>')
     grid = "".join(
         f'<line x1="{pad}" y1="{y(vmax * f):.1f}" x2="{w - pad}" '
         f'y2="{y(vmax * f):.1f}" stroke="var(--gridline)"/>'

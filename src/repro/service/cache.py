@@ -11,6 +11,14 @@ keeps a daemon restart cheap without pickle's trust/compat hazards.
 Robust against concurrent writers the same way the parse cache is:
 atomic ``tmp + os.replace`` writes, and corrupt/truncated entries are
 evicted and treated as misses rather than crashing the server.
+
+The disk tier is *bounded*: when the entries under ``directory`` exceed
+``max_bytes`` (default from ``REPRO_CACHE_MAX_BYTES``; unset = 256 MiB,
+``0`` = unlimited), the oldest entries (by mtime) are removed until the
+tier fits again, and :meth:`ResultCache.sweep` deletes corrupt or
+truncated entries wholesale at daemon startup.  Both paths are counted
+in the obs registry (``repro_result_cache_evictions_total``,
+``repro_result_cache_swept_total``, ``repro_result_cache_disk_bytes``).
 """
 
 from __future__ import annotations
@@ -22,23 +30,55 @@ import threading
 from collections import OrderedDict
 from typing import Dict, Optional
 
+from repro.obs import metrics as obs_metrics
+
 DEFAULT_CAPACITY = 128
+
+#: environment knob bounding the on-disk tier (bytes; 0 = unlimited)
+MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+def resolve_max_bytes(max_bytes: Optional[int] = None) -> int:
+    """Disk budget: argument > ``REPRO_CACHE_MAX_BYTES`` > 256 MiB."""
+    if max_bytes is not None:
+        return max(0, int(max_bytes))
+    raw = os.environ.get(MAX_BYTES_ENV, "").strip()
+    if not raw:
+        return DEFAULT_MAX_BYTES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        raise ValueError(f"{MAX_BYTES_ENV}={raw!r} is not an integer "
+                         f"byte count (0 disables the bound)") from None
 
 
 class ResultCache:
     """Thread-safe LRU of job results, with optional disk persistence."""
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY,
-                 directory: Optional[str] = None):
+                 directory: Optional[str] = None,
+                 max_bytes: Optional[int] = None):
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.directory = directory
+        self.max_bytes = resolve_max_bytes(max_bytes)
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, Dict]" = OrderedDict()
         self._hits = 0        # served from memory
         self._disk_hits = 0   # served by loading the disk layer
         self._misses = 0
+        self._evictions = 0   # disk entries removed by the size bound
+        self._m_evicted = obs_metrics.counter(
+            "repro_result_cache_evictions_total",
+            "disk result-cache entries removed by the size bound")
+        self._m_swept = obs_metrics.counter(
+            "repro_result_cache_swept_total",
+            "corrupt disk result-cache entries removed by sweep()")
+        self._m_disk_bytes = obs_metrics.gauge(
+            "repro_result_cache_disk_bytes",
+            "bytes used by the on-disk result-cache tier")
 
     # -- disk layer --------------------------------------------------
 
@@ -71,8 +111,82 @@ class ResultCache:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(result, fh, sort_keys=True)
             os.replace(tmp, self._path(digest))
+            self._evict_disk()
         except Exception:
             pass  # best-effort: memory layer still serves this process
+
+    def _disk_entries(self):
+        """``(path, mtime, size)`` for every entry, oldest first."""
+        entries = []
+        for name in os.listdir(self.directory):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            entries.append((path, st.st_mtime, st.st_size))
+        entries.sort(key=lambda e: e[1])
+        return entries
+
+    def _evict_disk(self) -> None:
+        """Drop oldest disk entries until the tier fits ``max_bytes``."""
+        if not self.directory or not self.max_bytes:
+            return
+        entries = self._disk_entries()
+        total = sum(size for _, _, size in entries)
+        self._m_disk_bytes.set(total)
+        if total <= self.max_bytes:
+            return
+        for path, _mtime, size in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            with self._lock:
+                self._evictions += 1
+            self._m_evicted.inc()
+        self._m_disk_bytes.set(total)
+
+    def sweep(self) -> int:
+        """Remove corrupt/truncated disk entries; returns how many.
+
+        Run at daemon startup so a crash mid-write (or a bad disk) never
+        leaves junk that every later lookup has to re-discover.
+        """
+        if not self.directory or not os.path.isdir(self.directory):
+            return 0
+        removed = 0
+        for name in list(os.listdir(self.directory)):
+            path = os.path.join(self.directory, name)
+            if name.endswith(".tmp"):
+                # orphaned temp file from an interrupted atomic write
+                try:
+                    os.remove(path)
+                    removed += 1
+                except OSError:
+                    pass
+                continue
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    entry = json.load(fh)
+                if not isinstance(entry, dict):
+                    raise ValueError("not an object")
+            except Exception:
+                try:
+                    os.remove(path)
+                    removed += 1
+                except OSError:
+                    pass
+        if removed:
+            self._m_swept.inc(removed)
+        return removed
 
     # -- public API --------------------------------------------------
 
@@ -107,10 +221,10 @@ class ResultCache:
         self._store_disk(digest, result)
 
     def stats(self) -> Dict[str, int]:
-        """Lookup counters: memory hits, disk hits, and misses."""
+        """Lookup counters: memory hits, disk hits, misses, evictions."""
         with self._lock:
             return {"hits": self._hits, "disk_hits": self._disk_hits,
-                    "misses": self._misses}
+                    "misses": self._misses, "evictions": self._evictions}
 
     def _shrink(self) -> None:
         while len(self._entries) > self.capacity:

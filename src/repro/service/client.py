@@ -110,5 +110,11 @@ class ServiceClient:
     def metrics(self, format: str = "json") -> Dict[str, Any]:
         return self.request({"op": "metrics", "format": format})
 
-    def shutdown(self) -> Dict[str, Any]:
-        return self.request({"op": "shutdown"})
+    def shutdown(self, drain: bool = False,
+                 drain_timeout: Optional[float] = None) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"op": "shutdown"}
+        if drain:
+            message["drain"] = True
+        if drain_timeout is not None:
+            message["drain_timeout"] = drain_timeout
+        return self.request(message)

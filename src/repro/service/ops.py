@@ -1,0 +1,48 @@
+"""Protocol-op helpers shared by the serving tiers.
+
+The single-node threaded daemon and the asyncio cluster gateway answer
+the same client-facing operations (``submit``/``status``/``result``/
+``cancel``/``health``/``metrics``/``shutdown``) with the same response
+shapes — the synchronous :class:`repro.service.client.ServiceClient`
+must work unchanged against either.  This module holds the shaping
+logic both reuse so the two implementations cannot drift.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.service.jobs import Job, JobState
+
+#: scalar types allowed as correlation-context values on the wire
+_CTX_SCALARS = (str, int, float, bool)
+
+
+def validate_ctx(ctx: Any) -> Optional[str]:
+    """Problem description for a submit ``ctx`` field, or None if fine."""
+    if ctx is None:
+        return None
+    if not (isinstance(ctx, dict)
+            and all(isinstance(k, str) and isinstance(v, _CTX_SCALARS)
+                    for k, v in ctx.items())):
+        return "'ctx' must map string keys to scalar values"
+    return None
+
+
+def strip_trace(result: Optional[Dict[str, Any]],
+                include_trace: bool) -> Optional[Dict[str, Any]]:
+    """Drop the bulky ``trace`` key unless the client asked for it."""
+    if not include_trace and isinstance(result, dict) and "trace" in result:
+        return {k: v for k, v in result.items() if k != "trace"}
+    return result
+
+
+def job_response(job: Job, deduped: bool = False,
+                 include_result: bool = False,
+                 include_trace: bool = False) -> Dict[str, Any]:
+    """The standard job-status response (both tiers answer with this)."""
+    response = {"ok": True, "deduped": deduped}
+    response.update(job.snapshot())
+    if include_result and job.state == JobState.DONE:
+        response["result"] = strip_trace(job.result, include_trace)
+    return response

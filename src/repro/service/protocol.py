@@ -18,6 +18,7 @@ server allocate unbounded memory from four bytes of garbage.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import socket
 import struct
@@ -59,6 +60,17 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
+def decode_body(body: bytes) -> Dict[str, Any]:
+    """Parse one frame body; raises :class:`ProtocolError` on bad JSON."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return message
+
+
 def recv_message(sock: socket.socket) -> Dict[str, Any]:
     """Read one frame; raises :class:`ProtocolError` on EOF/corruption."""
     header = sock.recv(_LEN.size)
@@ -71,13 +83,38 @@ def recv_message(sock: socket.socket) -> Dict[str, Any]:
         raise ProtocolError(f"frame of {length} bytes exceeds the "
                             f"{MAX_FRAME}-byte limit")
     body = _recv_exact(sock, length) if length else b""
+    return decode_body(body)
+
+
+# -- asyncio counterparts (the cluster gateway) -------------------------
+
+async def read_message_async(reader: asyncio.StreamReader) -> Dict[str, Any]:
+    """Read one frame from a stream reader; same contract as
+    :func:`recv_message` (the wire format is identical, so the blocking
+    client and the asyncio gateway interoperate frame for frame)."""
     try:
-        message = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ProtocolError(f"bad JSON frame: {exc}") from None
-    if not isinstance(message, dict):
-        raise ProtocolError("frame must be a JSON object")
-    return message
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise ProtocolError("connection closed") from None
+        raise ProtocolError("connection closed mid-frame") from None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds the "
+                            f"{MAX_FRAME}-byte limit")
+    try:
+        body = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+    return decode_body(body)
+
+
+async def write_message_async(writer: asyncio.StreamWriter,
+                              message: Dict[str, Any]) -> None:
+    """Send one frame on a stream writer; raises :class:`ProtocolError`
+    when the encoded message exceeds the frame limit."""
+    writer.write(encode(message))
+    await writer.drain()
 
 
 def error_response(error: str, code: str = "error") -> Dict[str, Any]:

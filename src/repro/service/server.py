@@ -24,158 +24,30 @@ already-finished job.  Both paths are visible in the metrics
 
 from __future__ import annotations
 
-import os
-import signal
-import socket
 import threading
 import time
+import socket
 from typing import Any, Dict, Optional, Tuple
 
 from repro.experiments.executor import (WorkerCrashError, WorkerPool,
-                                        WorkerTimeout, in_worker,
-                                        resolve_jobs)
+                                        WorkerTimeout, resolve_jobs)
 from repro.obs import logging as obs_logging
 from repro.obs import metrics as obs_metrics
-from repro.service import protocol
+from repro.service import ops, protocol
 from repro.service.cache import ResultCache
+# re-exported for compatibility: execution moved to its own module so the
+# cluster tier (gateway dispatchers, remote worker nodes) shares it
+from repro.service.execution import (PAYLOAD_KINDS,  # noqa: F401
+                                     _execute_probe, _run_pipeline,
+                                     execute_payload, run_job_observed)
 from repro.service.jobs import (FINAL_STATES, Job, JobQueue, JobState,
                                 QueueFullError, payload_digest)
 from repro.service.metrics import MetricsRegistry
-
-#: payload kinds understood by :func:`execute_payload`
-PAYLOAD_KINDS = ("benchmark", "sources", "probe")
 
 #: states a digest counts as "in flight" for deduplication
 _LIVE_STATES = (JobState.QUEUED, JobState.RUNNING)
 
 _log = obs_logging.get_logger("repro.service")
-
-
-# ---------------------------------------------------------------------------
-# worker-side execution (module-level: must be picklable for the pool)
-# ---------------------------------------------------------------------------
-
-def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Run one job payload to completion inside a worker.
-
-    Payload kinds:
-
-    * ``benchmark`` — a registered PERFECT substitute by name plus a
-      pipeline configuration (``none``/``conventional``/``annotation``);
-    * ``sources`` — literal ``{filename: fortran}`` sources with
-      optional annotation text, same configurations;
-    * ``probe`` — tiny diagnostic ops (``echo``/``sleep``/
-      ``crash-once``) used by health checks and the service tests.
-    """
-    kind = payload.get("kind")
-    trace = bool(payload.get("trace"))
-    backend = payload.get("backend")
-    if kind == "probe":
-        return _execute_probe(payload)
-    if kind == "benchmark":
-        from repro.perfect import get_benchmark
-        benchmark = get_benchmark(payload["benchmark"])
-        return _run_pipeline(benchmark, payload.get("config", "annotation"),
-                             trace=trace, backend=backend)
-    if kind == "sources":
-        from repro.perfect.suite import Benchmark
-        sources = payload.get("sources")
-        if not isinstance(sources, dict) or not sources:
-            raise ValueError("'sources' payload needs a non-empty "
-                             "{filename: text} mapping")
-        benchmark = Benchmark(
-            name=payload.get("name", "submitted"),
-            description="submitted via repro.service",
-            sources=dict(sources),
-            annotations=payload.get("annotations", ""))
-        return _run_pipeline(benchmark, payload.get("config", "annotation"),
-                             trace=trace, backend=backend)
-    raise ValueError(f"unknown payload kind {kind!r}; "
-                     f"expected one of {PAYLOAD_KINDS}")
-
-
-def _run_pipeline(benchmark, config_kind: str, trace: bool = False,
-                  backend: Optional[str] = None) -> Dict[str, Any]:
-    import os
-
-    from repro.experiments.pipeline import (Config, run_config,
-                                            summarize_result)
-    from repro.runtime.backend import BACKEND_ENV, BACKENDS, default_backend
-    if config_kind not in ("none", "conventional", "annotation"):
-        raise ValueError(f"unknown config {config_kind!r}")
-    if backend is not None and backend not in BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; "
-                         f"expected one of {BACKENDS}")
-    tracer = None
-    if trace:
-        from repro.trace import Tracer
-        tracer = Tracer(label=f"service {benchmark.name}/{config_kind}")
-    saved = os.environ.get(BACKEND_ENV)
-    if backend is not None:
-        # scope the requested backend to this job: anything in the
-        # pipeline that executes programs goes through make_interpreter,
-        # which reads the env at construction time
-        os.environ[BACKEND_ENV] = backend
-    try:
-        summary = summarize_result(run_config(benchmark, Config(config_kind),
-                                              tracer=tracer))
-    finally:
-        if backend is not None:
-            if saved is None:
-                os.environ.pop(BACKEND_ENV, None)
-            else:
-                os.environ[BACKEND_ENV] = saved
-    summary["backend"] = backend or default_backend()
-    if tracer is not None:
-        summary["trace"] = tracer.export()
-    return summary
-
-
-def run_job_observed(item: Tuple[Dict[str, Any], Dict[str, Any]]
-                     ) -> Tuple[Dict[str, Any], Optional[Dict]]:
-    """Worker entry point wrapping :func:`execute_payload` with
-    observability: the client's correlation IDs become log context, and
-    every metric the pipeline touches in the worker comes back as a
-    registry delta for the parent to merge (same protocol as
-    :func:`repro.experiments.executor._observed_task`).
-
-    Inline pools share the parent's default registry, so there the
-    metrics already landed — the delta is None and merging is skipped.
-    """
-    payload, ctx = item
-    if not in_worker():
-        with obs_logging.log_context(**ctx):
-            return execute_payload(payload), None
-    obs_logging.configure()  # spawned fresh: read REPRO_LOG* env
-    registry = obs_metrics.get_registry()
-    before = registry.export()
-    with obs_logging.log_context(**ctx):
-        result = execute_payload(payload)
-    return result, obs_metrics.MetricsRegistry.delta(before,
-                                                     registry.export())
-
-
-def _execute_probe(payload: Dict[str, Any]) -> Dict[str, Any]:
-    op = payload.get("probe")
-    if op == "echo":
-        return {"echo": payload.get("value")}
-    if op == "sleep":
-        seconds = float(payload.get("seconds", 0.0))
-        time.sleep(seconds)
-        return {"slept": seconds}
-    if op == "crash-once":
-        # First attempt: leave a marker, then die the way a real crash
-        # does (SIGKILL in a pool worker; a WorkerCrashError inline).
-        # Second attempt sees the marker and succeeds — the retry path.
-        marker = payload["marker"]
-        if not os.path.exists(marker):
-            with open(marker, "w") as fh:
-                fh.write("crashed\n")
-            if in_worker():
-                os.kill(os.getpid(), signal.SIGKILL)
-            raise WorkerCrashError("simulated worker crash")
-        return {"recovered": True}
-    raise ValueError(f"unknown probe op {op!r}")
 
 
 # ---------------------------------------------------------------------------
@@ -195,6 +67,7 @@ class ParallelizationServer:
                  cache_dir: Optional[str] = None,
                  default_deadline: Optional[float] = None,
                  max_retries: int = 1, retry_backoff: float = 0.5,
+                 drain_timeout: float = 30.0,
                  inline: Optional[bool] = None):
         self.host = host
         self.port = port
@@ -202,6 +75,7 @@ class ParallelizationServer:
         self.default_deadline = default_deadline
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.drain_timeout = drain_timeout
 
         self.queue = JobQueue(queue_capacity)
         self.cache = ResultCache(cache_capacity, directory=cache_dir)
@@ -212,6 +86,7 @@ class ParallelizationServer:
         self._by_digest: Dict[str, str] = {}     # digest -> live job id
         self._lock = threading.Lock()
         self._stop = threading.Event()
+        self._draining = threading.Event()
         self._started_at: Optional[float] = None
         self._sock: Optional[socket.socket] = None
         self._threads: list = []
@@ -259,6 +134,9 @@ class ParallelizationServer:
     def start(self) -> Tuple[str, int]:
         """Bind, spawn acceptor + dispatchers, return ``(host, port)``."""
         self._started_at = time.monotonic()
+        swept = self.cache.sweep()
+        if swept:
+            _log.warning("cache-sweep", removed=swept)
         self._sock = socket.create_server((self.host, self.port))
         self.address = self._sock.getsockname()[:2]
         for i in range(self.workers):
@@ -272,7 +150,30 @@ class ParallelizationServer:
         self._threads.append(t)
         return self.address
 
-    def stop(self) -> None:
+    def stop(self, drain: bool = False,
+             drain_timeout: Optional[float] = None) -> None:
+        """Shut the server down.
+
+        With ``drain=True`` the server first stops admitting new jobs
+        (submissions are rejected with a ``draining`` backpressure
+        reason) and waits up to ``drain_timeout`` seconds (default: the
+        server's ``drain_timeout``) for every accepted job to reach a
+        final state — no accepted job is dropped by a graceful
+        shutdown.  Status/result requests keep being answered while
+        draining, so waiting clients collect their results.
+        """
+        if self._stop.is_set():
+            return
+        if drain:
+            self._draining.set()
+            _log.info("drain-start", pending=self.pending_jobs())
+            budget = self.drain_timeout if drain_timeout is None \
+                else drain_timeout
+            deadline = time.monotonic() + max(0.0, budget)
+            while self.pending_jobs() and time.monotonic() < deadline \
+                    and not self._stop.is_set():
+                time.sleep(0.02)
+            _log.info("drain-finish", pending=self.pending_jobs())
         if self._stop.is_set():
             return
         self._stop.set()
@@ -295,6 +196,16 @@ class ParallelizationServer:
     def running(self) -> bool:
         return self._started_at is not None and not self._stop.is_set()
 
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def pending_jobs(self) -> int:
+        """Accepted jobs not yet in a final state (queued or running)."""
+        with self._lock:
+            return sum(1 for job in self._jobs.values()
+                       if job.state not in FINAL_STATES)
+
     def uptime(self) -> float:
         if self._started_at is None:
             return 0.0
@@ -315,6 +226,10 @@ class ParallelizationServer:
         if kind not in PAYLOAD_KINDS:
             raise ValueError(f"unknown payload kind {kind!r}; "
                              f"expected one of {PAYLOAD_KINDS}")
+        if self._draining.is_set():
+            self._m_rejected.inc()
+            raise QueueFullError("service is draining before shutdown; "
+                                 "no new jobs accepted")
         digest = payload_digest(payload)
         if deadline is None:
             deadline = self.default_deadline
@@ -502,6 +417,8 @@ class ParallelizationServer:
                     response = protocol.error_response(
                         f"{type(exc).__name__}: {exc}", code="internal")
                 shutdown = response.pop("_shutdown", False)
+                drain = response.pop("_drain", False)
+                drain_timeout = response.pop("_drain_timeout", None)
                 try:
                     protocol.send_message(conn, response)
                 except protocol.ProtocolError as exc:
@@ -516,7 +433,10 @@ class ParallelizationServer:
                 except OSError:
                     return
                 if shutdown:
-                    threading.Thread(target=self.stop, daemon=True).start()
+                    threading.Thread(
+                        target=self.stop, daemon=True,
+                        kwargs={"drain": drain,
+                                "drain_timeout": drain_timeout}).start()
                     return
 
     def handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -535,16 +455,9 @@ class ParallelizationServer:
     def _job_response(self, job: Job, deduped: bool = False,
                       include_result: bool = False,
                       include_trace: bool = False) -> Dict[str, Any]:
-        response = {"ok": True, "deduped": deduped}
-        response.update(job.snapshot())
-        if include_result and job.state == JobState.DONE:
-            result = job.result
-            if not include_trace and isinstance(result, dict) \
-                    and "trace" in result:
-                # traces are bulky: returned only on request
-                result = {k: v for k, v in result.items() if k != "trace"}
-            response["result"] = result
-        return response
+        return ops.job_response(job, deduped=deduped,
+                                include_result=include_result,
+                                include_trace=include_trace)
 
     def _op_submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
         payload = request.get("payload")
@@ -557,14 +470,9 @@ class ParallelizationServer:
             live = self._by_digest.get(digest)
             before = live if live else None
         ctx = request.get("ctx")
-        if ctx is not None and not (
-                isinstance(ctx, dict)
-                and all(isinstance(k, str)
-                        and isinstance(v, (str, int, float, bool))
-                        for k, v in ctx.items())):
-            return protocol.error_response(
-                "'ctx' must map string keys to scalar values",
-                code="bad-request")
+        ctx_problem = ops.validate_ctx(ctx)
+        if ctx_problem:
+            return protocol.error_response(ctx_problem, code="bad-request")
         try:
             job = self.submit(payload,
                               deadline=request.get("deadline"),
@@ -628,7 +536,9 @@ class ParallelizationServer:
                 states[job.state] = states.get(job.state, 0) + 1
         return {
             "ok": True,
+            "tier": "single-node",
             "uptime": self.uptime(),
+            "draining": self.draining,
             "workers": self.workers,
             "pool_mode": "inline" if self.pool.inline else "process",
             "queue_depth": self.queue.depth(),
@@ -665,4 +575,12 @@ class ParallelizationServer:
                 "metrics": self._exported_metrics().to_json()}
 
     def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        return {"ok": True, "stopping": True, "_shutdown": True}
+        drain = bool(request.get("drain"))
+        if drain:
+            # reject new submissions immediately; the post-response stop
+            # thread then waits for the in-flight jobs
+            self._draining.set()
+        return {"ok": True, "stopping": True, "draining": drain,
+                "_shutdown": True,
+                "_drain": drain,
+                "_drain_timeout": request.get("drain_timeout")}

@@ -1,0 +1,87 @@
+"""Consistent-hash ring: determinism, balance, and the bounded-remap
+property the cluster's cache tier depends on (ISSUE acceptance: adding a
+shard remaps about 1/N of the cached keys, never the whole space)."""
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_REPLICAS, HashRing, _point
+
+KEYS = [f"digest-{i:05d}" for i in range(4000)]
+
+
+class TestBasics:
+    def test_empty_ring_routes_none(self):
+        assert HashRing().node_for("anything") is None
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.node_for(k) == "only" for k in KEYS[:100])
+
+    def test_placement_is_deterministic_across_instances(self):
+        a = HashRing(["s0", "s1", "s2"])
+        b = HashRing(["s2", "s0", "s1"])  # insertion order irrelevant
+        assert [a.node_for(k) for k in KEYS[:500]] \
+            == [b.node_for(k) for k in KEYS[:500]]
+
+    def test_point_is_stable(self):
+        # placement must agree across processes/machines: pure SHA-256,
+        # no PYTHONHASHSEED dependence
+        assert _point("s0#0") == _point("s0#0")
+        assert _point("s0#0") != _point("s0#1")
+
+    def test_membership_helpers(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring) == 2
+        assert "a" in ring and "c" not in ring
+        assert ring.nodes == ["a", "b"]
+        ring.add_node("a")  # idempotent
+        assert len(ring) == 2
+        ring.remove_node("missing")  # harmless
+        assert len(ring) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(replicas=0)
+        with pytest.raises(ValueError, match="non-empty"):
+            HashRing().add_node("")
+
+
+class TestBalance:
+    def test_spread_is_roughly_even(self):
+        ring = HashRing(["s0", "s1", "s2"], replicas=DEFAULT_REPLICAS)
+        counts = ring.spread(KEYS)
+        assert sum(counts.values()) == len(KEYS)
+        mean = len(KEYS) / 3
+        assert max(counts.values()) < mean * 1.6
+        assert min(counts.values()) > mean * 0.4
+
+
+class TestBoundedRemap:
+    def test_adding_a_node_remaps_about_one_nth(self):
+        ring = HashRing([f"s{i}" for i in range(4)])
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.add_node("s4")
+        moved = [k for k in KEYS if ring.node_for(k) != before[k]]
+        # expected ~1/5 of the keys; allow generous slack but stay far
+        # below the ~4/5 a naive hash(key) % N would remap
+        assert len(moved) > 0
+        assert len(moved) <= len(KEYS) * 0.35
+        # keys only ever move TO the joining node
+        assert all(ring.node_for(k) == "s4" for k in moved)
+
+    def test_removing_a_node_restores_prior_ownership(self):
+        ring = HashRing([f"s{i}" for i in range(4)])
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.add_node("s4")
+        ring.remove_node("s4")
+        assert {k: ring.node_for(k) for k in KEYS} == before
+
+    def test_removing_a_node_only_moves_its_keys(self):
+        ring = HashRing([f"s{i}" for i in range(4)])
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.remove_node("s2")
+        for k in KEYS:
+            if before[k] != "s2":
+                assert ring.node_for(k) == before[k]
+            else:
+                assert ring.node_for(k) != "s2"

@@ -1,0 +1,161 @@
+"""Shard cache tests: routing, per-shard metrics, graceful degradation
+when a shard is down, and the shard-node server end to end."""
+
+import pytest
+
+from repro.cluster.shardcache import (CacheShardServer, LocalShard,
+                                      RemoteShard, ShardedCache,
+                                      parse_shard_spec)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _result(i=0):
+    return {"echo": f"value-{i}"}
+
+
+class TestParseSpec:
+    def test_host_and_port(self):
+        assert parse_shard_spec("10.0.0.5:7500") == ("10.0.0.5", 7500)
+
+    def test_bare_port_defaults_to_loopback(self):
+        assert parse_shard_spec(":7500") == ("127.0.0.1", 7500)
+
+    @pytest.mark.parametrize("bad", ["", "host", "host:", "host:abc"])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(ValueError, match="shard spec"):
+            parse_shard_spec(bad)
+
+
+class TestLocalShard:
+    def test_roundtrip_and_stats(self):
+        shard = LocalShard(capacity=4)
+        assert shard.get("d0") is None
+        shard.put("d0", _result())
+        assert shard.get("d0") == _result()
+        stats = shard.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+class TestShardedCache:
+    def _cache(self, registry=None):
+        return ShardedCache({"a": LocalShard(capacity=64),
+                             "b": LocalShard(capacity=64)},
+                            registry=registry or MetricsRegistry())
+
+    def test_routing_is_deterministic_and_partitioned(self):
+        cache = self._cache()
+        digests = [f"digest-{i:04d}" for i in range(50)]
+        for i, digest in enumerate(digests):
+            cache.put(digest, _result(i))
+        for i, digest in enumerate(digests):
+            assert cache.get(digest) == _result(i)
+        per_shard = cache.shard_stats()
+        entries = {name: s["entries"] for name, s in per_shard.items()}
+        assert sum(entries.values()) == len(digests)
+        # 96 virtual nodes per shard spread 50 keys across both
+        assert all(n > 0 for n in entries.values())
+
+    def test_stats_aggregates_across_shards(self):
+        cache = self._cache()
+        cache.put("d0", _result())
+        cache.get("d0")
+        cache.get("never-stored")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_per_shard_request_metrics(self):
+        registry = MetricsRegistry()
+        cache = self._cache(registry=registry)
+        cache.put("d0", _result())
+        cache.get("d0")
+        cache.get("absent")
+        counter = registry.counter("repro_cluster_shard_requests_total")
+        by_outcome = {}
+        for outcome in ("put", "hit", "miss"):
+            by_outcome[outcome] = sum(
+                counter.value(shard=name, outcome=outcome)
+                for name in cache.shard_names)
+        assert by_outcome == {"put": 1, "hit": 1, "miss": 1}
+
+    def test_dead_shard_degrades_to_miss_not_error(self):
+        registry = MetricsRegistry()
+        # port 1 is never listening: every request fails fast
+        cache = ShardedCache(
+            {"dead": RemoteShard("127.0.0.1", 1, timeout=0.5)},
+            registry=registry)
+        assert cache.get("d0") is None          # miss, not an exception
+        cache.put("d0", _result())              # no-op, not an exception
+        counter = registry.counter("repro_cluster_shard_requests_total")
+        assert counter.value(shard="dead", outcome="error") == 2
+        stats = cache.shard_stats()
+        assert stats["dead"]["alive"] is False
+        assert "unreachable" in stats["dead"]["error"]
+
+    def test_membership_changes(self):
+        cache = self._cache()
+        assert cache.shard_names == ["a", "b"]
+        cache.add_shard("c", LocalShard())
+        assert cache.shard_names == ["a", "b", "c"]
+        cache.remove_shard("b")
+        assert cache.shard_names == ["a", "c"]
+        info = cache.ring_info()
+        assert info["shards"] == ["a", "c"]
+        assert info["replicas"] == cache.replicas
+
+
+class TestCacheShardServer:
+    @pytest.fixture()
+    def make_server(self):
+        servers = []
+
+        def factory(**kwargs):
+            server = CacheShardServer(port=0, **kwargs)
+            server.start()
+            servers.append(server)
+            return server
+
+        yield factory
+        for server in servers:
+            server.stop()
+
+    def test_remote_roundtrip(self, make_server):
+        server = make_server(capacity=16)
+        shard = RemoteShard(*server.address)
+        assert shard.get("d0") is None
+        shard.put("d0", _result())
+        assert shard.get("d0") == _result()
+        stats = shard.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        shard.close()
+
+    def test_disk_tier_survives_restart(self, make_server, tmp_path):
+        first = make_server(capacity=16, directory=str(tmp_path))
+        shard = RemoteShard(*first.address)
+        shard.put("d0", _result())
+        shard.close()
+        first.stop()
+        second = make_server(capacity=16, directory=str(tmp_path))
+        shard = RemoteShard(*second.address)
+        assert shard.get("d0") == _result()
+        shard.close()
+
+    def test_protocol_errors(self, make_server):
+        server = make_server()
+        bad = server.handle_request({"op": "cache-get"})
+        assert bad["ok"] is False and bad["code"] == "bad-request"
+        bad = server.handle_request({"op": "cache-put", "digest": "d"})
+        assert bad["ok"] is False and bad["code"] == "bad-request"
+        bad = server.handle_request({"op": "frobnicate"})
+        assert bad["ok"] is False and bad["code"] == "bad-op"
+
+    def test_shutdown_op_stops_server(self, make_server):
+        server = make_server()
+        shard = RemoteShard(*server.address)
+        response = shard.request({"op": "shutdown"})
+        assert response["ok"] and response["stopping"]
+        assert "_shutdown" not in response  # internal marker never leaks
+        assert server.wait(timeout=5)
+        shard.close()

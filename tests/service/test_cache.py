@@ -121,14 +121,16 @@ class TestStats:
         cache.clear()
         assert cache.get("d1") == {"v": 1}                  # disk hit
         assert cache.get("d1") == {"v": 1}                  # memory hit
-        assert cache.stats() == {"hits": 2, "disk_hits": 1, "misses": 1}
+        assert cache.stats() == {"hits": 2, "disk_hits": 1, "misses": 1,
+                                 "evictions": 0}
 
     def test_stats_without_disk_layer(self):
         cache = ResultCache(capacity=4)
         cache.get("x")
         cache.put("x", {"v": 1})
         cache.get("x")
-        assert cache.stats() == {"hits": 1, "disk_hits": 0, "misses": 1}
+        assert cache.stats() == {"hits": 1, "disk_hits": 0, "misses": 1,
+                                 "evictions": 0}
 
 
 class TestConcurrency:

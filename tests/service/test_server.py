@@ -414,6 +414,48 @@ class TestSocketEndToEnd:
         assert metrics["repro_cache_hits_total"] == 1
 
 
+class TestDrain:
+    """Graceful drain: a drain shutdown loses no accepted job."""
+
+    @staticmethod
+    def _submit_retrying(client, payload):
+        # the accept loop can drop the very first connection under heavy
+        # machine load; a reset before the submit is accepted is safe to
+        # retry (nothing was enqueued yet)
+        for _ in range(20):
+            try:
+                return client.submit(payload, wait=False)
+            except ServiceError as error:
+                if error.code != "unreachable":
+                    raise
+                time.sleep(0.05)
+        return client.submit(payload, wait=False)
+
+    def test_shutdown_drain_finishes_accepted_jobs(self, make_server):
+        server = make_server(jobs=2)
+        host, port = server.address
+        client = ServiceClient(host=host, port=port)
+        accepted = [self._submit_retrying(
+                        client, _probe("sleep", seconds=0.3,
+                                       tag=f"drain-{i}"))
+                    for i in range(4)]
+        response = client.shutdown(drain=True, drain_timeout=10)
+        assert response["ok"] and response["draining"]
+        assert server.wait(timeout=15)
+        for submitted in accepted:
+            job = server.get_job(submitted["job_id"])
+            assert job.state == JobState.DONE, \
+                f"job {job.id} lost in drain: {job.state}"
+
+    def test_draining_rejects_new_submits(self, make_server):
+        server = make_server(jobs=1)
+        server.submit(_probe("sleep", seconds=0.2, tag="inflight"))
+        server._draining.set()
+        with pytest.raises(Exception, match="draining"):
+            server.submit(_probe(value="late"))
+        assert server.metrics.to_json()["repro_jobs_rejected_total"] == 1
+        server._draining.clear()  # let the fixture stop() cleanly
+
 class TestTracedJobs:
     def _traced_payload(self):
         return dict(_sources_payload(tag="traced"), trace=True)
