@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Annotations-inference smoke test (used by CI on every push,
+runnable locally).
+
+Runs the ``annotation`` configuration twice over the whole benchmark
+suite — once with the hand-written annotations, once with
+``--annotations inferred`` — and gates on the two soundness/quality
+invariants the ablation documents:
+
+* **zero flips**: inference must never parallelize an original loop the
+  hand-annotation run left serial (per benchmark, origin-set subset);
+* **recovery floor**: across the suite, inference must recover at least
+  80% of the hand-annotation parallel loops.
+
+Usage: PYTHONPATH=src python scripts/annotations_smoke.py [--floor F]
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.ablation import ablation_rows, render_ablation  # noqa: E402
+
+
+def run(floor: float, jobs: int) -> None:
+    rows = ablation_rows(jobs=jobs)
+    print(render_ablation(rows))
+
+    failures = []
+    for row in rows:
+        flipped = sorted(row.origins["inferred"] - row.origins["hand"])
+        if flipped:
+            failures.append(
+                f"{row.benchmark}: inference parallelized loops the "
+                f"hand run left serial: {', '.join(flipped)}")
+
+    hand_total = sum(row.par("hand") for row in rows)
+    recovered = sum(len(row.origins["inferred"] & row.origins["hand"])
+                    for row in rows)
+    recovery = recovered / hand_total if hand_total else 1.0
+    print(f"\nrecovery: {recovered}/{hand_total} "
+          f"({100 * recovery:.0f}%), floor {100 * floor:.0f}%")
+    if recovery < floor:
+        failures.append(
+            f"recovery {100 * recovery:.0f}% is below the "
+            f"{100 * floor:.0f}% floor")
+
+    if failures:
+        raise SystemExit("annotations smoke FAILED:\n  "
+                         + "\n  ".join(failures))
+    print(f"annotations smoke passed: {len(rows)} benchmarks, 0 flips")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--floor", type=float, default=0.8)
+    parser.add_argument("-j", "--jobs", type=int, default=2)
+    ns = parser.parse_args()
+    run(ns.floor, ns.jobs)

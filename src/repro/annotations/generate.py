@@ -152,6 +152,19 @@ def generate_annotation(program: Program,
     if not stmts:
         return GenerationResult(None, "no visible side effects to "
                                       "summarize", omitted)
+    # array formals that are only *read* still need a shape declaration,
+    # or call-site translation cannot bind them (hand-written annotations
+    # always declare the formals they subscript)
+    declared = {e.name for e in dims_decls}
+    for n in sorted({a for a, _, w in acc.array_accesses if not w}):
+        if n not in formals or n in declared:
+            continue
+        info = table.info(n)
+        if info.dims is None or any(d.upper is None for d in info.dims):
+            return GenerationResult(
+                None, f"array formal {n} has no declared shape", omitted)
+        dims_decls.append(fast.Entity(n, fast.clone(info.dims)))
+        declared.add(n)
     if dims_decls:
         stmts.insert(0, aast.ADecl("", dims_decls))
     ann = aast.ASubroutine(unit.name, list(unit.params), stmts)

@@ -1,0 +1,179 @@
+"""First-class annotation inference — the ``--annotations`` axis.
+
+The paper's Section VI asks for techniques to *automatically derive*
+the Figure-12 annotations.  :mod:`repro.annotations.generate` mechanizes
+the per-subroutine derivation (read/write sets, region projection,
+RMW-scalar inputs); this module promotes it into a whole-program
+subsystem with explicit fallback semantics:
+
+* for every subroutine the program calls, :func:`infer_annotations`
+  produces an :class:`InferenceOutcome` — a hand-written annotation
+  (when a registry is supplied and has one), an inferred annotation, or
+  a recorded *fallback* with the refusal reason;
+* inference adds one whole-program soundness check the per-body
+  generator cannot do: a callee whose COMMON block is also passed to it
+  as an actual argument is refused (``aliased COMMON``) — the derived
+  summary would model the formal and the COMMON variable as distinct
+  memory;
+* fallback callees get **no** annotation: their call sites stay opaque,
+  so the legality analyzer conservatively serializes enclosing loops —
+  exactly the pre-inference behavior, now with the reason on record
+  (surfaced as :class:`~repro.trace.decisions.SiteDecision` records by
+  the pipeline).
+
+The three axis values consumed by the experiment drivers:
+
+``hand``
+    only the benchmark's hand-written annotations (the default);
+``inferred``
+    only inferred annotations — hand-written ones are *ignored*, which
+    measures how much of the paper's Table II the inference recovers;
+``demand``
+    hand-written annotations take precedence, inference fills the gaps,
+    and nothing is inlined up front — the driver pulls summaries in
+    on demand (:mod:`repro.inlining.demand`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.annotations import ast as aast
+from repro.annotations.generate import generate_annotation
+from repro.annotations.registry import AnnotationRegistry
+from repro.fortran import ast as fast
+from repro.program import Program
+
+#: the CLI/service values of the annotations axis
+ANNOTATION_MODES = ("hand", "inferred", "demand")
+
+#: outcome sources, in precedence order
+SOURCES = ("hand", "inferred", "fallback")
+
+
+@dataclass
+class InferenceOutcome:
+    """What inference decided for one subroutine."""
+
+    name: str
+    source: str                                  # one of SOURCES
+    annotation: Optional[aast.ASubroutine] = None
+    reason: str = ""                             # set when source == fallback
+    omitted_error_checks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.annotation is not None
+
+
+@dataclass
+class InferenceReport:
+    """All outcomes for one program, plus registry/statistics views."""
+
+    outcomes: Dict[str, InferenceOutcome] = field(default_factory=dict)
+
+    def registry(self) -> AnnotationRegistry:
+        """An :class:`AnnotationRegistry` of every usable annotation
+        (hand-written + inferred; fallbacks contribute nothing)."""
+        registry = AnnotationRegistry()
+        for name in sorted(self.outcomes):
+            outcome = self.outcomes[name]
+            if outcome.annotation is not None:
+                registry.add(outcome.annotation)
+        return registry
+
+    def fallbacks(self) -> Dict[str, str]:
+        """``{callee: refusal reason}`` for every conservative fallback."""
+        return {name: o.reason for name, o in sorted(self.outcomes.items())
+                if o.source == "fallback"}
+
+    def counts(self) -> Dict[str, int]:
+        out = {source: 0 for source in SOURCES}
+        for outcome in self.outcomes.values():
+            out[outcome.source] += 1
+        return out
+
+    def describe(self) -> str:
+        counts = self.counts()
+        parts = [f"{counts[s]} {s}" for s in SOURCES]
+        return ", ".join(parts)
+
+
+def infer_annotations(program: Program,
+                      hand: Optional[AnnotationRegistry] = None
+                      ) -> InferenceReport:
+    """Infer annotations for every subroutine of ``program``.
+
+    ``hand`` annotations (when given) take precedence per subroutine;
+    inference only fills the gaps.  Pass ``hand=None`` for the pure
+    ``inferred`` axis.  The program is not modified.
+    """
+    report = InferenceReport()
+    for name, unit in sorted(program.procedures.items()):
+        if unit.kind != "SUBROUTINE":
+            continue
+        if hand is not None and name in hand:
+            report.outcomes[name] = InferenceOutcome(
+                name, "hand", hand.get(name))
+            continue
+        hazard = _common_alias_hazard(program, name)
+        if hazard is not None:
+            report.outcomes[name] = InferenceOutcome(
+                name, "fallback", reason=hazard)
+            continue
+        result = generate_annotation(program, name)
+        if result.ok:
+            report.outcomes[name] = InferenceOutcome(
+                name, "inferred", result.annotation,
+                omitted_error_checks=result.omitted_error_checks)
+        else:
+            report.outcomes[name] = InferenceOutcome(
+                name, "fallback", reason=result.reason,
+                omitted_error_checks=result.omitted_error_checks)
+    # hand annotations for procedures without source (library units
+    # compiled elsewhere) still apply — carry them through verbatim
+    if hand is not None:
+        for name in hand.names():
+            if name not in report.outcomes:
+                report.outcomes[name] = InferenceOutcome(
+                    name, "hand", hand.get(name))
+    return report
+
+
+def _common_alias_hazard(program: Program, name: str) -> Optional[str]:
+    """A caller passing a COMMON variable to a callee that declares the
+    same COMMON block aliases two names the summary treats as distinct
+    memory — refuse inference for such callees."""
+    callee = program.procedures.get(name.upper())
+    if callee is None:
+        return None
+    blocks = {d.block.upper()
+              for d in callee.decls if isinstance(d, fast.CommonDecl)}
+    if not blocks:
+        return None
+    target = name.upper()
+    for unit in program.units:
+        table = program.symtab(unit)
+        for stmt in fast.walk_stmts(unit.body):
+            if not isinstance(stmt, fast.CallStmt) \
+                    or stmt.name.upper() != target:
+                continue
+            for arg in stmt.args:
+                for e in fast.walk_expr(arg):
+                    if not isinstance(e, (fast.Var, fast.ArrayRef)):
+                        continue
+                    info = table.declared(e.name)
+                    if info is not None and info.common_block is not None \
+                            and info.common_block.upper() in blocks:
+                        return (f"actual argument {e.name.upper()} in "
+                                f"{unit.name} aliases COMMON "
+                                f"/{info.common_block.upper()}/ visible "
+                                f"in the callee")
+    return None
+
+
+def render_fallbacks(report: InferenceReport) -> Iterable[str]:
+    """Human-readable one-liners for the fallback outcomes."""
+    for name, reason in report.fallbacks().items():
+        yield f"{name}: conservative fallback ({reason})"

@@ -10,6 +10,7 @@
     python -m repro generate    in.f ...           # derive annotations
     python -m repro check       in.f ... --annotations a.ann  # soundness
     python -m repro table1 | table2 | figure20     # paper artifacts
+    python -m repro ablation                       # hand/inferred/demand
     python -m repro bench NAME                     # one PERFECT substitute
     python -m repro serve [--port N] [-j N]        # parallelization daemon
     python -m repro submit NAME|file.f ...         # run a job on the daemon
@@ -104,17 +105,30 @@ def _select_benchmarks(args):
     return [get_benchmark(name) for name in names]
 
 
-def _pipeline(program: Program, registry, config: str):
+def _pipeline(program: Program, registry, config: str,
+              annotations_mode: str = "hand"):
     from repro.annotations import AnnotationInliner, ReverseInliner
     from repro.inlining import ConventionalInliner
     from repro.polaris import Polaris
     t0 = perf_counter()
+    demand = None
     if config == "conventional":
         ConventionalInliner().run(program)
     elif config == "annotation":
-        AnnotationInliner(registry).run(program)
+        if annotations_mode != "hand":
+            from repro.annotations.infer import infer_annotations
+            from repro.inlining.demand import DemandInliner
+            hand = registry if annotations_mode == "demand" else None
+            inference = infer_annotations(program, hand=hand)
+            registry = inference.registry()
+            if annotations_mode == "demand":
+                demand = DemandInliner(
+                    registry, inference=inference,
+                    hand_names=frozenset(hand.names()))
+        if demand is None:
+            AnnotationInliner(registry).run(program)
     inline_seconds = perf_counter() - t0
-    report = Polaris().run(program)
+    report = Polaris(demand=demand).run(program)
     if config != "none":
         report.add_timing("inline", inline_seconds)
     if config == "annotation":
@@ -133,8 +147,9 @@ def cmd_parallelize(args) -> int:
     program = _load_program(args.files)
     parse_seconds = perf_counter() - t0
     registry = _load_registry(args.annotations)
-    report, cprofile_text = _maybe_cprofile(args, _pipeline, program,
-                                            registry, args.config)
+    report, cprofile_text = _maybe_cprofile(
+        args, _pipeline, program, registry, args.config,
+        getattr(args, "annotations_mode", "hand"))
     report.add_timing("parse", parse_seconds)
     text = "".join(program.unparse().values())
     if args.output:
@@ -162,8 +177,9 @@ def cmd_report(args) -> int:
     program = _load_program(args.files)
     parse_seconds = perf_counter() - t0
     registry = _load_registry(args.annotations)
-    report, cprofile_text = _maybe_cprofile(args, _pipeline, program,
-                                            registry, args.config)
+    report, cprofile_text = _maybe_cprofile(
+        args, _pipeline, program, registry, args.config,
+        getattr(args, "annotations_mode", "hand"))
     report.add_timing("parse", parse_seconds)
     if args.profile or cprofile_text:
         _print_profile(report.timings, report.test_stats, cprofile_text)
@@ -215,7 +231,8 @@ def cmd_verify(args) -> int:
     from repro.runtime import diff_test
     program = _load_program(args.files)
     registry = _load_registry(args.annotations)
-    report = _pipeline(program, registry, args.config)
+    report = _pipeline(program, registry, args.config,
+                       getattr(args, "annotations_mode", "hand"))
     result = diff_test(program, _machine("intel-mac"),
                        inputs=[float(x) for x in args.inputs])
     print(f"{report.parallel_count()} loops parallelized; "
@@ -288,7 +305,8 @@ def cmd_table2(args) -> int:
         try:
             host, port = parse_shard_spec(args.service)
             rows = table2_rows_via_service(
-                host, port, benchmarks=_select_benchmarks(args))
+                host, port, benchmarks=_select_benchmarks(args),
+                annotations=getattr(args, "annotations_mode", "hand"))
         except (ValueError, ServiceError) as exc:
             print(f"repro table2: service error: {exc}", file=sys.stderr)
             return 2
@@ -297,7 +315,8 @@ def cmd_table2(args) -> int:
     tracer = _make_tracer(args)
     rows, cprofile_text = _maybe_cprofile(
         args, table2_rows, jobs=args.jobs,
-        benchmarks=_select_benchmarks(args), tracer=tracer)
+        benchmarks=_select_benchmarks(args), tracer=tracer,
+        annotations=getattr(args, "annotations_mode", "hand"))
     print(render_table2(rows))
     if args.profile or cprofile_text:
         timings: Dict[str, float] = {}
@@ -308,6 +327,24 @@ def cmd_table2(args) -> int:
         _print_profile(timings, test_stats, cprofile_text)
     if tracer is not None:
         _write_trace(tracer, args.trace)
+    return 0
+
+
+def cmd_ablation(args) -> int:
+    from repro.experiments.ablation import ablation_rows, render_ablation
+    tracer = _make_tracer(args)
+    rows = ablation_rows(jobs=args.jobs,
+                         benchmarks=_select_benchmarks(args),
+                         tracer=tracer)
+    print(render_ablation(rows))
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
+    flips = sum(r.flips() for r in rows)
+    if flips:
+        print(f"repro ablation: UNSOUND — inference flipped {flips} "
+              f"loop verdict{'s' if flips != 1 else ''}",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -336,8 +373,9 @@ def cmd_bench(args) -> int:
     from repro.polaris.report import merge_timings
     bench = get_benchmark(args.name)
     tracer = _make_tracer(args)
-    row, cprofile_text = _maybe_cprofile(args, table2_row, bench,
-                                         tracer=tracer)
+    row, cprofile_text = _maybe_cprofile(
+        args, table2_row, bench, tracer=tracer,
+        annotations=getattr(args, "annotations_mode", "hand"))
     print(render_table2([row]))
     print()
     cells = figure20_cells(bench, jobs=args.jobs, tracer=tracer)
@@ -533,20 +571,25 @@ def cmd_loadtest(args) -> int:
 def _submit_payload(args) -> dict:
     from repro.perfect.suite import benchmark_names
     names = {n.lower() for n in benchmark_names()}
+    mode = getattr(args, "annotations_mode", "hand")
     if len(args.targets) == 1 and args.targets[0].lower() in names:
-        return {"kind": "benchmark",
-                "benchmark": args.targets[0].lower(),
-                "config": args.config}
-    sources = {}
-    for path in args.targets:
-        with open(path) as fh:
-            sources[path] = fh.read()
-    annotations = ""
-    if args.annotations:
-        with open(args.annotations) as fh:
-            annotations = fh.read()
-    return {"kind": "sources", "sources": sources,
-            "annotations": annotations, "config": args.config}
+        payload = {"kind": "benchmark",
+                   "benchmark": args.targets[0].lower(),
+                   "config": args.config}
+    else:
+        sources = {}
+        for path in args.targets:
+            with open(path) as fh:
+                sources[path] = fh.read()
+        annotations = ""
+        if args.annotations:
+            with open(args.annotations) as fh:
+                annotations = fh.read()
+        payload = {"kind": "sources", "sources": sources,
+                   "annotations": annotations, "config": args.config}
+    if mode != "hand":
+        payload["annotations_mode"] = mode
+    return payload
 
 
 def cmd_submit(args) -> int:
@@ -664,6 +707,15 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--annotations", help="annotation file")
             p.add_argument("--config", default="annotation",
                            choices=("none", "conventional", "annotation"))
+            add_annotations_mode(p)
+
+    def add_annotations_mode(p, flag="--annotations-mode"):
+        p.add_argument(flag, default="hand", dest="annotations_mode",
+                       choices=("hand", "inferred", "demand"),
+                       help="annotation source for the annotation config: "
+                            "hand-written summaries, sound inference from "
+                            "callee bodies, or demand-driven inlining at "
+                            "opaque call sites (default hand)")
 
     def add_profile(p):
         p.add_argument("--profile", action="store_true",
@@ -702,6 +754,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--annotations", help="annotation file")
     p.add_argument("--config", default="annotation",
                    choices=("none", "conventional", "annotation"))
+    add_annotations_mode(p)
     add_profile(p)
     p.add_argument("--out", metavar="FILE",
                    help="run the evaluation and write the HTML "
@@ -764,6 +817,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="assemble the table from submissions to "
                                 "a running daemon or cluster gateway "
                                 "instead of an in-process pool")
+            add_annotations_mode(p, flag="--annotations")
         p.set_defaults(fn=fn)
 
     p = sub.add_parser("bench", help="full report for one benchmark")
@@ -771,7 +825,18 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs(p)
     add_trace(p)
     add_profile(p)
+    add_annotations_mode(p, flag="--annotations")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("ablation",
+                       help="compare hand vs inferred vs demand "
+                            "annotations (#par-loops per benchmark)")
+    add_jobs(p)
+    add_trace(p)
+    p.add_argument("--benchmarks", nargs="+", metavar="NAME",
+                   help="restrict to these benchmarks "
+                        "(default: the full suite)")
+    p.set_defaults(fn=cmd_ablation)
 
     def add_endpoint(p):
         p.add_argument("--host", default="127.0.0.1",
@@ -953,6 +1018,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--annotations", help="annotation file")
     p.add_argument("--config", default="annotation",
                    choices=("none", "conventional", "annotation"))
+    add_annotations_mode(p)
     add_endpoint(p)
     p.add_argument("--timeout", type=float, default=None,
                    metavar="SECONDS", help="job deadline / wait limit")

@@ -41,7 +41,7 @@ def table2_rows_via_service(host: str = "127.0.0.1",
                             port: int = DEFAULT_PORT,
                             benchmarks: Optional[List[Benchmark]] = None,
                             wait_timeout: Optional[float] = 600.0,
-                            ) -> List[Table2Row]:
+                            annotations: str = "hand") -> List[Table2Row]:
     """Table II rows computed by the service (see module docstring).
 
     Submits every ``(benchmark, config)`` job up front (the service
@@ -55,9 +55,11 @@ def table2_rows_via_service(host: str = "127.0.0.1",
     submitted = []  # (benchmark name, config kind, job id)
     for benchmark in benchmarks:
         for kind in CONFIGS:
-            response = client.submit(
-                {"kind": "benchmark", "benchmark": benchmark.name,
-                 "config": kind}, wait=False)
+            payload = {"kind": "benchmark", "benchmark": benchmark.name,
+                       "config": kind}
+            if annotations != "hand":
+                payload["annotations_mode"] = annotations
+            response = client.submit(payload, wait=False)
             submitted.append((benchmark.name, kind, response["job_id"]))
     _log.info("table2-submitted", jobs=len(submitted),
               service=f"{host}:{port}")

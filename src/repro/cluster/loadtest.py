@@ -140,11 +140,19 @@ async def _drive(host: str, port: int,
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
+    """Linear interpolation between closest ranks (numpy's default).
+
+    ``round()`` banker's-rounds half-way ranks (p50 of two samples
+    picked the *smaller* one), so interpolate instead: the q-quantile
+    of n samples sits at fractional rank ``q * (n - 1)``.
+    """
     if not sorted_values:
         return 0.0
-    idx = min(len(sorted_values) - 1,
-              max(0, int(round(q * (len(sorted_values) - 1)))))
-    return sorted_values[idx]
+    pos = min(1.0, max(0.0, q)) * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
 
 
 def _service_stats(host: str, port: int) -> Dict[str, Any]:
@@ -274,9 +282,11 @@ def append_history(report: Dict[str, Any],
         "ts": round(time.time(), 3),
         "mode": "loadtest",
         "suite": HISTORY_SUITE,
-        # the dashboard line chart plots total_seconds: use p99 latency,
-        # the number a service regression moves first
-        "total_seconds": report["latency"]["p99"],
+        # the trajectory chart plots p99 latency for this suite — the
+        # number a service regression moves first.  A dedicated field:
+        # aliasing it into total_seconds (a wall-clock elsewhere) made
+        # the dashboard label latency as run time.
+        "p99_seconds": report["latency"]["p99"],
         "phases": {"p50": report["latency"]["p50"],
                    "p90": report["latency"]["p90"],
                    "p99": report["latency"]["p99"]},

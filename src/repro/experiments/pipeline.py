@@ -23,18 +23,20 @@ from typing import Dict, Optional, Set
 
 from repro.analysis.callgraph import build_callgraph
 from repro.analysis.loops import assign_origins
+from repro.annotations.infer import ANNOTATION_MODES, infer_annotations
 from repro.annotations.inliner import (AnnotationInlineResult,
                                        AnnotationInliner)
 from repro.annotations.reverse import ReverseInliner, ReverseResult
 from repro.annotations.translate import TranslateOptions
 from repro.inlining.conventional import ConventionalInliner, InlineResult
+from repro.inlining.demand import DemandInliner
 from repro.inlining.heuristics import InlinePolicy
 from repro.obs import logging as obs_logging
 from repro.obs import metrics as obs_metrics
 from repro.perfect.suite import Benchmark, CacheStats
 from repro.polaris import Polaris, PolarisOptions, Report
 from repro.program import Program
-from repro.trace import NULL_TRACER, Tracer
+from repro.trace import NULL_TRACER, SiteDecision, Tracer
 
 CONFIGS = ("none", "conventional", "annotation")
 
@@ -45,6 +47,12 @@ class Config:
     polaris: PolarisOptions = field(default_factory=PolarisOptions)
     inline_policy: InlinePolicy = field(default_factory=InlinePolicy)
     translate: TranslateOptions = field(default_factory=TranslateOptions)
+    #: the annotations axis (only meaningful for kind == "annotation"):
+    #: "hand" uses the benchmark's hand-written annotations up front;
+    #: "inferred" replaces them with inferred ones (hand ignored);
+    #: "demand" merges both (hand wins) and inlines on demand during
+    #: dependence analysis instead of up front
+    annotations: str = "hand"
 
 
 @dataclass
@@ -56,6 +64,8 @@ class PipelineResult:
     conventional_result: Optional[InlineResult] = None
     annotation_result: Optional[AnnotationInlineResult] = None
     reverse_result: Optional[ReverseResult] = None
+    #: which annotations-axis value produced this result
+    annotations: str = "hand"
     #: lazily computed reachable-unit set (the callgraph of the finished
     #: program never changes afterwards, so one traversal serves every
     #: parallel_origins() call)
@@ -151,7 +161,11 @@ def _run_config(benchmark: Benchmark, config: Config,
         annotation_result = None
         reverse_result = None
         registry = None
+        demand = None
 
+        # before inlining/inference: inference-time fallback records are
+        # site decisions of this run too and must be stamped below
+        first_site = len(tracer.site_decisions)
         t0 = perf_counter()
         if config.kind == "conventional":
             policy = config.inline_policy
@@ -162,14 +176,21 @@ def _run_config(benchmark: Benchmark, config: Config,
                 conventional_result = ConventionalInliner(policy).run(program)
             timings["inline"] = perf_counter() - t0
         elif config.kind == "annotation":
-            registry = benchmark.registry()
-            with tracer.span("inline", kind="annotation"):
-                annotation_result = AnnotationInliner(
-                    registry, config.translate).run(program)
-            timings["inline"] = perf_counter() - t0
+            registry, demand = _prepare_annotations(benchmark, config,
+                                                    program, tracer,
+                                                    timings)
+            if demand is None:
+                t0 = perf_counter()
+                with tracer.span("inline", kind="annotation"):
+                    annotation_result = AnnotationInliner(
+                        registry, config.translate).run(program)
+                timings["inline"] = perf_counter() - t0
 
         first_decision = len(tracer.decisions)
-        report = Polaris(config.polaris).run(program, tracer=tracer)
+        report = Polaris(config.polaris,
+                         demand=demand).run(program, tracer=tracer)
+        if demand is not None:
+            annotation_result = demand._ann_result
 
         if config.kind == "annotation":
             t0 = perf_counter()
@@ -184,14 +205,51 @@ def _run_config(benchmark: Benchmark, config: Config,
                             program.total_lines(),
                             conventional_result, annotation_result,
                             reverse_result)
+    result.annotations = config.annotations
     if tracer.enabled:
         _stamp_decisions(tracer.decisions[first_decision:], benchmark.name,
                          config.kind, result.reachable_units())
+        for d in tracer.site_decisions[first_site:]:
+            d.benchmark = benchmark.name
+            d.config = config.kind
     obs_logging.get_logger("repro.pipeline").info(
         "pipeline-done", parallel=len(report.parallel_origins()),
         lines=result.code_lines,
         seconds=round(sum(report.timings.values()), 4))
     return result
+
+
+def _prepare_annotations(benchmark: Benchmark, config: Config,
+                         program: Program, tracer: Tracer, timings):
+    """Resolve the annotations axis for an ``annotation`` run.
+
+    Returns ``(registry, demand)``: the registry the reverse inliner
+    will use, and the :class:`DemandInliner` to hand to Polaris (None
+    for the up-front modes)."""
+    mode = config.annotations
+    if mode == "hand":
+        return benchmark.registry(), None
+    if mode not in ANNOTATION_MODES:
+        raise ValueError(f"unknown annotations mode {mode!r}")
+    t0 = perf_counter()
+    with tracer.span("infer", mode=mode):
+        hand = benchmark.registry() if mode == "demand" else None
+        inference = infer_annotations(program, hand=hand)
+        registry = inference.registry()
+    timings["infer"] = perf_counter() - t0
+    if tracer.enabled:
+        for name, reason in inference.fallbacks().items():
+            tracer.site(SiteDecision("", name, 0, "fallback",
+                                     source="inferred", reason=reason))
+    if mode == "inferred":
+        return registry, None
+    policy = config.inline_policy
+    if benchmark.library_units:
+        policy = _policy_with_unavailable(policy, benchmark.library_units)
+    hand_names = frozenset(hand.names()) if hand is not None else frozenset()
+    demand = DemandInliner(registry, config.translate, policy,
+                           inference=inference, hand_names=hand_names)
+    return registry, demand
 
 
 def _stamp_decisions(decisions, benchmark: str, kind: str,
@@ -217,6 +275,7 @@ def summarize_result(result: PipelineResult) -> Dict[str, object]:
     origins = sorted(result.parallel_origins())
     return {
         "config": result.config,
+        "annotations": result.annotations,
         "parallel_count": len(origins),
         "parallel_origins": origins,
         "code_lines": result.code_lines,

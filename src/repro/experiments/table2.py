@@ -56,6 +56,8 @@ class Table2Task:
     polaris: Optional[PolarisOptions] = None
     #: record a worker-local trace and ship it back with the outcome
     trace: bool = False
+    #: the annotations axis for ``annotation`` runs (hand/inferred/demand)
+    annotations: str = "hand"
 
 
 @dataclass(frozen=True)
@@ -76,7 +78,9 @@ def run_config_task(task: Table2Task) -> ConfigOutcome:
     polaris = task.polaris if task.polaris is not None else PolarisOptions()
     tracer = Tracer(label=f"table2 {task.benchmark.name}/{task.kind}") \
         if task.trace else None
-    result = run_config(task.benchmark, Config(task.kind, polaris),
+    result = run_config(task.benchmark,
+                        Config(task.kind, polaris,
+                               annotations=task.annotations),
                         tracer=tracer)
     return ConfigOutcome(task.kind, frozenset(result.parallel_origins()),
                          result.code_lines, dict(result.report.timings),
@@ -100,10 +104,12 @@ def _assemble_row(name: str, outcomes: List[ConfigOutcome]) -> Table2Row:
 
 def table2_row(benchmark: Benchmark,
                polaris: Optional[PolarisOptions] = None,
-               tracer: Optional[Tracer] = None) -> Table2Row:
+               tracer: Optional[Tracer] = None,
+               annotations: str = "hand") -> Table2Row:
     trace = tracer is not None and tracer.enabled
     outcomes = [run_config_task(Table2Task(benchmark, kind, polaris,
-                                           trace=trace))
+                                           trace=trace,
+                                           annotations=annotations))
                 for kind in CONFIGS]
     merge_task_traces(tracer, [o.trace for o in outcomes])
     return _assemble_row(benchmark.name, outcomes)
@@ -113,6 +119,7 @@ def table2_outcomes(polaris: Optional[PolarisOptions] = None,
                     jobs: Optional[int] = None,
                     benchmarks: Optional[List[Benchmark]] = None,
                     tracer: Optional[Tracer] = None,
+                    annotations: str = "hand",
                     ) -> Tuple[List[Table2Row], List[ConfigOutcome]]:
     """Rows plus the raw per-task worker outcomes they were merged from.
 
@@ -122,7 +129,8 @@ def table2_outcomes(polaris: Optional[PolarisOptions] = None,
     """
     benchmarks = benchmarks if benchmarks is not None else all_benchmarks()
     trace = tracer is not None and tracer.enabled
-    tasks = [Table2Task(b, kind, polaris, trace=trace)
+    tasks = [Table2Task(b, kind, polaris, trace=trace,
+                        annotations=annotations)
              for b in benchmarks for kind in CONFIGS]
     outcomes = run_tasks(run_config_task, tasks, jobs=jobs,
                          tracer=tracer, label="table2")
@@ -137,8 +145,9 @@ def table2_rows(polaris: Optional[PolarisOptions] = None,
                 jobs: Optional[int] = None,
                 benchmarks: Optional[List[Benchmark]] = None,
                 tracer: Optional[Tracer] = None,
-                ) -> List[Table2Row]:
-    rows, _outcomes = table2_outcomes(polaris, jobs, benchmarks, tracer)
+                annotations: str = "hand") -> List[Table2Row]:
+    rows, _outcomes = table2_outcomes(polaris, jobs, benchmarks, tracer,
+                                      annotations=annotations)
     return rows
 
 

@@ -28,7 +28,18 @@ checks:
     (annotation config only) the reverse-inlined output, stripped of
     OpenMP directives and re-run through the *same* annotation pipeline,
     re-analyzes to the same multiset of ``LoopDecision`` verdicts —
-    reverse inlining is a fixpoint, not a lossy step.
+    reverse inlining is a fixpoint, not a lossy step;
+``inferred-flip``
+    the annotation config re-run with **inferred** annotations
+    (:func:`repro.annotations.infer.infer_annotations`, ignoring the
+    shipped hand-derived ones) must not parallelize any original loop
+    the hand-annotation run left serial — inference may only lose
+    precision, never invent parallelism.  Checked only when the inferred
+    registry covers a subset of the hand registry's callees (always true
+    for generated programs, whose "hand" annotations come from the same
+    generator); the inferred and demand-driven pipelines additionally
+    re-run the crash / config-semantics / parallel-divergence properties
+    above.  Disable with ``REPRO_FUZZ_INFERENCE=0``.
 
 Any violated property yields a :class:`Mismatch`; the campaign layer
 treats one or more mismatches as a failing program and hands it to the
@@ -63,7 +74,7 @@ class Mismatch:
 
     kind: str          # crash | config-semantics | parallel-divergence |
     #                  # backend-divergence | unparse-semantics |
-    #                  # reverse-reanalysis
+    #                  # reverse-reanalysis | inferred-flip
     config: str        # which configuration exposed it
     detail: str = ""
 
@@ -120,6 +131,34 @@ def _run_pipeline(program: Program, registry, config: str):
     return report
 
 
+def _run_inference_pipeline(program: Program, hand_registry, mode: str):
+    """The annotation pipeline on the ``inferred``/``demand`` axis
+    (cli._pipeline with ``annotations_mode`` != hand)."""
+    from repro.annotations import ReverseInliner
+    from repro.annotations.infer import infer_annotations
+    from repro.annotations.inliner import AnnotationInliner
+    from repro.inlining.demand import DemandInliner
+    from repro.polaris import Polaris
+    hand = hand_registry if mode == "demand" else None
+    inference = infer_annotations(program, hand=hand)
+    registry = inference.registry()
+    demand = None
+    if mode == "demand":
+        demand = DemandInliner(registry, inference=inference,
+                               hand_names=frozenset(hand.names()))
+    else:
+        AnnotationInliner(registry).run(program)
+    report = Polaris(demand=demand).run(program)
+    ReverseInliner(registry).run(program)
+    return report, registry
+
+
+def _inference_enabled() -> bool:
+    import os
+    return os.environ.get("REPRO_FUZZ_INFERENCE", "1").lower() \
+        not in ("0", "false", "off")
+
+
 def strip_omp(program: Program) -> None:
     """Unwrap every ``OmpParallelDo`` back to its plain loop, in place —
     the re-analysis input must look like ordinary source again."""
@@ -167,6 +206,7 @@ def run_oracle(sources: Dict[str, str], annotations: str = "",
             "crash", "baseline", f"{type(exc).__name__}: {exc}"))
         return result
 
+    annotation_origins = None
     for config in configs:
         work = Program.from_sources(dict(sources), "fuzz")
         try:
@@ -178,6 +218,8 @@ def run_oracle(sources: Dict[str, str], annotations: str = "",
             continue
         result.configs_run += 1
         result.parallel_loops[config] = report.parallel_count()
+        if config == "annotation":
+            annotation_origins = frozenset(report.parallel_origins())
 
         # (a) semantic equivalence: transformed, serial == baseline
         try:
@@ -237,7 +279,76 @@ def run_oracle(sources: Dict[str, str], annotations: str = "",
             if mismatch is not None:
                 result.mismatches.append(mismatch)
 
+    if "annotation" in configs and _inference_enabled():
+        _check_inference(sources, annotations, machine, baseline,
+                         annotation_origins, result)
     return result
+
+
+def _check_inference(sources: Dict[str, str], annotations: str,
+                     machine: MachineModel, baseline: ExecutionResult,
+                     hand_origins, result: OracleResult) -> None:
+    """The inferred-annotations properties: re-run the annotation
+    pipeline on the ``inferred`` and ``demand`` axes and hold them to
+    the execution properties, plus the ``inferred-flip`` soundness
+    subset check (see module docstring)."""
+    try:
+        hand_registry = _registry(annotations)
+    except Exception:
+        # unparseable hand annotations already yielded a crash mismatch
+        # per configuration in the main loop; there is nothing sound to
+        # compare inference against
+        return
+    hand_names = set(hand_registry.names())
+    for mode in ("inferred", "demand"):
+        work = Program.from_sources(dict(sources), "fuzz")
+        try:
+            report, registry = _run_inference_pipeline(work, hand_registry,
+                                                       mode)
+        except Exception as exc:
+            result.mismatches.append(Mismatch(
+                "crash", mode, f"{type(exc).__name__}: {exc}"))
+            continue
+        result.configs_run += 1
+        result.parallel_loops[mode] = report.parallel_count()
+
+        # soundness subset: inference must not out-parallelize the hand
+        # run it is a restriction of (only meaningful when the inferred
+        # registry covers no callee the hand registry misses)
+        if mode == "inferred" and hand_origins is not None \
+                and set(registry.names()) <= hand_names:
+            flipped = sorted(report.parallel_origins() - hand_origins)
+            if flipped:
+                result.mismatches.append(Mismatch(
+                    "inferred-flip", mode,
+                    "inference parallelized loops the hand-annotation "
+                    "run left serial: " + ", ".join(flipped)))
+                continue
+
+        try:
+            transformed = _serial(work)
+        except Exception as exc:
+            result.mismatches.append(Mismatch(
+                "config-semantics", mode,
+                f"serial execution raised {type(exc).__name__}: {exc}"))
+            continue
+        if not baseline.memory_equal(transformed):
+            result.mismatches.append(Mismatch(
+                "config-semantics", mode,
+                "serial execution of the transformed program diverges "
+                "from the baseline"))
+            continue
+
+        try:
+            diff = diff_test(work, machine)
+        except Exception as exc:
+            result.mismatches.append(Mismatch(
+                "parallel-divergence", mode,
+                f"parallel execution raised {type(exc).__name__}: {exc}"))
+            continue
+        if not diff.passed:
+            result.mismatches.append(Mismatch(
+                "parallel-divergence", mode, diff.explain()))
 
 
 def _check_reanalysis(reparsed: Program, annotations: str,

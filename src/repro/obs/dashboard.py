@@ -400,9 +400,20 @@ def _cache_section(data: DashboardData) -> str:
         f"{timing_rows}</table></section>")
 
 
+def _history_value(entry: dict):
+    """The plotted metric of one history record: wall-clock for bench
+    suites, p99 latency for loadtest records (whose legacy rows aliased
+    the latency into ``total_seconds``)."""
+    if entry.get("suite") == "loadtest" and \
+            isinstance(entry.get("p99_seconds"), (int, float)):
+        return float(entry["p99_seconds"])
+    value = entry.get("total_seconds")
+    return float(value) if isinstance(value, (int, float)) else None
+
+
 def _history_section(data: DashboardData) -> str:
     entries = [e for e in data.bench_history
-               if isinstance(e.get("total_seconds"), (int, float))]
+               if _history_value(e) is not None]
     if not entries:
         return ("<section><h2>Bench trajectory</h2>"
                 '<p class="dim">No entries in BENCH_history.jsonl yet — '
@@ -422,7 +433,7 @@ def _history_section(data: DashboardData) -> str:
 
 
 def _history_chart(suite: str, label: str, entries: list) -> str:
-    values = [float(e["total_seconds"]) for e in entries]
+    values = [_history_value(e) for e in entries]
     w, h, pad = 640, 160, 30
     vmax = max(values) * 1.15 or 1.0
     n = len(values)
@@ -451,9 +462,10 @@ def _history_chart(suite: str, label: str, entries: list) -> str:
     line = (f'<polyline points="{points}" fill="none" '
             f'stroke="var(--series-1)" stroke-width="2"/>'
             if n > 1 else "")
+    axis = ("p99 job latency, seconds" if suite == "loadtest"
+            else "wall-clock (median of each bench-gate run, seconds)")
     return (
-        f'<p class="sub">{_e(label)} — wall-clock (median of each '
-        f"bench-gate run, seconds) across {n} recorded "
+        f'<p class="sub">{_e(label)} — {axis} across {n} recorded '
         f"run{'s' if n != 1 else ''}.</p>"
         f'<svg viewBox="0 0 {w} {h}" role="img" '
         f'aria-label="{_e(suite)} bench trajectory line chart">'

@@ -66,9 +66,41 @@ class PolarisOptions:
     disabled_origins: frozenset = frozenset()
 
 
+class _UnitState:
+    """The per-unit analysis context, rebuildable mid-run.
+
+    Demand-driven inlining mutates the unit while its loops are being
+    analyzed; :meth:`refresh` re-derives the symbol table and legality
+    analyzer (keeping the dependence tester, so TestStats accumulate
+    across refreshes)."""
+
+    def __init__(self, program: Program, unit: ast.ProgramUnit,
+                 summaries: Dict[str, Summary], options: PolarisOptions):
+        self.program = program
+        self.unit = unit
+        self.summaries = summaries
+        self.tester = DependenceTester(use_banerjee=options.use_banerjee,
+                                       use_exact=options.use_exact)
+        self.refresh()
+
+    def refresh(self) -> None:
+        self.table = self.program.symtab(self.unit)
+        self.analyzer = LegalityAnalyzer(self.table, self.summaries,
+                                         self.tester)
+
+
+#: bound on demand-resolution retries per loop (each retry resolves one
+#: distinct callee; real loops have a handful of calls)
+_MAX_DEMAND_RETRIES = 16
+
+
 @dataclass
 class Polaris:
     options: PolarisOptions = field(default_factory=PolarisOptions)
+    #: optional :class:`repro.inlining.demand.DemandInliner`; when set,
+    #: loops rejected on an opaque CALL get their callees resolved on
+    #: demand (annotation or body) and are re-analyzed
+    demand: Optional[object] = None
 
     def run(self, program: Program,
             tracer: Optional[Tracer] = None) -> Report:
@@ -132,11 +164,7 @@ class Polaris:
                           summaries: Dict[str, Summary],
                           report: Report,
                           tracer: Tracer = NULL_TRACER) -> None:
-        table = program.symtab(unit)
-        analyzer = LegalityAnalyzer(
-            table, summaries,
-            DependenceTester(use_banerjee=self.options.use_banerjee,
-                             use_exact=self.options.use_exact))
+        state = _UnitState(program, unit, summaries, self.options)
         policy = ProfitabilityPolicy(self.options.min_trip_count)
 
         def process(body: List[ast.Stmt],
@@ -144,8 +172,8 @@ class Polaris:
             out: List[ast.Stmt] = []
             for s in body:
                 if isinstance(s, ast.DoLoop):
-                    out.append(self._try_loop(s, enclosing, analyzer, policy,
-                                              table, report, process, tracer))
+                    out.append(self._try_loop(s, enclosing, state, policy,
+                                              report, process, tracer))
                 elif isinstance(s, ast.IfBlock):
                     out.append(ast.IfBlock(
                         [(c, process(b, enclosing)) for c, b in s.arms],
@@ -159,23 +187,34 @@ class Polaris:
             return out
 
         unit.body = process(unit.body, [])
-        accumulate_test_stats(report.test_stats, analyzer.tester.stats)
+        accumulate_test_stats(report.test_stats, state.tester.stats)
 
     def _try_loop(self, loop: ast.DoLoop, enclosing: List[ast.DoLoop],
-                  analyzer: LegalityAnalyzer, policy: ProfitabilityPolicy,
-                  table, report: Report, process,
+                  state: _UnitState, policy: ProfitabilityPolicy,
+                  report: Report, process,
                   tracer: Tracer = NULL_TRACER) -> ast.Stmt:
         info = LoopInfo(loop, list(enclosing))
         traced = tracer.enabled
         if traced:
-            stats_before = _stats_snapshot(analyzer.tester.stats)
-        verdict = analyzer.analyze(info)
+            stats_before = _stats_snapshot(state.tester.stats)
+        verdict = state.analyzer.analyze(info)
+        if self.demand is not None:
+            for _ in range(_MAX_DEMAND_RETRIES):
+                if verdict.parallelized or verdict.reason != "call" \
+                        or not verdict.detail:
+                    break
+                if not self.demand.resolve(state.program, state.unit, loop,
+                                           verdict.detail, tracer):
+                    break
+                state.refresh()
+                info = LoopInfo(loop, list(enclosing))
+                verdict = state.analyzer.analyze(info)
         origin = info.origin
         if verdict.parallelized and origin in self.options.disabled_origins:
             verdict = replace_verdict(verdict, False, "tuning-disabled")
         profitability = "not-evaluated"
         if verdict.parallelized:
-            if policy.profitable(loop, table):
+            if policy.profitable(loop, state.table):
                 profitability = "profitable"
             else:
                 profitability = "unprofitable"
@@ -190,7 +229,7 @@ class Polaris:
                 profitability=profitability,
                 dep_tests=_stats_delta(
                     stats_before,
-                    _stats_snapshot(analyzer.tester.stats))))
+                    _stats_snapshot(state.tester.stats))))
 
         inner_body = (process(loop.body, enclosing + [loop])
                       if self.options.parallelize_nested

@@ -33,7 +33,7 @@ class LoopVerdict:
 
 #: canonical display order of the pipeline's timed phases
 PHASES = ("parse", "normalize", "summaries", "dependence",
-          "inline", "reverse", "tune")
+          "infer", "inline", "reverse", "tune")
 
 
 def merge_timings(into: Dict[str, float],

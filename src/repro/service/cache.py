@@ -14,10 +14,15 @@ evicted and treated as misses rather than crashing the server.
 
 The disk tier is *bounded*: when the entries under ``directory`` exceed
 ``max_bytes`` (default from ``REPRO_CACHE_MAX_BYTES``; unset = 256 MiB,
-``0`` = unlimited), the oldest entries (by mtime) are removed until the
-tier fits again, and :meth:`ResultCache.sweep` deletes corrupt or
-truncated entries wholesale at daemon startup.  Both paths are counted
-in the obs registry (``repro_result_cache_evictions_total``,
+``0`` = unlimited), the oldest entries (by mtime, ties broken by path
+so eviction order is deterministic) are removed until the tier fits
+again, and :meth:`ResultCache.sweep` deletes corrupt or truncated
+entries wholesale at daemon startup.  The tier's byte total is kept as
+a running count (one scan at construction, per-store deltas after
+that), so a store within budget never rescans the directory; the full
+scan happens only inside an actual eviction, where it doubles as
+self-healing against external writers.  Both paths are counted in the
+obs registry (``repro_result_cache_evictions_total``,
 ``repro_result_cache_swept_total``, ``repro_result_cache_disk_bytes``).
 """
 
@@ -79,6 +84,12 @@ class ResultCache:
         self._m_disk_bytes = obs_metrics.gauge(
             "repro_result_cache_disk_bytes",
             "bytes used by the on-disk result-cache tier")
+        # running disk-tier byte total; guarded by its own lock so disk
+        # accounting never nests inside _lock the other way around
+        # (order is always _lock -> _disk_lock)
+        self._disk_lock = threading.Lock()
+        self._disk_bytes = self._scan_disk_bytes()
+        self._m_disk_bytes.set(self._disk_bytes)
 
     # -- disk layer --------------------------------------------------
 
@@ -95,8 +106,11 @@ class ResultCache:
         except FileNotFoundError:
             return None
         except Exception:
+            # corrupt/truncated: evict, treat as miss
+            size = self._entry_size(path)
             try:
-                os.remove(path)  # corrupt/truncated: evict, treat as miss
+                os.remove(path)
+                self._account(-size)
             except OSError:
                 pass
             return None
@@ -105,18 +119,50 @@ class ResultCache:
     def _store_disk(self, digest: str, result: Dict) -> None:
         if not self.directory:
             return
+        path = self._path(digest)
         try:
             os.makedirs(self.directory, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(result, fh, sort_keys=True)
-            os.replace(tmp, self._path(digest))
-            self._evict_disk()
+            before = self._entry_size(path)
+            os.replace(tmp, path)
+            self._account(self._entry_size(path) - before)
+            if self.max_bytes and self._disk_bytes > self.max_bytes:
+                self._evict_disk()
         except Exception:
             pass  # best-effort: memory layer still serves this process
 
+    @staticmethod
+    def _entry_size(path: str) -> int:
+        try:
+            return os.stat(path).st_size
+        except OSError:
+            return 0
+
+    def _account(self, delta: int) -> None:
+        """Apply a byte delta to the running disk-tier total."""
+        with self._disk_lock:
+            self._disk_bytes = max(0, self._disk_bytes + delta)
+            total = self._disk_bytes
+        self._m_disk_bytes.set(total)
+
+    def _scan_disk_bytes(self) -> int:
+        if not self.directory or not os.path.isdir(self.directory):
+            return 0
+        return sum(size for _, _, size in self._disk_entries())
+
+    def _reset_disk_bytes(self) -> None:
+        """Re-derive the running total from the directory."""
+        total = self._scan_disk_bytes()
+        with self._disk_lock:
+            self._disk_bytes = total
+        self._m_disk_bytes.set(total)
+
     def _disk_entries(self):
-        """``(path, mtime, size)`` for every entry, oldest first."""
+        """``(path, mtime, size)`` for every entry, oldest first; mtime
+        ties break by path so eviction order is deterministic on
+        filesystems with coarse timestamps."""
         entries = []
         for name in os.listdir(self.directory):
             if not name.endswith(".json"):
@@ -127,18 +173,21 @@ class ResultCache:
             except OSError:
                 continue
             entries.append((path, st.st_mtime, st.st_size))
-        entries.sort(key=lambda e: e[1])
+        entries.sort(key=lambda e: (e[1], e[0]))
         return entries
 
     def _evict_disk(self) -> None:
-        """Drop oldest disk entries until the tier fits ``max_bytes``."""
+        """Drop oldest disk entries until the tier fits ``max_bytes``.
+
+        Only called when the running total says the tier is over
+        budget; the directory scan here re-derives the total, healing
+        any drift from writers outside this process.
+        """
         if not self.directory or not self.max_bytes:
             return
         entries = self._disk_entries()
         total = sum(size for _, _, size in entries)
-        self._m_disk_bytes.set(total)
-        if total <= self.max_bytes:
-            return
+        evicted = 0
         for path, _mtime, size in entries:
             if total <= self.max_bytes:
                 break
@@ -147,10 +196,13 @@ class ResultCache:
             except OSError:
                 continue
             total -= size
-            with self._lock:
-                self._evictions += 1
-            self._m_evicted.inc()
+            evicted += 1
+        with self._disk_lock:
+            self._disk_bytes = total
+            self._evictions += evicted
         self._m_disk_bytes.set(total)
+        if evicted:
+            self._m_evicted.inc(evicted)
 
     def sweep(self) -> int:
         """Remove corrupt/truncated disk entries; returns how many.
@@ -186,6 +238,7 @@ class ResultCache:
                     pass
         if removed:
             self._m_swept.inc(removed)
+            self._reset_disk_bytes()
         return removed
 
     # -- public API --------------------------------------------------
@@ -254,3 +307,4 @@ class ResultCache:
                         os.remove(os.path.join(self.directory, name))
                     except OSError:
                         pass
+            self._reset_disk_bytes()

@@ -37,17 +37,23 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
       optional annotation text, same configurations;
     * ``probe`` — tiny diagnostic ops (``echo``/``sleep``/
       ``crash-once``) used by health checks and the service tests.
+
+    ``benchmark`` and ``sources`` payloads additionally accept an
+    ``annotations_mode`` key (``hand``/``inferred``/``demand``) choosing
+    the annotation source for ``annotation``-config runs.
     """
     kind = payload.get("kind")
     trace = bool(payload.get("trace"))
     backend = payload.get("backend")
     if kind == "probe":
         return _execute_probe(payload)
+    annotations_mode = payload.get("annotations_mode", "hand")
     if kind == "benchmark":
         from repro.perfect import get_benchmark
         benchmark = get_benchmark(payload["benchmark"])
         return _run_pipeline(benchmark, payload.get("config", "annotation"),
-                             trace=trace, backend=backend)
+                             trace=trace, backend=backend,
+                             annotations_mode=annotations_mode)
     if kind == "sources":
         from repro.perfect.suite import Benchmark
         sources = payload.get("sources")
@@ -60,18 +66,24 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             sources=dict(sources),
             annotations=payload.get("annotations", ""))
         return _run_pipeline(benchmark, payload.get("config", "annotation"),
-                             trace=trace, backend=backend)
+                             trace=trace, backend=backend,
+                             annotations_mode=annotations_mode)
     raise ValueError(f"unknown payload kind {kind!r}; "
                      f"expected one of {PAYLOAD_KINDS}")
 
 
 def _run_pipeline(benchmark, config_kind: str, trace: bool = False,
-                  backend: Optional[str] = None) -> Dict[str, Any]:
+                  backend: Optional[str] = None,
+                  annotations_mode: str = "hand") -> Dict[str, Any]:
+    from repro.annotations.infer import ANNOTATION_MODES
     from repro.experiments.pipeline import (Config, run_config,
                                             summarize_result)
     from repro.runtime.backend import BACKEND_ENV, BACKENDS, default_backend
     if config_kind not in ("none", "conventional", "annotation"):
         raise ValueError(f"unknown config {config_kind!r}")
+    if annotations_mode not in ANNOTATION_MODES:
+        raise ValueError(f"unknown annotations mode {annotations_mode!r}; "
+                         f"expected one of {ANNOTATION_MODES}")
     if backend is not None and backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; "
                          f"expected one of {BACKENDS}")
@@ -86,8 +98,10 @@ def _run_pipeline(benchmark, config_kind: str, trace: bool = False,
         # which reads the env at construction time
         os.environ[BACKEND_ENV] = backend
     try:
-        summary = summarize_result(run_config(benchmark, Config(config_kind),
-                                              tracer=tracer))
+        summary = summarize_result(
+            run_config(benchmark,
+                       Config(config_kind, annotations=annotations_mode),
+                       tracer=tracer))
     finally:
         if backend is not None:
             if saved is None:

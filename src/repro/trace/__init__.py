@@ -24,13 +24,14 @@ the uninstrumented one.
 """
 
 from repro.trace.chrome import validate_chrome_trace, write_chrome
-from repro.trace.decisions import (LoopDecision, count_parallel,
-                                   read_decisions_jsonl,
+from repro.trace.decisions import (LoopDecision, SiteDecision,
+                                   count_parallel, read_decisions_jsonl,
                                    write_decisions_jsonl)
 from repro.trace.tracer import NULL_TRACER, Tracer
 
 __all__ = [
-    "Tracer", "NULL_TRACER", "LoopDecision", "count_parallel",
+    "Tracer", "NULL_TRACER", "LoopDecision", "SiteDecision",
+    "count_parallel",
     "read_decisions_jsonl", "write_decisions_jsonl",
     "validate_chrome_trace", "write_chrome",
 ]

@@ -22,6 +22,9 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 #: profitability outcomes recorded by the driver
 PROFITABILITY_OUTCOMES = ("profitable", "unprofitable", "not-evaluated")
 
+#: actions a call site can receive from demand-driven inlining
+SITE_ACTIONS = ("annotation", "body", "fallback")
+
 
 @dataclass
 class LoopDecision:
@@ -77,6 +80,50 @@ class LoopDecision:
             f"serial ({self.reason}{': ' + self.detail if self.detail else ''})"
         where = f"{self.benchmark}/{self.config}: " if self.benchmark else ""
         return f"{where}{self.unit}: DO {self.var} [{self.origin}] -> {state}"
+
+
+@dataclass
+class SiteDecision:
+    """One call site's fate under demand-driven inlining.
+
+    Emitted by :class:`repro.inlining.demand.DemandInliner` each time the
+    legality analyzer asks it to resolve an opaque call inside a
+    candidate loop, and by :func:`repro.annotations.infer.infer_annotations`
+    for callees it had to refuse (``site_id`` 0, empty ``unit``).
+    """
+
+    unit: str                          # caller unit ('' for inference records)
+    callee: str
+    site_id: int                       # 0 for inference-time fallback records
+    action: str                        # one of SITE_ACTIONS
+    source: str = ""                   # "hand" | "inferred" | ""
+    reason: str = ""                   # why a fallback was taken
+    # stamped by the experiment pipeline:
+    benchmark: str = ""
+    config: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(d: Dict[str, object]) -> "SiteDecision":
+        return SiteDecision(
+            unit=str(d.get("unit", "")),
+            callee=str(d.get("callee", "")),
+            site_id=int(d.get("site_id", 0) or 0),
+            action=str(d.get("action", "")),
+            source=str(d.get("source", "")),
+            reason=str(d.get("reason", "")),
+            benchmark=str(d.get("benchmark", "")),
+            config=str(d.get("config", "")),
+        )
+
+    def describe(self) -> str:
+        where = f"{self.benchmark}/{self.config}: " if self.benchmark else ""
+        site = f"{self.unit}#{self.site_id}" if self.unit else "infer"
+        tail = f" ({self.reason})" if self.reason else ""
+        src = f" [{self.source}]" if self.source else ""
+        return f"{where}{site}: CALL {self.callee} -> {self.action}{src}{tail}"
 
 
 def count_parallel(decisions: Iterable[LoopDecision]

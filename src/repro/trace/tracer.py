@@ -22,7 +22,7 @@ import os
 import time
 from typing import Any, Dict, List, Optional
 
-from repro.trace.decisions import LoopDecision
+from repro.trace.decisions import LoopDecision, SiteDecision
 
 
 class _NullSpan:
@@ -88,6 +88,7 @@ class Tracer:
         self.tid = tid
         self.events: List[Dict[str, Any]] = []
         self.decisions: List[LoopDecision] = []
+        self.site_decisions: List[SiteDecision] = []
         self._perf0 = time.perf_counter()
         self._wall0 = time.time()
 
@@ -123,6 +124,16 @@ class Tracer:
                      parallel=decision.parallel,
                      reason=decision.reason or "parallel")
 
+    def site(self, decision: SiteDecision) -> None:
+        """Record one demand-inlining call-site decision (and an instant
+        event so the resolution is visible on the timeline)."""
+        if not self.enabled:
+            return
+        self.site_decisions.append(decision)
+        self.instant(f"site {decision.callee}", cat="site",
+                     action=decision.action,
+                     reason=decision.reason or decision.source)
+
     # -- merge / export ----------------------------------------------
 
     def export(self) -> Dict[str, Any]:
@@ -133,6 +144,7 @@ class Tracer:
             "wall0": self._wall0,
             "events": list(self.events),
             "decisions": [d.to_dict() for d in self.decisions],
+            "site_decisions": [d.to_dict() for d in self.site_decisions],
         }
 
     def merge(self, exported: Optional[Dict[str, Any]],
@@ -156,6 +168,8 @@ class Tracer:
             self.events.append(merged)
         for d in exported.get("decisions", ()):
             self.decisions.append(LoopDecision.from_dict(d))
+        for d in exported.get("site_decisions", ()):
+            self.site_decisions.append(SiteDecision.from_dict(d))
 
     def to_chrome(self) -> Dict[str, Any]:
         """The Chrome trace-event JSON object for this trace.
@@ -176,6 +190,7 @@ class Tracer:
             "displayTimeUnit": "ms",
             "otherData": {"tool": "repro.trace", "format": 1},
             "loopDecisions": [d.to_dict() for d in self.decisions],
+            "siteDecisions": [d.to_dict() for d in self.site_decisions],
         }
 
 

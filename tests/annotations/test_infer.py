@@ -1,0 +1,201 @@
+"""Annotation-inference tests: the ``repro.annotations.infer``
+subsystem (hand precedence, the whole-program alias-hazard check) and
+the conservative-fallback corpus — callees inference must *refuse*,
+with the reason on record all the way into the pipeline trace."""
+
+import pytest
+
+from repro.annotations.infer import (ANNOTATION_MODES, infer_annotations,
+                                     render_fallbacks)
+from repro.experiments.pipeline import Config, run_config
+from repro.perfect.suite import Benchmark
+from repro.program import Program
+from repro.trace import Tracer
+
+LEAF = """\
+      SUBROUTINE SCALE(N, A, X)
+      INTEGER N, I
+      REAL A, X(N)
+      DO 10 I = 1, N
+         X(I) = A * X(I)
+ 10   CONTINUE
+      END
+"""
+
+CALLER = """\
+      PROGRAM MAIN
+      INTEGER J
+      REAL V(16)
+      DO 20 J = 1, 16
+         V(J) = J
+ 20   CONTINUE
+      CALL SCALE(16, 2.0, V)
+      END
+"""
+
+RECURSIVE = """\
+      SUBROUTINE RECUR(N, X)
+      INTEGER N
+      REAL X(16)
+      IF (N .GT. 0) THEN
+         X(N) = 0.0
+         CALL RECUR(N - 1, X)
+      END IF
+      END
+"""
+
+NON_AFFINE = """\
+      SUBROUTINE SQIDX(N, X)
+      INTEGER N, I
+      REAL X(N)
+      DO 10 I = 1, N
+         X(I * I) = 0.0
+ 10   CONTINUE
+      END
+"""
+
+IO_IN_BODY = """\
+      SUBROUTINE NOISY(N, X)
+      INTEGER N, I
+      REAL X(N)
+      DO 10 I = 1, N
+         X(I) = 0.0
+         WRITE(6,*) I
+ 10   CONTINUE
+      END
+"""
+
+ALIASED_COMMON = """\
+      SUBROUTINE BUMP(N, Y)
+      INTEGER N, I
+      REAL Y(N)
+      REAL BUF(8)
+      COMMON /WS/ BUF
+      DO 10 I = 1, N
+         Y(I) = Y(I) + BUF(1)
+ 10   CONTINUE
+      END
+
+      PROGRAM MAIN
+      REAL BUF(8)
+      COMMON /WS/ BUF
+      INTEGER I
+      DO 20 I = 1, 8
+         BUF(I) = I
+ 20   CONTINUE
+      CALL BUMP(8, BUF)
+      END
+"""
+
+
+def _program(*chunks: str) -> Program:
+    return Program.from_sources({"t.f": "".join(chunks)}, "test")
+
+
+class TestInferAnnotations:
+    def test_modes_tuple(self):
+        assert ANNOTATION_MODES == ("hand", "inferred", "demand")
+
+    def test_leaf_callee_inferred(self):
+        report = infer_annotations(_program(LEAF, CALLER))
+        outcome = report.outcomes["SCALE"]
+        assert outcome.source == "inferred" and outcome.ok
+        assert "SCALE" in report.registry()
+        assert report.counts()["inferred"] == 1
+        assert report.fallbacks() == {}
+
+    def test_hand_annotation_takes_precedence(self):
+        program = _program(LEAF, CALLER)
+        hand = infer_annotations(program).registry()  # stand-in "hand"
+        report = infer_annotations(program, hand=hand)
+        assert report.outcomes["SCALE"].source == "hand"
+        assert report.outcomes["SCALE"].annotation is hand.get("SCALE")
+
+    def test_hand_annotations_for_library_units_carried_through(self):
+        program = _program(LEAF, CALLER)
+        hand = infer_annotations(program).registry()
+        # pretend SCALE's source was not available: a program without it
+        # must still see the hand annotation in the merged report
+        report = infer_annotations(_program(CALLER), hand=hand)
+        assert report.outcomes["SCALE"].source == "hand"
+        assert "SCALE" in report.registry()
+
+    def test_program_not_modified(self):
+        program = _program(LEAF, CALLER)
+        before = "".join(program.unparse().values())
+        infer_annotations(program)
+        assert "".join(program.unparse().values()) == before
+
+
+class TestConservativeFallbacks:
+    """The satellite corpus: every callee here must fall back, with a
+    reason naming the obstacle."""
+
+    def test_recursion_falls_back(self):
+        report = infer_annotations(_program(RECURSIVE))
+        outcome = report.outcomes["RECUR"]
+        assert outcome.source == "fallback" and not outcome.ok
+        assert outcome.reason == "calls other procedures"
+
+    def test_non_affine_subscript_falls_back(self):
+        report = infer_annotations(_program(NON_AFFINE))
+        outcome = report.outcomes["SQIDX"]
+        assert outcome.source == "fallback"
+        assert "X" in outcome.reason
+        assert "region" in outcome.reason
+
+    def test_io_falls_back(self):
+        report = infer_annotations(_program(IO_IN_BODY))
+        outcome = report.outcomes["NOISY"]
+        assert outcome.source == "fallback"
+        assert "I/O" in outcome.reason
+
+    def test_aliased_common_falls_back(self):
+        report = infer_annotations(_program(ALIASED_COMMON))
+        outcome = report.outcomes["BUMP"]
+        assert outcome.source == "fallback"
+        assert "aliases COMMON /WS/" in outcome.reason
+        assert "BUF" in outcome.reason
+
+    def test_fallback_names_excluded_from_registry(self):
+        report = infer_annotations(_program(ALIASED_COMMON))
+        assert "BUMP" not in report.registry()
+
+    def test_render_fallbacks(self):
+        report = infer_annotations(_program(RECURSIVE))
+        lines = list(render_fallbacks(report))
+        assert lines == ["RECUR: conservative fallback "
+                         "(calls other procedures)"]
+
+    @pytest.mark.parametrize("source,callee,needle", [
+        (ALIASED_COMMON, "BUMP", "aliases COMMON"),
+        (RECURSIVE + CALLER.replace("CALL SCALE(16, 2.0, V)",
+                                    "CALL RECUR(16, V)"),
+         "RECUR", "calls other procedures"),
+    ])
+    def test_pipeline_traces_fallback_reason(self, source, callee,
+                                             needle):
+        bench = Benchmark(name="corpus", description="fallback corpus",
+                          sources={"t.f": source})
+        tracer = Tracer(label="test")
+        run_config(bench, Config("annotation", annotations="inferred"),
+                   tracer=tracer)
+        falls = [d for d in tracer.site_decisions
+                 if d.action == "fallback" and d.callee == callee]
+        assert falls, tracer.site_decisions
+        assert needle in falls[0].reason
+        assert falls[0].source == "inferred"
+        assert falls[0].config == "annotation"
+
+
+class TestInferredSoundnessOnBenchmark:
+    def test_inferred_is_subset_of_hand_on_trfd(self):
+        from repro.perfect import get_benchmark
+        bench = get_benchmark("trfd")
+        hand = run_config(bench, Config("annotation"))
+        inferred = run_config(bench,
+                              Config("annotation", annotations="inferred"))
+        assert inferred.annotations == "inferred"
+        # inference may only lose parallel loops, never invent them
+        assert set(inferred.parallel_origins()) \
+            <= set(hand.parallel_origins())

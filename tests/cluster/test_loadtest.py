@@ -51,6 +51,26 @@ class TestPercentile:
         assert _percentile(values, 1.0) == 100.0
         assert 49.0 <= _percentile(values, 0.5) <= 52.0
 
+    @pytest.mark.parametrize("q", [0.0, 0.5, 0.99, 1.0])
+    def test_single_sample_is_that_sample(self, q):
+        assert _percentile([3.25], q) == 3.25
+
+    @pytest.mark.parametrize("q,expected", [
+        (0.0, 1.0), (0.5, 1.5), (0.99, 1.99), (1.0, 2.0)])
+    def test_two_samples_interpolate(self, q, expected):
+        # the old round()-based rank banker's-rounded the p50 of two
+        # samples down to the smaller one (round(0.5) == 0)
+        assert _percentile([1.0, 2.0], q) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("q,expected", [
+        (0.0, 1.0), (0.5, 2.0), (0.99, 3.96), (1.0, 4.0)])
+    def test_three_samples_interpolate(self, q, expected):
+        assert _percentile([1.0, 2.0, 4.0], q) == pytest.approx(expected)
+
+    def test_q_clamped_to_unit_interval(self):
+        assert _percentile([1.0, 2.0], -0.5) == 1.0
+        assert _percentile([1.0, 2.0], 1.5) == 2.0
+
 
 class TestRunLoadtest:
     @pytest.fixture()
@@ -99,7 +119,9 @@ class TestHistoryRecord:
         record = json.loads(lines[0])
         assert record["suite"] == HISTORY_SUITE == "loadtest"
         assert record["mode"] == "loadtest"
-        assert record["total_seconds"] == 0.03  # the p99 the chart plots
+        assert record["p99_seconds"] == 0.03  # the p99 the chart plots
+        # p99 must not alias the bench suites' wall-clock field
+        assert "total_seconds" not in record
         assert record["phases"] == {"p50": 0.01, "p90": 0.02,
                                     "p99": 0.03}
         assert record["passed"] is True

@@ -1,0 +1,98 @@
+"""Annotations-axis ablation: row math, soundness invariants, and the
+rendered table."""
+
+from repro.experiments.ablation import (AblationRow, ablation_rows,
+                                        render_ablation)
+from repro.perfect import get_benchmark
+from repro.perfect.suite import Benchmark
+from repro.trace import Tracer
+
+TOY = """\
+      SUBROUTINE SCALE(N, A, X)
+      INTEGER N, I
+      REAL A, X(N)
+      DO 10 I = 1, N
+         X(I) = A * X(I)
+ 10   CONTINUE
+      END
+
+      PROGRAM MAIN
+      INTEGER J
+      REAL A(16, 16)
+      DO 20 J = 1, 16
+         CALL SCALE(16, 2.0, A(1, J))
+ 20   CONTINUE
+      WRITE(6,*) A(3, 3)
+      END
+"""
+
+
+class TestAblationRowMath:
+    def _row(self):
+        row = AblationRow("toy")
+        row.origins["hand"] = frozenset({"a", "b", "c"})
+        row.origins["inferred"] = frozenset({"a", "b"})
+        row.origins["demand"] = frozenset({"a", "b", "c", "d"})
+        return row
+
+    def test_par_counts(self):
+        row = self._row()
+        assert (row.par("hand"), row.par("inferred"),
+                row.par("demand")) == (3, 2, 4)
+
+    def test_flips_counts_inferred_minus_hand(self):
+        row = self._row()
+        assert row.flips() == 0
+        row.origins["inferred"] = frozenset({"a", "z"})
+        assert row.flips() == 1
+
+    def test_recovery(self):
+        row = self._row()
+        assert row.recovery() == 2 / 3
+        row.origins["hand"] = frozenset()
+        assert row.recovery() is None
+
+    def test_demand_extra(self):
+        assert self._row().demand_extra() == 1
+
+
+class TestAblationRows:
+    def test_toy_benchmark_all_modes_sound(self):
+        bench = Benchmark(name="abltoy", description="ablation toy",
+                          sources={"t.f": TOY})
+        rows = ablation_rows(jobs=1, benchmarks=[bench])
+        assert len(rows) == 1
+        row = rows[0]
+        assert set(row.origins) == {"hand", "inferred", "demand"}
+        # the toy ships no hand annotations, so "hand" finds only loops
+        # visible without inlining; inference and demand may only add
+        assert row.origins["hand"] <= row.origins["inferred"]
+        assert row.origins["hand"] <= row.origins["demand"]
+        assert "MAIN:0" in row.origins["demand"]
+
+    def test_real_benchmark_inferred_subset_of_hand(self):
+        rows = ablation_rows(jobs=1,
+                             benchmarks=[get_benchmark("trfd")])
+        row = rows[0]
+        assert row.flips() == 0
+        assert row.origins["inferred"] <= row.origins["hand"]
+
+    def test_tracer_collects_site_decisions(self):
+        bench = Benchmark(name="abltoy2", description="ablation toy",
+                          sources={"t.f": TOY})
+        tracer = Tracer(label="ablation-test")
+        ablation_rows(jobs=1, benchmarks=[bench], tracer=tracer)
+        modes = {d.source for d in tracer.site_decisions}
+        assert "inferred" in modes
+
+
+class TestRenderAblation:
+    def test_table_has_totals_and_headers(self):
+        bench = Benchmark(name="abltoy3", description="ablation toy",
+                          sources={"t.f": TOY})
+        rows = ablation_rows(jobs=1, benchmarks=[bench])
+        text = render_ablation(rows)
+        assert "ANNOTATIONS ABLATION" in text
+        assert "TOTAL" in text
+        assert "inf:flips" in text
+        assert "abltoy3" in text

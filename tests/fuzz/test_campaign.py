@@ -22,7 +22,8 @@ def test_campaign_counts_add_up():
     result = run_campaign(seed=42, count=5, jobs=1)
     stats = result.stats
     assert stats.programs == 5
-    assert stats.configs_run == 15  # three configurations per program
+    # three configurations + the inferred/demand re-runs per program
+    assert stats.configs_run == 25
     assert stats.elapsed_seconds > 0
     assert stats.source_lines > 0
 

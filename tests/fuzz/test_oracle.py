@@ -41,7 +41,8 @@ def test_clean_generated_programs_pass():
         fuzz = generate(derive_seed(42, i))
         result = run_oracle(fuzz.sources, fuzz.annotations)
         assert result.passed, f"seed {fuzz.seed}: {result.describe()}"
-        assert result.configs_run == 3
+        # three paper configurations + the inferred/demand re-runs
+        assert result.configs_run == 5
 
 
 def test_sound_annotation_passes():
@@ -66,7 +67,29 @@ def test_oracle_reports_parallel_loop_counts():
     fuzz = generate(derive_seed(42, 1))
     result = run_oracle(fuzz.sources, fuzz.annotations)
     assert set(result.parallel_loops) == {"none", "conventional",
+                                          "annotation", "inferred",
+                                          "demand"}
+
+
+def test_inference_property_gated_by_env(monkeypatch):
+    monkeypatch.setenv("REPRO_FUZZ_INFERENCE", "0")
+    fuzz = generate(derive_seed(42, 2))
+    result = run_oracle(fuzz.sources, fuzz.annotations)
+    assert result.passed, result.describe()
+    assert result.configs_run == 3
+    assert set(result.parallel_loops) == {"none", "conventional",
                                           "annotation"}
+
+
+def test_inferred_never_out_parallelizes_hand():
+    """The inferred-flip property on clean generated programs: the
+    inferred registry is a restriction of the generated "hand" one, so
+    the subset check is active and must hold."""
+    for i in range(4):
+        fuzz = generate(derive_seed(7, i))
+        result = run_oracle(fuzz.sources, fuzz.annotations)
+        assert not any(m.kind == "inferred-flip"
+                       for m in result.mismatches), result.describe()
 
 
 def test_strip_omp_and_fingerprint():

@@ -1,0 +1,202 @@
+"""Demand-driven inlining tests: annotation summaries pulled in at
+opaque call sites mid-analysis, body inlining as the fallback, combined
+refusal reasons, and the driver integration (retry + reverse)."""
+
+from repro.annotations import ReverseInliner
+from repro.annotations.infer import infer_annotations
+from repro.experiments.pipeline import Config, run_config
+from repro.inlining.demand import DemandInliner
+from repro.perfect.suite import Benchmark
+from repro.polaris import Polaris
+from repro.program import Program
+from repro.trace import SiteDecision, Tracer
+
+LEAF_CALL_IN_LOOP = """\
+      SUBROUTINE SCALE(N, A, X)
+      INTEGER N, I
+      REAL A, X(N)
+      DO 10 I = 1, N
+         X(I) = A * X(I)
+ 10   CONTINUE
+      END
+
+      PROGRAM MAIN
+      INTEGER J
+      REAL A(16, 16)
+      DO 20 J = 1, 16
+         CALL SCALE(16, 2.0, A(1, J))
+ 20   CONTINUE
+      WRITE(6,*) A(3, 3)
+      END
+"""
+
+# COPYR declares the COMMON block the caller also passes as an actual
+# argument: inference refuses (alias hazard) but conventional body
+# inlining handles it, so demand resolution falls through to the body.
+ALIASED_CALL_IN_LOOP = """\
+      SUBROUTINE COPYR(N, J, SRC, A)
+      INTEGER N, J, I
+      REAL SRC(16), A(16, 16)
+      REAL B(16)
+      COMMON /WS/ B
+      DO 10 I = 1, N
+         A(I, J) = SRC(I) + B(1)
+ 10   CONTINUE
+      END
+
+      PROGRAM MAIN
+      REAL B(16)
+      COMMON /WS/ B
+      REAL A(16, 16)
+      INTEGER J, K
+      DO 5 K = 1, 16
+         B(K) = K
+ 5    CONTINUE
+      DO 20 J = 1, 16
+         CALL COPYR(16, J, B, A)
+ 20   CONTINUE
+      WRITE(6,*) A(3, 3)
+      END
+"""
+
+RECURSIVE_CALL_IN_LOOP = """\
+      SUBROUTINE RECUR(N, X)
+      INTEGER N
+      REAL X(16)
+      IF (N .GT. 0) THEN
+         X(N) = 0.0
+         CALL RECUR(N - 1, X)
+      END IF
+      END
+
+      PROGRAM MAIN
+      INTEGER J
+      REAL A(16, 16)
+      DO 20 J = 1, 16
+         CALL RECUR(16, A(1, J))
+ 20   CONTINUE
+      WRITE(6,*) A(3, 3)
+      END
+"""
+
+
+def _program(source: str) -> Program:
+    return Program.from_sources({"t.f": source}, "test")
+
+
+def _demand_run(source: str):
+    program = _program(source)
+    inference = infer_annotations(program)
+    demand = DemandInliner(inference.registry(), inference=inference)
+    report = Polaris(demand=demand).run(program)
+    return program, demand, report
+
+
+def _parallel_vars(report):
+    return {(v.unit, v.var) for v in report.verdicts if v.parallelized}
+
+
+class TestAnnotationOnDemand:
+    def test_opaque_call_resolved_and_loop_parallelized(self):
+        program, demand, report = _demand_run(LEAF_CALL_IN_LOOP)
+        assert ("MAIN", "J") in _parallel_vars(report)
+        actions = [(d.action, d.callee, d.source) for d in demand.decisions]
+        assert ("annotation", "SCALE", "inferred") in actions
+
+    def test_reverse_restores_the_call(self):
+        program, demand, report = _demand_run(LEAF_CALL_IN_LOOP)
+        ReverseInliner(demand.registry).run(program)
+        text = "".join(program.unparse().values())
+        assert "CALL SCALE" in text
+
+    def test_hand_names_attribute_source(self):
+        program = _program(LEAF_CALL_IN_LOOP)
+        inference = infer_annotations(program)
+        demand = DemandInliner(inference.registry(), inference=inference,
+                               hand_names=frozenset({"SCALE"}))
+        Polaris(demand=demand).run(program)
+        assert any(d.action == "annotation" and d.source == "hand"
+                   for d in demand.decisions)
+
+    def test_resolution_attempted_once_per_loop_and_callee(self):
+        program, demand, report = _demand_run(LEAF_CALL_IN_LOOP)
+        unit = next(u for u in program.units if u.name == "MAIN")
+        from repro.fortran import ast
+        loops = [s for s in ast.walk_stmts(unit.body)
+                 if isinstance(s, (ast.DoLoop, ast.OmpParallelDo))]
+        loop = loops[0].loop if isinstance(loops[0], ast.OmpParallelDo) \
+            else loops[0]
+        demand.resolve(program, unit, loop, "SCALE")
+        decisions_after_first = len(demand.decisions)
+        # same (loop, callee) again: deduped, no new decision recorded
+        assert demand.resolve(program, unit, loop, "SCALE") is False
+        assert len(demand.decisions) == decisions_after_first
+
+
+class TestBodyOnDemand:
+    def test_alias_hazard_falls_through_to_body_inline(self):
+        program, demand, report = _demand_run(ALIASED_CALL_IN_LOOP)
+        assert any(d.action == "body" and d.callee == "COPYR"
+                   for d in demand.decisions)
+        assert ("MAIN", "J") in _parallel_vars(report)
+
+    def test_recursive_callee_records_combined_fallback(self):
+        program, demand, report = _demand_run(RECURSIVE_CALL_IN_LOOP)
+        falls = [d for d in demand.decisions
+                 if d.action == "fallback" and d.callee == "RECUR"]
+        assert falls
+        assert "calls other procedures" in falls[0].reason
+        assert "body:" in falls[0].reason
+        assert ("MAIN", "J") not in _parallel_vars(report)
+
+
+class TestPipelineDemandMode:
+    def test_demand_config_parallelizes_and_traces(self):
+        bench = Benchmark(name="demandtoy", description="demand toy",
+                          sources={"t.f": LEAF_CALL_IN_LOOP})
+        tracer = Tracer(label="test")
+        result = run_config(bench,
+                            Config("annotation", annotations="demand"),
+                            tracer=tracer)
+        assert result.annotations == "demand"
+        assert result.parallel_origins()
+        sites = [d for d in tracer.site_decisions
+                 if d.action == "annotation"]
+        assert sites and sites[0].benchmark == "demandtoy"
+        assert sites[0].config == "annotation"
+        # demand restores calls through the shared reverse inliner
+        text = "".join(result.program.unparse().values())
+        assert "CALL SCALE" in text
+
+    def test_hand_annotations_win_in_demand_mode(self):
+        program = _program(LEAF_CALL_IN_LOOP)
+        hand = infer_annotations(program).registry()
+        bench = Benchmark(name="demandtoy2", description="demand toy",
+                          sources={"t.f": LEAF_CALL_IN_LOOP})
+        merged = infer_annotations(program, hand=hand)
+        assert merged.outcomes["SCALE"].source == "hand"
+
+
+class TestSiteDecisionRoundtrip:
+    def test_to_from_dict(self):
+        d = SiteDecision("MAIN", "SCALE", 3, "annotation",
+                         source="inferred", reason="", benchmark="toy",
+                         config="annotation")
+        assert SiteDecision.from_dict(d.to_dict()) == d
+
+    def test_tracer_merge_carries_site_decisions(self):
+        a = Tracer(label="a")
+        a.site(SiteDecision("MAIN", "SCALE", 1, "annotation",
+                            source="hand"))
+        b = Tracer(label="b")
+        b.merge(a.export())
+        assert len(b.site_decisions) == 1
+        assert b.site_decisions[0].callee == "SCALE"
+
+    def test_merge_tolerates_legacy_exports_without_sites(self):
+        a = Tracer(label="a")
+        exported = a.export()
+        exported.pop("site_decisions", None)
+        b = Tracer(label="b")
+        b.merge(exported)
+        assert b.site_decisions == []

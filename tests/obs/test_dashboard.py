@@ -120,6 +120,29 @@ class TestRender:
         assert "<svg" in html
         assert "polyline" in html
 
+    def test_loadtest_history_plots_p99_with_latency_axis(self, data):
+        enriched = DashboardData(**{**data.__dict__})
+        enriched.bench_history = [
+            {"ts": 1700000000.0 + i, "suite": "loadtest",
+             "p99_seconds": 0.05 + 0.01 * i, "passed": True}
+            for i in range(3)]
+        html = render_dashboard(enriched)
+        assert "p99 job latency, seconds" in html
+        # latency is not captioned as bench wall-clock
+        assert html.count("wall-clock (median of each") == 0
+
+    def test_legacy_loadtest_records_still_plot(self, data):
+        # pre-fix records aliased the p99 into total_seconds
+        enriched = DashboardData(**{**data.__dict__})
+        enriched.bench_history = [
+            {"ts": 1700000000.0, "suite": "loadtest",
+             "total_seconds": 0.07, "passed": True},
+            {"ts": 1700000001.0, "suite": "loadtest",
+             "p99_seconds": 0.08, "passed": True}]
+        html = render_dashboard(enriched)
+        assert "p99 job latency, seconds" in html
+        assert "0.07" in html and "0.08" in html
+
     def test_escapes_untrusted_text(self, data):
         enriched = DashboardData(**{**data.__dict__})
         enriched.fuzz_stats = {"programs": 1,

@@ -133,6 +133,88 @@ class TestStats:
                                  "evictions": 0}
 
 
+class TestBoundedDiskTier:
+    def test_oldest_evicted_until_fit(self, tmp_path):
+        for name in "abcde":
+            path = tmp_path / f"{name}.json"
+            path.write_text(json.dumps({"v": name * 32}))
+            t = os.path.getmtime(path)
+            aged = t - 100 + (ord(name) - ord("a"))
+            os.utime(path, (aged, aged))
+        size = os.path.getsize(tmp_path / "a.json")
+        cache = ResultCache(capacity=8, directory=str(tmp_path),
+                            max_bytes=4 * size)
+        cache.put("zz", {"v": "z" * 32})  # 6 entries now: over budget
+        names = sorted(p.name for p in tmp_path.glob("*.json"))
+        assert names == ["c.json", "d.json", "e.json", "zz.json"]
+        assert cache.stats()["evictions"] == 2
+
+    def test_same_mtime_ties_break_by_path(self, tmp_path):
+        # coarse-timestamp filesystems give bursts of entries identical
+        # mtimes; eviction order must still be deterministic
+        for name in "abcde":
+            (tmp_path / f"{name}.json").write_text(
+                json.dumps({"v": name * 32}))
+        t = os.path.getmtime(tmp_path / "a.json") - 10
+        for name in "abcde":
+            os.utime(tmp_path / f"{name}.json", (t, t))
+        size = os.path.getsize(tmp_path / "a.json")
+        cache = ResultCache(capacity=8, directory=str(tmp_path),
+                            max_bytes=4 * size)
+        cache.put("zz", {"v": "z" * 32})
+        names = sorted(p.name for p in tmp_path.glob("*.json"))
+        # the two lexicographically-first of the tied cohort went
+        assert names == ["c.json", "d.json", "e.json", "zz.json"]
+
+    def test_stores_within_budget_never_rescan(self, tmp_path,
+                                               monkeypatch):
+        cache = ResultCache(capacity=4, directory=str(tmp_path),
+                            max_bytes=1 << 20)
+        calls = []
+        real_listdir = os.listdir
+        monkeypatch.setattr(
+            os, "listdir",
+            lambda *a, **k: (calls.append(a), real_listdir(*a, **k))[1])
+        for i in range(20):
+            cache.put(f"d{i}", {"v": i})
+        # the byte total is a running count: a store under budget is a
+        # write plus two stats, not an O(entries) directory scan
+        assert calls == []
+
+    def test_running_total_tracks_stores(self, tmp_path):
+        cache = ResultCache(capacity=4, directory=str(tmp_path),
+                            max_bytes=1 << 20)
+        cache.put("d1", {"v": 1})
+        cache.put("d2", {"v": "two" * 10})
+        cache.put("d1", {"v": "overwritten" * 4})  # delta, not sum
+        expected = sum(os.path.getsize(p)
+                       for p in tmp_path.glob("*.json"))
+        assert cache._disk_bytes == expected
+
+    def test_new_instance_scans_existing_tier_once(self, tmp_path):
+        first = ResultCache(capacity=4, directory=str(tmp_path),
+                            max_bytes=1 << 20)
+        first.put("d1", {"v": 1})
+        second = ResultCache(capacity=4, directory=str(tmp_path),
+                             max_bytes=1 << 20)
+        assert second._disk_bytes == first._disk_bytes > 0
+
+    def test_clear_disk_resets_total(self, tmp_path):
+        cache = ResultCache(capacity=4, directory=str(tmp_path),
+                            max_bytes=1 << 20)
+        cache.put("d1", {"v": 1})
+        cache.clear(disk=True)
+        assert cache._disk_bytes == 0
+
+    def test_unbounded_tier_never_evicts(self, tmp_path):
+        cache = ResultCache(capacity=4, directory=str(tmp_path),
+                            max_bytes=0)
+        for i in range(10):
+            cache.put(f"d{i}", {"v": "x" * 64})
+        assert len(list(tmp_path.glob("*.json"))) == 10
+        assert cache.stats()["evictions"] == 0
+
+
 class TestConcurrency:
     def test_hammering_stays_consistent(self, tmp_path):
         cache = ResultCache(capacity=8, directory=str(tmp_path))

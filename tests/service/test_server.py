@@ -102,6 +102,28 @@ class TestExecutePayload:
         assert result["parallel_count"] > 0
         assert result["code_lines"] > 0
 
+    def test_annotations_mode_threads_through(self):
+        payload = _sources_payload()
+        payload["annotations_mode"] = "inferred"
+        result = execute_payload(payload)
+        assert result["annotations"] == "inferred"
+        # inference recovers FILLR's summary, so the call loop still
+        # parallelizes and the reverse inliner restores the call
+        assert result["parallel_count"] >= 1
+        assert "CALL FILLR" in result["output"]
+
+    def test_benchmark_accepts_annotations_mode(self):
+        result = execute_payload({"kind": "benchmark", "benchmark": "adm",
+                                  "config": "annotation",
+                                  "annotations_mode": "demand"})
+        assert result["annotations"] == "demand"
+
+    def test_bad_annotations_mode_raises(self):
+        with pytest.raises(ValueError, match="annotations"):
+            execute_payload({"kind": "benchmark", "benchmark": "adm",
+                             "config": "annotation",
+                             "annotations_mode": "bogus"})
+
     def test_unknown_kind_raises(self):
         with pytest.raises(ValueError, match="payload kind"):
             execute_payload({"kind": "nonsense"})
