@@ -36,6 +36,13 @@ class AccessSet:
     has_io: bool = False
     has_stop: bool = False
     has_goto: bool = False
+    #: names accessed through a construct the dependence model cannot
+    #: represent (CHARACTER substring references on scalars, assigned-GOTO
+    #: label variables); loops touching them must stay serial
+    unanalyzable: Set[str] = field(default_factory=set)
+    #: region contains an Opaque (unlowered) statement or an ENTRY point —
+    #: it may read or write anything
+    has_opaque: bool = False
 
     def reads_of(self, name: str) -> bool:
         name = name.upper()
@@ -48,6 +55,13 @@ class AccessSet:
             a == name and w for a, _, w in self.array_accesses)
 
 
+def _is_substring(e: ast.ArrayRef, table: SymbolTable) -> bool:
+    """True for a parenthesized reference to a *declared* non-array name —
+    after call resolution that can only be a CHARACTER substring."""
+    v = table.declared(e.name)
+    return v is not None and not v.is_array
+
+
 def _expr_reads(e: ast.Expr, table: SymbolTable, acc: AccessSet) -> None:
     if isinstance(e, ast.Var):
         if table.is_array(e.name):
@@ -57,7 +71,15 @@ def _expr_reads(e: ast.Expr, table: SymbolTable, acc: AccessSet) -> None:
         else:
             acc.scalar_reads.add(e.name.upper())
     elif isinstance(e, ast.ArrayRef):
-        acc.array_accesses.append((e.name.upper(), e.subs, False))
+        if _is_substring(e, table):
+            # a parenthesized reference to a declared non-array name that
+            # survived call resolution is a CHARACTER substring: model it
+            # as a scalar read and flag the name unanalyzable (the
+            # dependence tester has no model of sub-string overlap)
+            acc.scalar_reads.add(e.name.upper())
+            acc.unanalyzable.add(e.name.upper())
+        else:
+            acc.array_accesses.append((e.name.upper(), e.subs, False))
         for s in e.subs:
             _expr_reads(s, table, acc)
     elif isinstance(e, ast.FuncRef):
@@ -91,6 +113,13 @@ def _stmt_accesses(s: ast.Stmt, table: SymbolTable, acc: AccessSet) -> None:
                 acc.array_accesses.append((s.target.name.upper(), (), True))
             else:
                 acc.scalar_writes.add(s.target.name.upper())
+        elif _is_substring(s.target, table):
+            # substring write: conservatively a scalar write of the whole
+            # variable, and unanalyzable (partial update)
+            acc.scalar_writes.add(s.target.name.upper())
+            acc.unanalyzable.add(s.target.name.upper())
+            for sub in s.target.subs:
+                _expr_reads(sub, table, acc)
         else:
             acc.array_accesses.append(
                 (s.target.name.upper(), s.target.subs, True))
@@ -109,6 +138,11 @@ def _stmt_accesses(s: ast.Stmt, table: SymbolTable, acc: AccessSet) -> None:
     elif isinstance(s, ast.CallStmt):
         acc.has_call = True
         for a in s.args:
+            if isinstance(a, ast.AltReturn):
+                # the callee may RETURN n straight to a labelled statement
+                # in this unit: unstructured control flow at the call site
+                acc.has_goto = True
+                continue
             _expr_reads(a, table, acc)
             root = _root_name(a)
             if root:
@@ -133,6 +167,16 @@ def _stmt_accesses(s: ast.Stmt, table: SymbolTable, acc: AccessSet) -> None:
         acc.has_stop = True
     elif isinstance(s, ast.Goto):
         acc.has_goto = True
+    elif isinstance(s, ast.ComputedGoto):
+        acc.has_goto = True
+        _expr_reads(s.index, table, acc)
+    elif isinstance(s, ast.AssignedGoto):
+        acc.has_goto = True
+        acc.scalar_reads.add(s.var.upper())
+    elif isinstance(s, ast.LabelAssign):
+        acc.scalar_writes.add(s.var.upper())
+    elif isinstance(s, (ast.EntryStmt, ast.Opaque)):
+        acc.has_opaque = True
     # Continue/Return/OmpParallelDo/TaggedBlock carry no direct accesses
 
 

@@ -219,6 +219,11 @@ def forward_substitute_block(body: List[ast.Stmt],
 def _forward(body: List[ast.Stmt], table: SymbolTable,
              env: Dict[str, ast.Expr]) -> None:
     for i, s in enumerate(body):
+        if getattr(s, "label", None) is not None:
+            # a labeled statement is a potential GOTO join point: control
+            # may arrive carrying different values than the fall-through
+            # path, so no binding survives it
+            env.clear()
         body[i] = s = _subst_into(s, env, table)
         _update_env(s, env, table)
 
@@ -301,7 +306,8 @@ def _update_env(s: ast.Stmt, env: Dict[str, ast.Expr],
             env[v] = rhs
         return
     acc = collect_accesses([s], table)
-    if acc.has_call:
+    if acc.has_call or acc.has_opaque:
+        # calls and opaque/ENTRY statements may write anything
         env.clear()
         return
     written = set(acc.scalar_writes) | {

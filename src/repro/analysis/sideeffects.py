@@ -79,6 +79,18 @@ def _summarize(program: Program, unit: ast.ProgramUnit, graph: CallGraph,
     acc = collect_accesses(unit.body, table)
     out.has_io |= acc.has_io
     out.has_stop |= acc.has_stop
+    if acc.has_opaque or acc.unanalyzable:
+        # ENTRY points, unlowered statements or substring accesses: the
+        # summary cannot bound what the callee touches
+        out.opaque = True
+    if any(isinstance(d, ast.EquivalenceDecl) for d in unit.decls):
+        # storage association inside the callee invalidates the
+        # formal/COMMON name mapping the summary is built on
+        out.opaque = True
+    for s in ast.walk_stmts(unit.body):
+        if isinstance(s, ast.Return) and s.alt is not None:
+            out.opaque = True  # alternate return: non-local control flow
+            break
 
     formals = set(table.formals)
 

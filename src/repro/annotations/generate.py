@@ -72,6 +72,19 @@ def generate_annotation(program: Program,
         return GenerationResult(None, "calls other procedures")
     if acc.has_goto:
         return GenerationResult(None, "unstructured control flow")
+    if acc.has_opaque:
+        return GenerationResult(
+            None, "body contains an ENTRY point or unlowered statement")
+    if acc.unanalyzable:
+        return GenerationResult(
+            None, f"unanalyzable access to "
+                  f"{sorted(acc.unanalyzable)[0]} (substring)")
+    if any(isinstance(d, fast.EquivalenceDecl) for d in unit.decls):
+        return GenerationResult(
+            None, "EQUIVALENCE storage association in the body")
+    if any(isinstance(s, fast.Return) and s.alt is not None
+           for s in fast.walk_stmts(unit.body)):
+        return GenerationResult(None, "alternate-return exit")
 
     # summarize a normalized clone: induction-variable substitution and
     # forward substitution turn I = I + 1 subscripts into loop-index

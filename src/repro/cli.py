@@ -106,7 +106,7 @@ def _select_benchmarks(args):
 
 
 def _pipeline(program: Program, registry, config: str,
-              annotations_mode: str = "hand"):
+              annotations_mode: str = "hand", tracer=None):
     from repro.annotations import AnnotationInliner, ReverseInliner
     from repro.inlining import ConventionalInliner
     from repro.polaris import Polaris
@@ -128,7 +128,7 @@ def _pipeline(program: Program, registry, config: str,
         if demand is None:
             AnnotationInliner(registry).run(program)
     inline_seconds = perf_counter() - t0
-    report = Polaris(demand=demand).run(program)
+    report = Polaris(demand=demand).run(program, tracer)
     if config != "none":
         report.add_timing("inline", inline_seconds)
     if config == "annotation":
@@ -143,13 +143,19 @@ def _pipeline(program: Program, registry, config: str,
 # ---------------------------------------------------------------------------
 
 def cmd_parallelize(args) -> int:
+    if getattr(args, "tolerant", False) or getattr(args, "json", False):
+        return _cmd_parallelize_tolerant(args)
     t0 = perf_counter()
     program = _load_program(args.files)
     parse_seconds = perf_counter() - t0
     registry = _load_registry(args.annotations)
+    tracer = None
+    if getattr(args, "explain", False):
+        from repro.trace import Tracer
+        tracer = Tracer(label="parallelize")
     report, cprofile_text = _maybe_cprofile(
         args, _pipeline, program, registry, args.config,
-        getattr(args, "annotations_mode", "hand"))
+        getattr(args, "annotations_mode", "hand"), tracer)
     report.add_timing("parse", parse_seconds)
     text = "".join(program.unparse().values())
     if args.output:
@@ -159,10 +165,55 @@ def cmd_parallelize(args) -> int:
               f"({report.parallel_count()} loops parallelized)")
     else:
         print(text, end="")
+    if tracer is not None:
+        for d in tracer.decisions:
+            print(d.describe(), file=sys.stderr)
     if args.report:
         print(report.describe(), file=sys.stderr)
     if args.profile or cprofile_text:
         _print_profile(report.timings, report.test_stats, cprofile_text)
+    return 0
+
+
+def _cmd_parallelize_tolerant(args) -> int:
+    """``repro parallelize --tolerant``: real-world ``.f`` ingestion via
+    the tolerant fixed-form frontend (:mod:`repro.fortran.fixedform`)."""
+    import json
+    from repro.fortran.fixedform import parallelize_source
+    sources: Dict[str, str] = {}
+    for path in args.files:
+        with open(path) as fh:
+            sources[path] = fh.read()
+    annotations = ""
+    if args.annotations:
+        with open(args.annotations) as fh:
+            annotations = fh.read()
+    mode = getattr(args, "annotations_mode", "hand")
+    if mode == "hand" and not annotations:
+        # nothing hand-written to apply: infer annotations from callee
+        # bodies, the right default for arbitrary ingested programs
+        mode = "inferred"
+    result = parallelize_source(sources, config=args.config,
+                                annotations_mode=mode,
+                                annotations_text=annotations,
+                                tolerant=getattr(args, "tolerant", True))
+    if getattr(args, "json", False):
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        from repro.fortran.fixedform import Diagnostic
+        for d in result["diagnostics"]:
+            print(Diagnostic.from_dict(d).describe(), file=sys.stderr)
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(result["output"])
+            print(f"wrote {args.output} "
+                  f"({result['parallel_count']} loops parallelized, "
+                  f"{len(result['diagnostics'])} diagnostics)")
+        else:
+            print(result["output"], end="")
+        if getattr(args, "explain", False):
+            for loop in result["loops"]:
+                print(loop["explanation"], file=sys.stderr)
     return 0
 
 
@@ -572,6 +623,21 @@ def _submit_payload(args) -> dict:
     from repro.perfect.suite import benchmark_names
     names = {n.lower() for n in benchmark_names()}
     mode = getattr(args, "annotations_mode", "hand")
+    if getattr(args, "parallelize", False):
+        sources = {}
+        for path in args.targets:
+            with open(path) as fh:
+                sources[path] = fh.read()
+        annotations = ""
+        if args.annotations:
+            with open(args.annotations) as fh:
+                annotations = fh.read()
+        payload = {"kind": "parallelize", "sources": sources,
+                   "annotations": annotations, "config": args.config,
+                   "tolerant": True}
+        if mode != "hand":
+            payload["annotations_mode"] = mode
+        return payload
     if len(args.targets) == 1 and args.targets[0].lower() in names:
         payload = {"kind": "benchmark",
                    "benchmark": args.targets[0].lower(),
@@ -622,6 +688,8 @@ def cmd_submit(args) -> int:
         print(f"  config={result['config']} "
               f"parallel={result['parallel_count']} "
               f"lines={result['code_lines']}")
+        if result.get("diagnostics"):
+            print(f"  diagnostics={len(result['diagnostics'])}")
         if args.output:
             with open(args.output, "w") as fh:
                 fh.write(result["output"])
@@ -633,11 +701,19 @@ def cmd_submit(args) -> int:
 
 
 def cmd_fuzz(args) -> int:
+    import os
     from repro.fuzz import run_campaign
+    from repro.fuzz.generator import DIALECTS, GeneratorOptions
     tracer = _make_tracer(args)
+    dialect = args.dialect or os.environ.get("REPRO_FUZZ_DIALECT", "core")
+    if dialect not in DIALECTS:
+        print(f"repro fuzz: unknown dialect {dialect!r}; "
+              f"expected one of {DIALECTS}", file=sys.stderr)
+        return 2
     result = run_campaign(seed=args.seed, count=args.count,
                           time_budget=args.time_budget, jobs=args.jobs,
                           tracer=tracer, corpus_dir=args.corpus_dir,
+                          options=GeneratorOptions(dialect=dialect),
                           do_shrink=not args.no_shrink,
                           progress=(print if args.verbose else None))
     stats = result.stats
@@ -744,6 +820,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", help="output file (default stdout)")
     p.add_argument("--report", action="store_true",
                    help="print the per-loop report to stderr")
+    p.add_argument("--tolerant", action="store_true",
+                   help="ingest real-world fixed-form Fortran: dialect "
+                        "constructs (EQUIVALENCE, computed GOTO, ENTRY, "
+                        "CHARACTER ops, ...) lower to conservative IR and "
+                        "malformed statements become recorded diagnostics "
+                        "instead of hard errors")
+    p.add_argument("--explain", action="store_true",
+                   help="print a per-loop decision explanation to stderr")
+    p.add_argument("--json", action="store_true",
+                   help="print the full result object (annotated source, "
+                        "diagnostics, per-loop decisions) as JSON on "
+                        "stdout")
     add_profile(p)
     p.set_defaults(fn=cmd_parallelize)
 
@@ -863,6 +951,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "tests/fuzz/corpus)")
     p.add_argument("--no-shrink", action="store_true",
                    help="skip delta-debugging of failures")
+    p.add_argument("--dialect", default=None,
+                   choices=("core", "extended"),
+                   help="generator dialect: core, or extended with "
+                        "computed-GOTO and DATA productions (default "
+                        "$REPRO_FUZZ_DIALECT, else core)")
     p.add_argument("--verbose", "-v", action="store_true",
                    help="print per-batch progress and shrunk repros")
     p.set_defaults(fn=cmd_fuzz)
@@ -1018,6 +1111,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--annotations", help="annotation file")
     p.add_argument("--config", default="annotation",
                    choices=("none", "conventional", "annotation"))
+    p.add_argument("--parallelize", action="store_true",
+                   help="submit the files as a tolerant-frontend "
+                        "parallelize job: real-world dialect accepted, "
+                        "response carries diagnostics and per-loop "
+                        "explanations")
     add_annotations_mode(p)
     add_endpoint(p)
     p.add_argument("--timeout", type=float, default=None,

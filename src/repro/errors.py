@@ -29,11 +29,30 @@ class SourceLocation:
 class ReproError(Exception):
     """Base class for every error raised by this package."""
 
-    def __init__(self, message: str, location: Optional[SourceLocation] = None):
+    def __init__(self, message: str, location: Optional[SourceLocation] = None,
+                 excerpt: Optional[str] = None):
         self.location = location
+        self.excerpt = excerpt
+        self.bare_message = message
         if location is not None:
             message = f"{location}: {message}"
         super().__init__(message)
+
+    def payload(self) -> dict:
+        """Structured form for service responses and diagnostics files.
+
+        Keeps the source excerpt and column that the flat string message
+        drops, so a remote client can point at the offending card.
+        """
+        out: dict = {"kind": type(self).__name__,
+                     "message": self.bare_message}
+        if self.location is not None:
+            out["file"] = self.location.filename
+            out["line"] = self.location.line
+            out["column"] = self.location.column
+        if self.excerpt is not None:
+            out["excerpt"] = self.excerpt
+        return out
 
 
 class LexError(ReproError):

@@ -90,6 +90,18 @@ class UnOp(Expr):
 
 
 @dataclass(eq=True)
+class AltReturn(Expr):
+    """An alternate-return actual argument ``*label`` in a CALL.
+
+    Only legal in CALL argument lists; the matching formal is ``*`` and a
+    ``RETURN n`` in the callee jumps to the n-th such label.  Dependence
+    analysis treats a call carrying one as opaque control flow.
+    """
+
+    target: int
+
+
+@dataclass(eq=True)
 class RangeExpr(Expr):
     """An array-section triplet ``lo:hi[:step]``.
 
@@ -214,12 +226,73 @@ class Goto(Stmt):
 
 
 @dataclass(eq=True)
+class ComputedGoto(Stmt):
+    """``GO TO (l1, l2, ...), index``.  An index value outside
+    ``1..len(targets)`` falls through to the next statement (F77 rules)."""
+
+    targets: Tuple[int, ...]
+    index: Expr
+    label: Optional[int] = None
+
+
+@dataclass(eq=True)
+class LabelAssign(Stmt):
+    """``ASSIGN label TO var`` — stores a statement label in an integer
+    variable for a later assigned GOTO."""
+
+    target_label: int
+    var: str
+    label: Optional[int] = None
+
+
+@dataclass(eq=True)
+class AssignedGoto(Stmt):
+    """``GO TO var [, (l1, l2, ...)]``.  ``targets`` may be empty when the
+    source omits the label list, in which case the jump target set is the
+    whole unit — unanalyzable control flow."""
+
+    var: str
+    targets: Tuple[int, ...] = ()
+    label: Optional[int] = None
+
+
+@dataclass(eq=True)
 class Continue(Stmt):
     label: Optional[int] = None
 
 
 @dataclass(eq=True)
 class Return(Stmt):
+    label: Optional[int] = None
+    #: alternate-return selector expression (``RETURN n``), None for a
+    #: plain RETURN
+    alt: Optional[Expr] = None
+
+
+@dataclass(eq=True)
+class EntryStmt(Stmt):
+    """``ENTRY name(params)`` — a secondary entry point into the enclosing
+    unit.  Kept as an inert body marker; any unit containing one is treated
+    as opaque by side-effect summaries."""
+
+    name: str
+    params: Tuple[str, ...] = ()
+    label: Optional[int] = None
+
+
+@dataclass(eq=True)
+class Opaque(Stmt):
+    """A statement the tolerant frontend accepted but could not lower.
+
+    ``text`` is the condensed source text (re-emitted verbatim by the
+    unparser), ``reason`` a stable short code naming why lowering failed
+    (the full diagnostic lives in the frontend's diagnostics list, not
+    here, so reparsing round-trips).  Analyses must treat an Opaque
+    statement as unanalyzable: it may read or write anything.
+    """
+
+    text: str
+    reason: str = "unclassified"
     label: Optional[int] = None
 
 
@@ -339,6 +412,18 @@ class DataDecl(Decl):
 
 
 @dataclass(eq=True)
+class EquivalenceDecl(Decl):
+    """``EQUIVALENCE (A, B(3)), (C, D)`` — storage association groups.
+
+    Each group is a tuple of Var/ArrayRef references sharing storage.  The
+    dependence analyzer refuses to parallelize loops touching any
+    equivalenced name (aliasing defeats the per-array dependence model).
+    """
+
+    groups: List[Tuple[Expr, ...]]
+
+
+@dataclass(eq=True)
 class SaveDecl(Decl):
     names: List[str]
 
@@ -432,6 +517,14 @@ def stmt_exprs(s: Stmt) -> List[Expr]:
         return list(s.items)
     if isinstance(s, TaggedBlock):
         return list(s.actuals)
+    if isinstance(s, ComputedGoto):
+        return [s.index]
+    if isinstance(s, AssignedGoto):
+        # expose the read of the label variable (a fresh Var node: equality
+        # is structural, so analyses see it as an ordinary scalar read)
+        return [Var(s.var)]
+    if isinstance(s, Return) and s.alt is not None:
+        return [s.alt]
     return []
 
 
@@ -503,6 +596,8 @@ def map_stmt_exprs(body: List[Stmt],
         if isinstance(s, IoStmt):
             return [IoStmt(s.kind, s.control,
                            tuple(map_expr(i, fn) for i in s.items), s.label)]
+        if isinstance(s, ComputedGoto):
+            return [ComputedGoto(s.targets, map_expr(s.index, fn), s.label)]
         return None
 
     return map_stmts(body, rewrite)

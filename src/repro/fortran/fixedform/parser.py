@@ -1,0 +1,359 @@
+"""Tolerant fixed-form parser: classify what you can, box the rest.
+
+Built on the strict frontend's statement-classification tables
+(:class:`repro.fortran.parser._StatementClassifier`) and block structurer,
+this module adds the error-recovery layer the strict parser deliberately
+lacks:
+
+* a statement that fails to classify becomes an
+  :class:`~repro.fortran.ast.Opaque` marker carrying the raw card text
+  and a stable reason code — downstream analyses already treat Opaque as
+  "may read or write anything" (``AccessSet.has_opaque``), so recovery is
+  conservative, never unsound;
+* unterminated blocks (missing ENDDO / ENDIF / DO terminator label /
+  inline END tag) are implicitly closed at the end of the enclosing
+  block;
+* stray closers and statements outside any program unit are skipped;
+* a missing final END yields an implicit one.
+
+Every action is recorded as a
+:class:`~repro.fortran.fixedform.diagnostics.Diagnostic`; the pair
+``(SourceFile, [Diagnostic])`` is the whole parse result — the tolerant
+frontend never raises for malformed *input* (only for internal bugs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import LexError, ParseError, ReproError, SourceLocation
+from repro.fortran import ast
+from repro.fortran.parser import (_TYPE_KEYWORDS, _UNIT_HEADER_RE, _Flat,
+                                  _StatementClassifier, _Structurer,
+                                  _enrich_parse_error, _parse_omp_clauses,
+                                  _parse_tag_begin)
+from repro.fortran.source import LogicalLine, condense_with_map
+
+from .diagnostics import DiagnosticSink
+from .reader import tolerant_read
+
+__all__ = ["parse_source_tolerant"]
+
+
+def _opaque_flat(line: LogicalLine, reason: str) -> _Flat:
+    stmt = ast.Opaque(text=line.text.strip(), reason=reason,
+                      label=line.label)
+    return _Flat("stmt", label=line.label, stmt=stmt,
+                 location=line.location)
+
+
+class _TolerantClassifier(_StatementClassifier):
+    """Statement classifier that records failures instead of raising."""
+
+    def __init__(self, filename: str, sink: DiagnosticSink):
+        super().__init__(filename)
+        self.sink = sink
+
+    def classify(self, line: LogicalLine) -> List[_Flat]:
+        loc = line.location
+        out: List[_Flat] = []
+        for d in line.leading:
+            try:
+                out.extend(self._directive(d, loc))
+            except (ReproError, ValueError) as e:
+                self.sink.emit("bad-directive", str(e), loc,
+                               excerpt=d.text, severity="skipped")
+        text, _ = condense_with_map(line.text)
+        if not text:
+            return out
+        try:
+            flat = self._statement(text, line.label, loc)
+        except ParseError as e:
+            enriched = _enrich_parse_error(e, line)
+            self.sink.error(enriched, "parse-error")
+            flat = _opaque_flat(line, "parse-error")
+        except LexError as e:
+            self.sink.emit("unterminated-literal", e.bare_message, loc,
+                           excerpt=line.text.rstrip())
+            flat = _opaque_flat(line, "unterminated-literal")
+        except ReproError as e:
+            self.sink.emit("parse-error", e.bare_message, loc,
+                           excerpt=line.text.rstrip())
+            flat = _opaque_flat(line, "parse-error")
+        if flat is not None:
+            out.append(flat)
+        return out
+
+
+class _TolerantStructurer(_Structurer):
+    """Block structurer with implicit-close recovery.
+
+    Missing terminators close the block at the end of the *enclosing*
+    region (which is how most real compilers recover); unexpected closers
+    are dropped.  Both actions emit a diagnostic.
+    """
+
+    def __init__(self, items: List[_Flat], sink: DiagnosticSink):
+        super().__init__(items)
+        self.sink = sink
+
+    # -- top-level dispatch with stray-closer recovery ----------------
+    def _one(self, i: int, hi: int):
+        it = self.items[i]
+        if it.kind in ("endif", "else", "elseif", "enddo", "end"):
+            self.sink.emit("stray-closer",
+                           f"unexpected {it.kind.upper()}; skipping it",
+                           it.location, severity="skipped")
+            return None, i + 1
+        if it.kind == "tag_end":
+            self.sink.emit("stray-closer",
+                           f"unmatched inline END tag {it.text!r}; "
+                           "skipping it",
+                           it.location, severity="skipped")
+            return None, i + 1
+        return super()._one(i, hi)
+
+    # -- DO: missing terminator label / ENDDO -------------------------
+    def _do(self, i: int, hi: int):
+        it = self.items[i]
+        if it.do_term is not None:
+            j = self._try_find_label(i + 1, hi, it.do_term)
+            if j is None:
+                self.sink.emit(
+                    "missing-do-label",
+                    f"DO terminator label {it.do_term} not found; "
+                    "closing the loop at the end of the enclosing block",
+                    it.location, severity="note")
+                body = self.build(i + 1, hi)
+                loop = ast.DoLoop(it.do_var, it.do_start, it.do_stop,
+                                  it.do_step, body, it.label, None)
+                return loop, hi
+            body = self.build(i + 1, j + 1)
+            loop = ast.DoLoop(it.do_var, it.do_start, it.do_stop,
+                              it.do_step, body, it.label, it.do_term)
+            return loop, j + 1
+        j = self._try_match_enddo(i + 1, hi)
+        if j is None:
+            self.sink.emit(
+                "missing-enddo",
+                "missing ENDDO; closing the loop at the end of the "
+                "enclosing block",
+                it.location, severity="note")
+            body = self.build(i + 1, hi)
+            loop = ast.DoLoop(it.do_var, it.do_start, it.do_stop,
+                              it.do_step, body, it.label, None)
+            return loop, hi
+        body = self.build(i + 1, j)
+        loop = ast.DoLoop(it.do_var, it.do_start, it.do_stop, it.do_step,
+                          body, it.label, None)
+        return loop, j + 1
+
+    def _try_find_label(self, lo: int, hi: int, label: int) -> Optional[int]:
+        for j in range(lo, hi):
+            if self.items[j].label == label and self.items[j].kind == "stmt":
+                return j
+        return None
+
+    def _try_match_enddo(self, lo: int, hi: int) -> Optional[int]:
+        depth = 0
+        for j in range(lo, hi):
+            it = self.items[j]
+            if it.kind == "do" and it.do_term is None:
+                depth += 1
+            elif it.kind == "enddo":
+                if depth == 0:
+                    return j
+                depth -= 1
+        return None
+
+    # -- IF: missing ENDIF --------------------------------------------
+    def _if(self, i: int, hi: int):
+        header = self.items[i]
+        arms: List[Tuple[Optional[ast.Expr], List[ast.Stmt]]] = []
+        cond: Optional[ast.Expr] = header.cond
+        arm_start = i + 1
+        depth = 0
+        j = i + 1
+        while j < hi:
+            it = self.items[j]
+            if it.kind == "if":
+                depth += 1
+            elif it.kind == "endif":
+                if depth == 0:
+                    arms.append((cond, self.build(arm_start, j)))
+                    return ast.IfBlock(arms, header.label), j + 1
+                depth -= 1
+            elif depth == 0 and it.kind == "elseif":
+                arms.append((cond, self.build(arm_start, j)))
+                cond = it.cond
+                arm_start = j + 1
+            elif depth == 0 and it.kind == "else":
+                arms.append((cond, self.build(arm_start, j)))
+                cond = None
+                arm_start = j + 1
+            j += 1
+        self.sink.emit("missing-endif",
+                       "missing ENDIF; closing the IF block at the end "
+                       "of the enclosing block",
+                       header.location, severity="note")
+        arms.append((cond, self.build(arm_start, hi)))
+        return ast.IfBlock(arms, header.label), hi
+
+    # -- OpenMP: dangling directives ----------------------------------
+    def _omp(self, i: int, hi: int):
+        it = self.items[i]
+        text = it.text.replace(" ", "")
+        if text.startswith("ENDPARALLELDO") or text.startswith("ENDDO") \
+                or text.startswith("ENDPARALLEL"):
+            return None, i + 1
+        if not (text.startswith("PARALLELDO") or text.startswith("DO")
+                or text.startswith("PARALLEL")):
+            self.sink.emit("bad-omp",
+                           f"unsupported OpenMP directive {it.text!r}; "
+                           "dropping it",
+                           it.location, severity="skipped")
+            return None, i + 1
+        private, reductions, schedule = _parse_omp_clauses(it.text)
+        j = i + 1
+        while j < hi and self.items[j].kind == "omp":
+            p2, r2, s2 = _parse_omp_clauses(self.items[j].text)
+            private += p2
+            reductions += r2
+            schedule = schedule or s2
+            j += 1
+        if j >= hi or self.items[j].kind != "do":
+            self.sink.emit("omp-no-loop",
+                           "OpenMP PARALLEL DO directive not followed by "
+                           "a DO loop; dropping the directive",
+                           it.location, severity="skipped")
+            return None, j
+        loop_stmt, nxt = self._do(j, hi)
+        assert isinstance(loop_stmt, ast.DoLoop)
+        return ast.OmpParallelDo(loop_stmt, tuple(private),
+                                 tuple(reductions), schedule), nxt
+
+    # -- inline tags: unmatched / mismatched --------------------------
+    def _tagged(self, i: int, hi: int):
+        it = self.items[i]
+        try:
+            callee, site_id, actuals = _parse_tag_begin(it.text, it.location)
+        except (ReproError, ValueError) as e:
+            self.sink.emit("bad-tag", str(e), it.location,
+                           excerpt=it.text, severity="skipped")
+            return None, i + 1
+        depth = 0
+        for j in range(i + 1, hi):
+            item = self.items[j]
+            if item.kind == "tag_begin":
+                depth += 1
+            elif item.kind == "tag_end":
+                if depth == 0:
+                    try:
+                        end_id = int(item.text.split()[0])
+                    except (ValueError, IndexError):
+                        end_id = site_id
+                    if end_id != site_id:
+                        self.sink.emit(
+                            "tag-mismatch",
+                            f"inline tag mismatch: BEGIN {site_id} closed "
+                            f"by END {end_id}; accepting the closure",
+                            item.location, severity="note")
+                    body = self.build(i + 1, j)
+                    return ast.TaggedBlock(callee, site_id, actuals, body,
+                                           it.label), j + 1
+                depth -= 1
+        self.sink.emit("missing-end-tag",
+                       f"missing inline END tag for site {site_id}; "
+                       "closing it at the end of the enclosing block",
+                       it.location, severity="note")
+        body = self.build(i + 1, hi)
+        return ast.TaggedBlock(callee, site_id, actuals, body,
+                               it.label), hi
+
+
+# ---------------------------------------------------------------------------
+# Program-unit assembly with recovery
+# ---------------------------------------------------------------------------
+
+def parse_source_tolerant(text: str, filename: str = "<string>"):
+    """Parse fixed-form source text, recovering from every malformed
+    construct.  Returns ``(SourceFile, [Diagnostic])``.
+
+    The returned tree is always structurally valid: statements that could
+    not be understood appear as :class:`~repro.fortran.ast.Opaque`
+    markers, which the analyses treat as "may touch anything".
+    """
+    sink = DiagnosticSink()
+    lines = tolerant_read(text, filename, sink)
+    classifier = _TolerantClassifier(filename, sink)
+    units: List[ast.ProgramUnit] = []
+    current_header: Optional[Tuple[str, str, List[str], str]] = None
+    current_items: List[_Flat] = []
+    header_loc = SourceLocation(filename, 0)
+
+    def finish_unit() -> None:
+        nonlocal current_header, current_items
+        if current_header is None:
+            current_items = []
+            return
+        kind, name, params, result_type = current_header
+        decls: List[ast.Decl] = []
+        body_items: List[_Flat] = []
+        for it in current_items:
+            if it.kind == "decl":
+                decls.append(it.stmt)  # type: ignore[arg-type]
+            else:
+                body_items.append(it)
+        try:
+            body = _TolerantStructurer(body_items, sink).build(
+                0, len(body_items))
+        except ReproError as e:
+            # a structuring failure recovery did not anticipate: keep the
+            # unit, box its whole body
+            sink.emit("unit-structure", e.bare_message, header_loc,
+                      severity="recovered")
+            body = [ast.Opaque(text=f"{kind} {name} body",
+                               reason="unit-structure")]
+        units.append(ast.ProgramUnit(kind, name, params, decls, body,
+                                     result_type))
+        current_header = None
+        current_items = []
+
+    for line in lines:
+        text_c, _ = condense_with_map(line.text)
+        m = _UNIT_HEADER_RE.match(text_c) if text_c else None
+        if m and m.group(2) in ("PROGRAM", "SUBROUTINE", "FUNCTION"):
+            finish_unit()
+            rtype = _TYPE_KEYWORDS.get(m.group(1) or "", "")
+            kind = m.group(2)
+            name = m.group(3)
+            params: List[str] = []
+            if m.group(4):
+                inner = m.group(4)[1:-1]
+                params = [p for p in inner.split(",") if p]
+            current_header = (kind, name, params, rtype)
+            header_loc = line.location
+            continue
+        flats = classifier.classify(line)
+        for f in flats:
+            if f.kind == "end":
+                finish_unit()
+            else:
+                if current_header is None:
+                    if f.kind in ("omp", "tag_begin", "tag_end"):
+                        continue
+                    sink.emit("stray-statement",
+                              "statement outside any program unit; "
+                              "skipping it",
+                              f.location,
+                              excerpt=line.text.rstrip(),
+                              severity="skipped")
+                    continue
+                current_items.append(f)
+    if current_header is not None:
+        sink.emit("missing-end",
+                  "missing END for final program unit; adding an "
+                  "implicit one",
+                  header_loc, severity="note")
+        finish_unit()
+    return ast.SourceFile(units, filename), sink.items

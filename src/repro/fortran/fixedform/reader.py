@@ -1,0 +1,101 @@
+"""Tolerant fixed-form card reader.
+
+The strict reader (:func:`repro.fortran.source.read_logical_lines`)
+raises :class:`~repro.errors.LexError` on the first malformed card.  This
+variant applies the classic "keep reading" recovery of PCF-era frontends:
+each bad card is repaired in the least surprising way, a
+:class:`~repro.fortran.fixedform.diagnostics.Diagnostic` is recorded, and
+reading continues.  Recovery actions:
+
+* a continuation card with nothing to continue starts a fresh statement
+  (``orphan-continuation``);
+* a directive between a statement and its continuation stays pending and
+  attaches to the *next* statement (``directive-in-continuation``);
+* a non-numeric label field is dropped (``bad-label``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SourceLocation
+from repro.fortran.source import (STATEMENT_FIELD_END, LogicalLine,
+                                  _classify_comment, _strip_inline_comment)
+
+from .diagnostics import DiagnosticSink
+
+
+def tolerant_read(text: str, filename: str,
+                  sink: DiagnosticSink) -> List[LogicalLine]:
+    """Split source text into logical lines, recovering from bad cards."""
+    logical: List[LogicalLine] = []
+    pending: list = []
+    current: Optional[LogicalLine] = None
+
+    def flush() -> None:
+        nonlocal current
+        if current is not None:
+            current.text = current.text.rstrip()
+            logical.append(current)
+            current = None
+
+    for idx, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        first = line[0] if line else " "
+        if first in ("C", "c", "*", "!"):
+            directive = _classify_comment(line[1:], idx)
+            if directive is not None:
+                flush()
+                pending.append(directive)
+            continue
+        line = _strip_inline_comment(line)
+        if not line.strip():
+            continue
+        if len(line) < 6:
+            line = line.ljust(6)
+        label_field = line[0:5]
+        cont_field = line[5]
+        stmt_field = line[6:STATEMENT_FIELD_END]
+        if cont_field not in (" ", "0"):
+            if current is None:
+                sink.emit("orphan-continuation",
+                          "continuation line with no statement to continue; "
+                          "treating it as a new statement",
+                          SourceLocation(filename, idx, 6),
+                          excerpt=raw.rstrip())
+                current = LogicalLine(label=None, text=stmt_field.rstrip(),
+                                      line=idx, filename=filename,
+                                      leading=pending)
+                pending = []
+                continue
+            if pending:
+                sink.emit("directive-in-continuation",
+                          "directive between a statement and its "
+                          "continuation; attaching it to the next statement",
+                          SourceLocation(filename, idx),
+                          excerpt=raw.rstrip())
+                # pending stays queued for the statement after this one
+            current.text += stmt_field.rstrip()
+            continue
+        flush()
+        label: Optional[int] = None
+        if label_field.strip():
+            if not label_field.strip().isdigit():
+                sink.emit("bad-label",
+                          f"bad statement label {label_field.strip()!r}; "
+                          "ignoring the label field",
+                          SourceLocation(filename, idx, 1),
+                          excerpt=raw.rstrip())
+            else:
+                label = int(label_field.strip())
+        current = LogicalLine(label=label, text=stmt_field.rstrip(),
+                              line=idx, filename=filename, leading=pending)
+        pending = []
+    flush()
+    if pending:
+        logical.append(LogicalLine(label=None, text="",
+                                   line=pending[0].line, filename=filename,
+                                   leading=pending))
+    return logical

@@ -27,7 +27,8 @@ from typing import List, Optional, Sequence, Tuple
 from repro.errors import ParseError, SourceLocation
 from repro.fortran import ast
 from repro.fortran.lexer import tokenize
-from repro.fortran.source import Directive, LogicalLine, condense, read_logical_lines
+from repro.fortran.source import (Directive, LogicalLine, condense,
+                                  condense_with_map, read_logical_lines)
 from repro.fortran.tokens import DOT_OP_CANONICAL, Token, TokenType
 
 # ---------------------------------------------------------------------------
@@ -270,6 +271,11 @@ _UNIT_HEADER_RE = re.compile(
 
 _ASSIGN_RE = re.compile(r"^[A-Z][A-Z0-9_$@]*")
 
+#: length spec after a type keyword or entity: ``*n``, ``*(n)`` or ``*(*)``
+#: (the parenthesized forms are CHARACTER-only; ``*(*)`` is the
+#: assumed-length dummy, stored as char_len == -1)
+_LENGTH_SPEC_RE = re.compile(r"^\*(?:(\d+)|\((\d+)\)|\((\*)\))")
+
 
 class _StatementClassifier:
     """Parses one condensed logical line into flat items."""
@@ -285,7 +291,10 @@ class _StatementClassifier:
         text = condense(line.text)
         if not text:
             return out
-        flat = self._statement(text, line.label, loc)
+        try:
+            flat = self._statement(text, line.label, loc)
+        except ParseError as e:
+            raise _enrich_parse_error(e, line) from e
         if flat is not None:
             out.append(flat)
         return out
@@ -398,15 +407,28 @@ class _StatementClassifier:
                 if after:
                     raise ParseError(f"trailing text after CALL {text!r}", loc)
                 if inner:
-                    args = tuple(parse_expression(p, loc)
+                    args = tuple(self._call_arg(p, loc)
                                  for p in _split_toplevel(inner, ","))
             return stmt(ast.CallStmt(name, args, label))
         if text.startswith("GOTO"):
-            return stmt(ast.Goto(int(text[4:]), label))
+            return stmt(self._goto(text[4:], label, loc))
+        m = re.match(r"^ASSIGN(\d+)TO([A-Z][A-Z0-9_$]*)$", text)
+        if m:
+            return stmt(ast.LabelAssign(int(m.group(1)), m.group(2), label))
+        if text.startswith("ENTRY"):
+            m = re.match(r"^ENTRY([A-Z][A-Z0-9_$]*)(\(.*\))?$", text)
+            if not m:
+                raise ParseError(f"malformed ENTRY {text!r}", loc)
+            params: Tuple[str, ...] = ()
+            if m.group(2):
+                params = tuple(p for p in m.group(2)[1:-1].split(",") if p)
+            return stmt(ast.EntryStmt(m.group(1), params, label))
         if text == "CONTINUE":
             return stmt(ast.Continue(label))
-        if text == "RETURN":
-            return stmt(ast.Return(label))
+        if text.startswith("RETURN"):
+            rest = text[6:]
+            alt = parse_expression(rest, loc) if rest else None
+            return stmt(ast.Return(label, alt))
         if text.startswith("STOP"):
             rest = text[4:]
             msg = None
@@ -437,6 +459,52 @@ class _StatementClassifier:
             f.stmt = decl  # type: ignore[assignment]
             return f
         raise ParseError(f"unrecognized statement {text!r}", loc)
+
+    def _goto(self, rest: str, label: Optional[int],
+              loc: SourceLocation) -> ast.Stmt:
+        """Dispatch the three GOTO forms from condensed text after 'GOTO'."""
+        if rest.isdigit():
+            return ast.Goto(int(rest), label)
+        if rest.startswith("("):
+            inner, after = _balanced_paren(rest, loc)
+            targets = self._label_list(inner, loc)
+            if not targets or not after:
+                raise ParseError(f"malformed computed GOTO {'GOTO' + rest!r}",
+                                 loc)
+            if after.startswith(","):
+                after = after[1:]
+            return ast.ComputedGoto(targets, parse_expression(after, loc),
+                                    label)
+        m = re.match(r"^([A-Z][A-Z0-9_$]*)", rest)
+        if not m:
+            raise ParseError(f"malformed GOTO {'GOTO' + rest!r}", loc)
+        var = m.group(1)
+        after = rest[m.end():]
+        targets: Tuple[int, ...] = ()
+        if after:
+            if after.startswith(","):
+                after = after[1:]
+            inner, trailing = _balanced_paren(after, loc)
+            if trailing:
+                raise ParseError(
+                    f"trailing text after assigned GOTO {'GOTO' + rest!r}",
+                    loc)
+            targets = self._label_list(inner, loc)
+        return ast.AssignedGoto(var, targets, label)
+
+    def _label_list(self, inner: str,
+                    loc: SourceLocation) -> Tuple[int, ...]:
+        try:
+            return tuple(int(p) for p in _split_toplevel(inner, ",") if p)
+        except ValueError:
+            raise ParseError(f"non-label entry in GOTO label list "
+                             f"({inner})", loc) from None
+
+    def _call_arg(self, text: str, loc: SourceLocation) -> ast.Expr:
+        m = re.match(r"^\*(\d+)$", text)
+        if m:
+            return ast.AltReturn(int(m.group(1)))
+        return parse_expression(text, loc)
 
     # -- declarations ---------------------------------------------------
     def _declaration(self, text: str,
@@ -469,17 +537,20 @@ class _StatementClassifier:
             return ast.ExternalDecl(_split_toplevel(text[8:], ","))
         if text.startswith("INTRINSIC"):
             return ast.IntrinsicDecl(_split_toplevel(text[9:], ","))
+        if text.startswith("EQUIVALENCE"):
+            return self._equivalence(text[11:], loc)
         if text.startswith("DATA"):
-            return self._data(text[4:], loc)
+            return self._data(text, loc)
         for kw, typename in _TYPE_KEYWORDS.items():
             if text.startswith(kw):
                 rest = text[len(kw):]
                 char_len = None
                 if rest.startswith("*"):
-                    m = re.match(r"^\*(\d+)", rest)
+                    m = _LENGTH_SPEC_RE.match(rest)
                     if not m:
                         raise ParseError(f"malformed length in {text!r}", loc)
-                    length = int(m.group(1))
+                    length = -1 if m.group(3) else int(m.group(1)
+                                                      or m.group(2))
                     rest = rest[m.end():]
                     if kw == "CHARACTER":
                         char_len = length
@@ -492,6 +563,25 @@ class _StatementClassifier:
                 return ast.TypeDecl(typename, self._entity_list(rest, loc),
                                     char_len)
         return None
+
+    def _equivalence(self, rest: str,
+                     loc: SourceLocation) -> ast.EquivalenceDecl:
+        groups: List[Tuple[ast.Expr, ...]] = []
+        while rest:
+            if rest.startswith(","):
+                rest = rest[1:]
+            inner, rest = _balanced_paren(rest, loc)
+            refs = tuple(parse_expression(p, loc)
+                         for p in _split_toplevel(inner, ",") if p)
+            if len(refs) < 2 or not all(
+                    isinstance(r, (ast.Var, ast.ArrayRef)) for r in refs):
+                raise ParseError(
+                    f"EQUIVALENCE group needs two or more variable "
+                    f"references ({inner})", loc)
+            groups.append(refs)
+        if not groups:
+            raise ParseError("empty EQUIVALENCE statement", loc)
+        return ast.EquivalenceDecl(groups)
 
     def _entity_list(self, text: str, loc: SourceLocation) -> List[ast.Entity]:
         entities: List[ast.Entity] = []
@@ -506,10 +596,11 @@ class _StatementClassifier:
             dims: Optional[Tuple[ast.Dim, ...]] = None
             char_len = None
             if rest.startswith("*"):
-                m2 = re.match(r"^\*(\d+)", rest)
+                m2 = _LENGTH_SPEC_RE.match(rest)
                 if not m2:
                     raise ParseError(f"bad length spec {item!r}", loc)
-                char_len = int(m2.group(1))
+                char_len = -1 if m2.group(3) else int(m2.group(1)
+                                                     or m2.group(2))
                 rest = rest[m2.end():]
             if rest.startswith("("):
                 inner, after = _balanced_paren(rest, loc)
@@ -536,18 +627,27 @@ class _StatementClassifier:
         raise ParseError(f"bad dimension spec {text!r}", loc)
 
     def _data(self, text: str, loc: SourceLocation) -> ast.DataDecl:
+        """Parse a condensed DATA statement (``text`` includes the DATA
+        keyword, so reported offsets are absolute within the statement
+        field — the classifier maps them back to card columns)."""
         targets: List[ast.Expr] = []
         values: List[ast.Expr] = []
-        i = 0
+        i = 4
         n = len(text)
         while i < n:
             j = _find_toplevel(text, "/", i)
             if j < 0:
-                raise ParseError(f"malformed DATA statement {text!r}", loc)
+                raise self._data_error(
+                    f"malformed DATA statement {text!r}: missing '/' value "
+                    f"list", loc, i)
             for t in _split_toplevel(text[i:j].strip(","), ","):
                 if t:
-                    targets.append(parse_expression(t, loc))
-            k = text.index("/", j + 1)
+                    targets.extend(self._expand_data_target(t, loc, {}, i))
+            k = text.find("/", j + 1)
+            if k < 0:
+                raise self._data_error(
+                    f"malformed DATA statement {text!r}: unterminated value "
+                    f"list", loc, j)
             for v in _split_toplevel(text[j + 1:k], ","):
                 m = re.match(r"^(\d+)\*(.+)$", v)
                 if m:
@@ -559,7 +659,125 @@ class _StatementClassifier:
             i = k + 1
             if i < n and text[i] == ",":
                 i += 1
+        # no target/value count check: a whole-array target (DATA A/10*0./)
+        # legitimately consumes many values; the interpreter pairs them up
         return ast.DataDecl(targets, values)
+
+    @staticmethod
+    def _data_error(message: str, loc: SourceLocation,
+                    offset: int) -> ParseError:
+        err = ParseError(message, loc)
+        # condensed offset of the failing region; the classifier converts
+        # it to a card column for the structured diagnostic
+        err.condensed_offset = offset  # type: ignore[attr-defined]
+        return err
+
+    def _expand_data_target(self, t: str, loc: SourceLocation,
+                            env: dict, offset: int) -> List[ast.Expr]:
+        """Expand one DATA target item; implied-DO loops over constant
+        bounds become explicit element references."""
+        if t.startswith("("):
+            inner, after = _balanced_paren(t, loc)
+            if not after:
+                parts = _split_toplevel(inner, ",")
+                ci = None
+                m = None
+                for idx, part in enumerate(parts):
+                    m = re.match(r"^([A-Z][A-Z0-9_$]*)=", part)
+                    if m and _find_toplevel(part, "=") >= 0:
+                        ci = idx
+                        break
+                if ci is None or ci == 0:
+                    raise self._data_error(
+                        f"malformed implied-DO in DATA ({inner})", loc,
+                        offset)
+                ctrl = parts[ci:]
+                if len(ctrl) not in (2, 3):
+                    raise self._data_error(
+                        f"implied-DO in DATA needs 2 or 3 control "
+                        f"expressions ({inner})", loc, offset)
+                var = m.group(1)
+                start = self._const_int(ctrl[0][m.end():], loc, env, offset)
+                stop = self._const_int(ctrl[1], loc, env, offset)
+                step = (self._const_int(ctrl[2], loc, env, offset)
+                        if len(ctrl) == 3 else 1)
+                if step == 0:
+                    raise self._data_error(
+                        "implied-DO in DATA has step 0", loc, offset)
+                out: List[ast.Expr] = []
+                iv = start
+                while (iv <= stop) if step > 0 else (iv >= stop):
+                    env2 = dict(env)
+                    env2[var] = iv
+                    for item in parts[:ci]:
+                        out.extend(self._expand_data_target(item, loc, env2,
+                                                            offset))
+                    iv += step
+                return out
+        e = parse_expression(t, loc)
+        if env:
+            e = _subst_const(e, env)
+        return [e]
+
+    def _const_int(self, text: str, loc: SourceLocation, env: dict,
+                   offset: int) -> int:
+        try:
+            e = _subst_const(parse_expression(text, loc), env)
+        except ParseError:
+            e = None
+        if not isinstance(e, ast.IntLit):
+            raise self._data_error(
+                f"implied-DO bound {text!r} in DATA is not a constant", loc,
+                offset)
+        return e.value
+
+
+def _enrich_parse_error(e: ParseError, line: LogicalLine) -> ParseError:
+    """Attach the offending source excerpt and a card column to a
+    classification error (service responses render ``payload()``, which
+    would otherwise lose the source line entirely)."""
+    if e.excerpt is not None:
+        return e
+    _, cmap = condense_with_map(line.text)
+    offset = getattr(e, "condensed_offset", 0)
+    if cmap:
+        offset = min(max(offset, 0), len(cmap) - 1)
+        column = 7 + cmap[offset]
+    else:
+        column = 7
+    loc = e.location or line.location
+    enriched = ParseError(
+        e.bare_message,
+        SourceLocation(loc.filename, loc.line, column),
+        excerpt=line.text.rstrip())
+    return enriched
+
+
+def _subst_const(e: ast.Expr, env: dict) -> ast.Expr:
+    """Substitute implied-DO variables with their integer values and fold
+    the resulting constant integer arithmetic."""
+
+    def fn(x: ast.Expr) -> Optional[ast.Expr]:
+        if isinstance(x, ast.Var) and x.name in env:
+            return ast.IntLit(env[x.name])
+        if isinstance(x, ast.UnOp) and x.op == "-" \
+                and isinstance(x.operand, ast.IntLit):
+            return ast.IntLit(-x.operand.value)
+        if isinstance(x, ast.BinOp) and isinstance(x.left, ast.IntLit) \
+                and isinstance(x.right, ast.IntLit):
+            lv, rv = x.left.value, x.right.value
+            if x.op == "+":
+                return ast.IntLit(lv + rv)
+            if x.op == "-":
+                return ast.IntLit(lv - rv)
+            if x.op == "*":
+                return ast.IntLit(lv * rv)
+            if x.op == "/" and rv != 0:
+                # Fortran integer division truncates toward zero
+                return ast.IntLit(int(lv / rv))
+        return None
+
+    return ast.map_expr(e, fn)
 
 
 # ---------------------------------------------------------------------------

@@ -197,3 +197,36 @@ def condense(stmt: str) -> str:
     if in_quote:
         raise LexError(f"unterminated character literal in {stmt!r}")
     return "".join(out)
+
+
+def condense_with_map(stmt: str) -> tuple:
+    """Like :func:`condense`, but also map condensed indices back to the
+    statement-field offsets they came from.
+
+    Returns ``(condensed, indices)`` where ``indices[i]`` is the 0-based
+    offset into ``stmt`` of the character that produced ``condensed[i]``.
+    The fixed-form card column is ``7 + offset`` (the statement field
+    starts at column 7), which is what tolerant-frontend diagnostics
+    report.  Unterminated literals fall back to treating the tail as
+    ordinary text instead of raising, so the map is usable during error
+    recovery.
+    """
+    out: List[str] = []
+    indices: List[int] = []
+    in_quote: Optional[str] = None
+    for i, ch in enumerate(stmt):
+        if in_quote:
+            out.append(ch)
+            indices.append(i)
+            if ch == in_quote:
+                in_quote = None
+        elif ch in ("'", '"'):
+            in_quote = ch
+            out.append(ch)
+            indices.append(i)
+        elif ch == " " or ch == "\t":
+            continue
+        else:
+            out.append(ch.upper())
+            indices.append(i)
+    return "".join(out), indices

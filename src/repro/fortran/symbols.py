@@ -38,6 +38,9 @@ class VarInfo:
     char_len: Optional[int] = None
     saved: bool = False
     explicit_type: bool = False
+    #: name appears in an EQUIVALENCE group (storage-associated with other
+    #: names, so per-array dependence reasoning is unsound for it)
+    equivalenced: bool = False
 
     @property
     def is_array(self) -> bool:
@@ -138,6 +141,11 @@ def build_symbol_table(unit: ast.ProgramUnit) -> SymbolTable:
         elif isinstance(d, ast.SaveDecl):
             for name in d.names:
                 ensure(name).saved = True
+        elif isinstance(d, ast.EquivalenceDecl):
+            for group in d.groups:
+                for ref in group:
+                    if isinstance(ref, (ast.Var, ast.ArrayRef)):
+                        ensure(ref.name).equivalenced = True
         # EXTERNAL/INTRINSIC/DATA decls do not affect variable typing here
     for p in table.formals:
         v = ensure(p)

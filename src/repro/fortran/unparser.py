@@ -51,6 +51,8 @@ def _expr(e: ast.Expr, parent_prec: int) -> str:
         return ".TRUE." if e.value else ".FALSE."
     if isinstance(e, ast.Var):
         return e.name
+    if isinstance(e, ast.AltReturn):
+        return f"*{e.target}"
     if isinstance(e, (ast.ArrayRef, ast.FuncRef)):
         args = e.subs if isinstance(e, ast.ArrayRef) else e.args
         inner = ",".join(_expr(a, 0) for a in args)
@@ -161,7 +163,7 @@ def _entities(entities: Sequence[ast.Entity]) -> str:
     for e in entities:
         text = e.name
         if e.char_len is not None:
-            text += f"*{e.char_len}"
+            text += "*(*)" if e.char_len == -1 else f"*{e.char_len}"
         if e.dims is not None:
             text += "(" + ",".join(_dim(d) for d in e.dims) + ")"
         out.append(text)
@@ -179,7 +181,8 @@ def _decl(w: _Writer, d: ast.Decl, indent: int) -> None:
     if isinstance(d, ast.TypeDecl):
         typename = d.typename
         if d.typename == "CHARACTER" and d.char_len is not None:
-            typename = f"CHARACTER*{d.char_len}"
+            typename = ("CHARACTER*(*)" if d.char_len == -1
+                        else f"CHARACTER*{d.char_len}")
         w.stmt(f"{typename} {_entities(d.entities)}", indent=indent)
     elif isinstance(d, ast.DimensionDecl):
         w.stmt(f"DIMENSION {_entities(d.entities)}", indent=indent)
@@ -200,6 +203,11 @@ def _decl(w: _Writer, d: ast.Decl, indent: int) -> None:
         w.stmt(f"EXTERNAL {','.join(d.names)}", indent=indent)
     elif isinstance(d, ast.IntrinsicDecl):
         w.stmt(f"INTRINSIC {','.join(d.names)}", indent=indent)
+    elif isinstance(d, ast.EquivalenceDecl):
+        groups = ",".join(
+            "(" + ",".join(expr_to_str(r) for r in g) + ")"
+            for g in d.groups)
+        w.stmt(f"EQUIVALENCE {groups}", indent=indent)
     elif isinstance(d, ast.ImplicitDecl):
         w.stmt(f"IMPLICIT {d.text}", indent=indent)
     else:
@@ -215,7 +223,9 @@ def _body(w: _Writer, body: Sequence[ast.Stmt], indent: int,
 def _is_simple(s: ast.Stmt) -> bool:
     """Statements permitted inside a one-line logical IF."""
     return isinstance(s, (ast.Assign, ast.CallStmt, ast.Goto, ast.Continue,
-                          ast.Return, ast.Stop, ast.IoStmt))
+                          ast.Return, ast.Stop, ast.IoStmt,
+                          ast.ComputedGoto, ast.AssignedGoto,
+                          ast.LabelAssign))
 
 
 def _stmt(w: _Writer, s: ast.Stmt, indent: int, step: int) -> None:
@@ -231,10 +241,30 @@ def _stmt(w: _Writer, s: ast.Stmt, indent: int, step: int) -> None:
         w.stmt(f"CALL {s.name}({args})", s.label, indent)
     elif isinstance(s, ast.Goto):
         w.stmt(f"GO TO {s.target}", s.label, indent)
+    elif isinstance(s, ast.ComputedGoto):
+        targets = ",".join(str(t) for t in s.targets)
+        w.stmt(f"GO TO ({targets}), {expr_to_str(s.index)}", s.label, indent)
+    elif isinstance(s, ast.AssignedGoto):
+        text = f"GO TO {s.var}"
+        if s.targets:
+            text += ", (" + ",".join(str(t) for t in s.targets) + ")"
+        w.stmt(text, s.label, indent)
+    elif isinstance(s, ast.LabelAssign):
+        w.stmt(f"ASSIGN {s.target_label} TO {s.var}", s.label, indent)
+    elif isinstance(s, ast.EntryStmt):
+        text = f"ENTRY {s.name}"
+        if s.params:
+            text += "(" + ",".join(s.params) + ")"
+        w.stmt(text, s.label, indent)
+    elif isinstance(s, ast.Opaque):
+        w.stmt(s.text, s.label, indent)
     elif isinstance(s, ast.Continue):
         w.stmt("CONTINUE", s.label, indent)
     elif isinstance(s, ast.Return):
-        w.stmt("RETURN", s.label, indent)
+        if s.alt is not None:
+            w.stmt(f"RETURN {expr_to_str(s.alt)}", s.label, indent)
+        else:
+            w.stmt("RETURN", s.label, indent)
     elif isinstance(s, ast.Stop):
         text = "STOP"
         if s.message is not None:

@@ -133,6 +133,12 @@ def observe_statements() -> List[ast.Stmt]:
 # the generator
 # ---------------------------------------------------------------------------
 
+#: generator dialects: ``core`` is the original grammar; ``extended``
+#: adds the tolerant-frontend constructs that execute in both runtime
+#: backends (computed GOTO, DATA with repeat counts)
+DIALECTS = ("core", "extended")
+
+
 @dataclass(frozen=True)
 class GeneratorOptions:
     """Feature switches (all on by default)."""
@@ -145,6 +151,7 @@ class GeneratorOptions:
     induction: bool = True
     reductions: bool = True
     nested: bool = True
+    dialect: str = "core"
 
 
 @dataclass
@@ -184,6 +191,14 @@ class ProgramGenerator:
         self.features: List[str] = []
         self._callees: List[ast.ProgramUnit] = []
         self._functions: List[str] = []
+        self._main_decls: List[ast.Decl] = []
+        self._next_label = 900
+
+    def _fresh_label(self) -> int:
+        """A statement label no other production uses (900, 901, ...)."""
+        label = self._next_label
+        self._next_label += 1
+        return label
 
     # -- expression-level pieces -------------------------------------
 
@@ -366,6 +381,53 @@ class ProgramGenerator:
         return [ast.Assign(ast.Var("I"), ast.IntLit(self.rng.randint(1, N))),
                 call]
 
+    # -- extended-dialect blocks --------------------------------------
+
+    def computed_goto_block(self) -> List[ast.Stmt]:
+        """``GO TO (l1, ..., ln), K`` straight-line control flow.  The
+        selector sometimes lands outside ``1..n`` to exercise the F77
+        fall-through rule; each arm updates a distinct B cell and jumps
+        to the join label, so the executed-arm set is deterministic and
+        observable through COMMON memory."""
+        self._note("computed-goto")
+        n = self.rng.randint(2, 3)
+        labels = [self._fresh_label() for _ in range(n)]
+        join = self._fresh_label()
+        sel = self.rng.randint(0, n + 1)
+        out: List[ast.Stmt] = [
+            ast.Assign(ast.Var("K"), ast.IntLit(sel)),
+            ast.ComputedGoto(tuple(labels), ast.Var("K")),
+        ]
+        for i, lab in enumerate(labels):
+            cell = ast.ArrayRef("B", (ast.IntLit(i + 1),))
+            out.append(ast.Assign(
+                cell, ast.BinOp("+", cell, ast.RealLit(float(i + 1))),
+                label=lab))
+            if i < n - 1:
+                out.append(ast.Goto(join))
+        out.append(ast.Continue(label=join))
+        return out
+
+    def data_block(self) -> List[ast.Stmt]:
+        """A DATA-initialized local array consumed by a (parallelizable)
+        loop: ``REAL Wi(8)`` + ``DATA Wi/.../`` + ``A(I) = A(I)+Wi(I)``.
+        The parser expands repeat counts, so the shipped source and the
+        built AST carry the same per-element value list."""
+        self._note("data")
+        name = f"W{len(self._main_decls) // 2 + 1}"
+        first = ast.RealLit(self.rng.randint(1, 4) / 2.0)
+        second = ast.RealLit(self.rng.randint(1, 4) / 2.0)
+        self._main_decls.append(ast.TypeDecl(
+            "REAL", [ast.Entity(name, (ast.Dim.upto(ast.IntLit(N)),))]))
+        self._main_decls.append(ast.DataDecl(
+            targets=[ast.Var(name)],
+            values=[first] * (N // 2) + [second] * (N // 2)))
+        arr = self.rng.choice(ARRAYS)
+        cell = ast.ArrayRef(arr, (ast.Var("I"),))
+        return [ast.DoLoop("I", ast.IntLit(1), ast.IntLit(N), None, [
+            ast.Assign(cell, ast.BinOp(
+                "+", cell, ast.ArrayRef(name, (ast.Var("I"),))))])]
+
     # -- callees ------------------------------------------------------
 
     def callee(self, idx: int) -> ast.ProgramUnit:
@@ -465,6 +527,8 @@ class ProgramGenerator:
             menu.append("non_affine")
         if self._callees:
             menu += ["call", "call"]
+        if opts.dialect == "extended":
+            menu += ["computed_goto", "data"]
 
         body = init_statements()
         for _ in range(self.rng.randint(1, opts.max_blocks)):
@@ -475,9 +539,12 @@ class ProgramGenerator:
                 "induction": "induction_block",
                 "non_affine": "non_affine_loop",
                 "guarded": "guarded_loop", "call": "call_block",
+                "computed_goto": "computed_goto_block",
+                "data": "data_block",
             }[kind])()
         body += observe_statements()
-        units = [wrap_main(body)] + self._callees + funcs
+        units = [wrap_main(body, common_decls() + self._main_decls)] \
+            + self._callees + funcs
         return make_program(units, "fuzz")
 
     def _note(self, feature: str) -> None:

@@ -60,6 +60,16 @@ class InlinePolicy:
             return "save"
         if acc.has_goto:
             return "goto"
+        if acc.has_opaque:
+            # ENTRY points (multiple entries cannot be spliced) or
+            # unlowered tolerant-frontend statements
+            return "unanalyzable"
+        if any(isinstance(d, ast.EquivalenceDecl) for d in callee.decls):
+            # splicing renames locals, which breaks storage association
+            return "equivalence"
+        if any(isinstance(s, ast.Return) and s.alt is not None
+               for s in ast.walk_stmts(callee.body)):
+            return "alternate-return"
         return None
 
 

@@ -101,6 +101,18 @@ def _diagnose_loop(program: Program, unit: ast.ProgramUnit,
         diag.obstacles.append("possible early termination (STOP)")
     if acc.has_io:
         diag.obstacles.append("program I/O in the loop body")
+    if acc.has_opaque:
+        diag.obstacles.append(
+            "unanalyzable statement in the body (ENTRY or unlowered text)")
+    for name in sorted(acc.unanalyzable):
+        diag.obstacles.append(
+            f"unanalyzable access to {name} (substring or assigned label)")
+    for name in sorted(set(acc.scalar_reads) | set(acc.scalar_writes)
+                       | {a for a, _, _ in acc.array_accesses}):
+        v = table.declared(name)
+        if v is not None and v.equivalenced:
+            diag.obstacles.append(
+                f"{name} is storage-associated via EQUIVALENCE")
 
     # calls
     for s in ast.walk_stmts(loop.body):

@@ -73,6 +73,14 @@ class LegalityAnalyzer:
                 return fail("control-flow", "RETURN")
         if acc.has_io:
             return fail("io")
+        if acc.has_opaque:
+            return fail("unanalyzable",
+                        "unlowered statement or ENTRY point in body")
+        if acc.unanalyzable:
+            return fail("unanalyzable", sorted(acc.unanalyzable)[0])
+        equivalenced = self._equivalenced_access(acc)
+        if equivalenced:
+            return fail("equivalence", equivalenced)
         if loop.var.upper() in acc.scalar_writes:
             return fail("index-modified", loop.var)
 
@@ -139,6 +147,18 @@ class LegalityAnalyzer:
 
     def _scalar_written(self, name: str, acc) -> bool:
         return name in acc.scalar_writes
+
+    def _equivalenced_access(self, acc) -> Optional[str]:
+        """First accessed name that is storage-associated via EQUIVALENCE
+        (aliasing makes the per-array dependence model unsound)."""
+        accessed = (set(acc.scalar_reads) | set(acc.scalar_writes)
+                    | {name for name, _, _ in acc.array_accesses}
+                    | set(acc.call_args))
+        for name in sorted(accessed):
+            v = self.table.declared(name)
+            if v is not None and v.equivalenced:
+                return name
+        return None
 
     # ------------------------------------------------------------------
     def _array_sites(

@@ -1301,6 +1301,12 @@ def _emit_stmt(cc: _Ctx, reg: _Region, s: ast.Stmt) -> None:
         instrs.append(instr)
     elif isinstance(s, ast.Goto):
         _emit_goto(cc, reg, s)
+    elif isinstance(s, ast.ComputedGoto):
+        _emit_computed_goto(cc, reg, s)
+    elif isinstance(s, ast.LabelAssign):
+        _emit_label_assign(cc, reg, s)
+    elif isinstance(s, ast.AssignedGoto):
+        _emit_assigned_goto(cc, reg, s)
     elif isinstance(s, ast.Continue):
         nxt = len(instrs) + 1
 
@@ -1588,6 +1594,97 @@ def _emit_goto(cc: _Ctx, reg: _Region, s: ast.Goto) -> None:
         def instr(ex, fr, ls, cell=cell, levels=levels):
             _stmt_charge(ex, 1.0)
             raise _CrossGoto(levels, cell)
+    instrs.append(instr)
+
+
+def _resolve_label(cc: _Ctx, target: int):
+    """(cell, levels) for a label visible from the current scope stack;
+    (None, 0) when unresolved (handled at runtime via _GotoSignal)."""
+    for labels, depth in reversed(cc.scopes):
+        if target in labels:
+            return labels[target], cc.omp_depth - depth
+    return None, 0
+
+
+def _emit_computed_goto(cc: _Ctx, reg: _Region, s: ast.ComputedGoto) -> None:
+    instrs = reg.instrs
+    nxt = len(instrs) + 1
+    pure, charged, count = compile_expr(s.index, cc)
+    if charged is None:
+        amt = 1.0 + 0.5 * count
+        ieval = pure
+    else:
+        amt = 1.0
+        ieval = charged
+    resolved = tuple(
+        (target,) + _resolve_label(cc, target) for target in s.targets)
+    n = len(resolved)
+
+    def instr(ex, fr, ls):
+        _stmt_charge(ex, amt)
+        idx = int(ieval(ex, fr))
+        # F77 semantics: an index outside 1..n falls through
+        if not 1 <= idx <= n:
+            return nxt
+        target, cell, levels = resolved[idx - 1]
+        if cell is None:
+            raise _GotoSignal(target)
+        if levels:
+            raise _CrossGoto(levels, cell)
+        return cell[0]
+    instrs.append(instr)
+
+
+def _emit_label_assign(cc: _Ctx, reg: _Region, s: ast.LabelAssign) -> None:
+    instrs = reg.instrs
+    nxt = len(instrs) + 1
+    vname = s.var.upper()
+    value = float(s.target_label)
+
+    def instr(ex, fr, ls):
+        _stmt_charge(ex, 1.0)
+        ref = fr.vars.get(vname)
+        if ref is None:
+            ref = ex._local(vname, fr)
+        if not isinstance(ref, ScalarRef):
+            raise InterpreterError(f"ASSIGN target {s.var} is an array")
+        ref.set(value)
+        return nxt
+    instrs.append(instr)
+
+
+def _emit_assigned_goto(cc: _Ctx, reg: _Region, s: ast.AssignedGoto) -> None:
+    instrs = reg.instrs
+    if not s.targets:
+        def instr(ex, fr, ls):
+            _stmt_charge(ex, 1.0)
+            raise InterpreterError(
+                "assigned GOTO without a label list is not executable")
+        instrs.append(instr)
+        return
+    pure, charged, count = compile_expr(ast.Var(s.var), cc)
+    if charged is None:
+        amt = 1.0 + 0.5 * count
+        veval = pure
+    else:
+        amt = 1.0
+        veval = charged
+    targets = s.targets
+    resolved = {
+        target: _resolve_label(cc, target) for target in targets}
+
+    def instr(ex, fr, ls):
+        _stmt_charge(ex, amt)
+        idx = int(veval(ex, fr))
+        if idx not in resolved:
+            raise InterpreterError(
+                f"assigned GOTO label {idx} not in its label list")
+        cell, levels = resolved[idx]
+        if cell is None:
+            raise _GotoSignal(idx)
+        if levels:
+            raise _CrossGoto(levels, cell)
+        return cell[0]
     instrs.append(instr)
 
 

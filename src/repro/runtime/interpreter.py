@@ -379,6 +379,26 @@ class Interpreter:
             self._call(s.name, s.args, frame)
         elif isinstance(s, ast.Goto):
             raise _GotoSignal(s.target)
+        elif isinstance(s, ast.ComputedGoto):
+            idx = int(self._eval(s.index, frame))
+            # F77 semantics: an index outside 1..n falls through
+            if 1 <= idx <= len(s.targets):
+                raise _GotoSignal(s.targets[idx - 1])
+        elif isinstance(s, ast.LabelAssign):
+            ref = self._local(s.var, frame)
+            if not isinstance(ref, ScalarRef):
+                raise InterpreterError(
+                    f"ASSIGN target {s.var} is an array")
+            ref.set(float(s.target_label))
+        elif isinstance(s, ast.AssignedGoto):
+            if not s.targets:
+                raise InterpreterError(
+                    "assigned GOTO without a label list is not executable")
+            idx = int(self._eval(ast.Var(s.var), frame))
+            if idx not in s.targets:
+                raise InterpreterError(
+                    f"assigned GOTO label {idx} not in its label list")
+            raise _GotoSignal(idx)
         elif isinstance(s, (ast.Continue,)):
             pass
         elif isinstance(s, ast.Return):

@@ -23,7 +23,7 @@ from repro.obs import logging as obs_logging
 from repro.obs import metrics as obs_metrics
 
 #: payload kinds understood by :func:`execute_payload`
-PAYLOAD_KINDS = ("benchmark", "sources", "probe")
+PAYLOAD_KINDS = ("benchmark", "sources", "probe", "parallelize")
 
 
 def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -36,7 +36,12 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     * ``sources`` — literal ``{filename: fortran}`` sources with
       optional annotation text, same configurations;
     * ``probe`` — tiny diagnostic ops (``echo``/``sleep``/
-      ``crash-once``) used by health checks and the service tests.
+      ``crash-once``) used by health checks and the service tests;
+    * ``parallelize`` — real-world ``{filename: fortran}`` sources
+      through the tolerant fixed-form frontend
+      (:func:`repro.fortran.fixedform.parallelize_source`): the result
+      carries the annotated OpenMP source plus recovery diagnostics and
+      per-loop decision explanations.
 
     ``benchmark`` and ``sources`` payloads additionally accept an
     ``annotations_mode`` key (``hand``/``inferred``/``demand``) choosing
@@ -47,6 +52,8 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     backend = payload.get("backend")
     if kind == "probe":
         return _execute_probe(payload)
+    if kind == "parallelize":
+        return _execute_parallelize(payload)
     annotations_mode = payload.get("annotations_mode", "hand")
     if kind == "benchmark":
         from repro.perfect import get_benchmark
@@ -70,6 +77,26 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
                              annotations_mode=annotations_mode)
     raise ValueError(f"unknown payload kind {kind!r}; "
                      f"expected one of {PAYLOAD_KINDS}")
+
+
+def _execute_parallelize(payload: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.annotations.infer import ANNOTATION_MODES
+    from repro.fortran.fixedform import parallelize_source
+    sources = payload.get("sources")
+    if not isinstance(sources, dict) or not sources:
+        raise ValueError("'parallelize' payload needs a non-empty "
+                         "{filename: text} mapping")
+    config = payload.get("config", "annotation")
+    if config not in ("none", "conventional", "annotation"):
+        raise ValueError(f"unknown config {config!r}")
+    mode = payload.get("annotations_mode", "inferred")
+    if mode not in ANNOTATION_MODES:
+        raise ValueError(f"unknown annotations mode {mode!r}; "
+                         f"expected one of {ANNOTATION_MODES}")
+    return parallelize_source(
+        dict(sources), config=config, annotations_mode=mode,
+        annotations_text=payload.get("annotations", ""),
+        tolerant=bool(payload.get("tolerant", True)))
 
 
 def _run_pipeline(benchmark, config_kind: str, trace: bool = False,

@@ -174,6 +174,50 @@ class TestForwardSubstitution:
         forward_substitute_block(unit.body, build_symbol_table(unit))
         assert unit.body[-1].target.subs[0] == pe("N")
 
+    def test_label_is_a_join_point(self):
+        # control can reach label 10 from the GOTO carrying N=5, so the
+        # fall-through binding N=7 must not substitute into A(N)
+        unit = parse_source(
+            "      SUBROUTINE S\n"
+            "      DIMENSION A(100)\n"
+            "      N = 5\n"
+            "      GO TO 10\n"
+            "      N = 7\n"
+            "   10 A(N) = 0.0\n"
+            "      END\n").units[0]
+        forward_substitute_block(unit.body, build_symbol_table(unit))
+        assert unit.body[-1].target.subs[0] == pe("N")
+
+    def test_computed_goto_arms_do_not_leak_bindings(self):
+        unit = parse_source(
+            "      SUBROUTINE S\n"
+            "      DIMENSION A(100)\n"
+            "      K = 1\n"
+            "      GO TO (10, 20), K\n"
+            "      K = 2\n"
+            "   10 K = K + 3\n"
+            "   20 A(K) = 0.0\n"
+            "      END\n").units[0]
+        forward_substitute_block(unit.body, build_symbol_table(unit))
+        # at runtime K is 4 (1, jump to 10, +3); substituting the linear
+        # chain 1 -> 2 -> 2+3 would store through A(5)
+        assert unit.body[-1].target.subs[0] == pe("K")
+
+    def test_opaque_statement_clears_env(self):
+        from repro.fortran.fixedform import parse_source_tolerant
+        sf, _ = parse_source_tolerant(
+            "      SUBROUTINE S\n"
+            "      DIMENSION A(100)\n"
+            "      N = 5\n"
+            "      X = = 1.0\n"
+            "      A(N) = 0.0\n"
+            "      END\n")
+        unit = sf.units[0]
+        assert isinstance(unit.body[1], ast.Opaque)
+        forward_substitute_block(unit.body, build_symbol_table(unit))
+        # the boxed statement may write anything, N included
+        assert unit.body[-1].target.subs[0] == pe("N")
+
     def test_real_scalar_not_substituted(self):
         unit = parse_source(
             "      SUBROUTINE S\n"

@@ -1,0 +1,17 @@
+      PROGRAM ALTRET
+      REAL A(8)
+      INTEGER I
+      DO 10 I = 1, 8
+         CALL CHECKD(A(I), *30)
+   10 CONTINUE
+      GO TO 40
+   30 A(1) = -1.0
+   40 CONTINUE
+      WRITE(6,*) A(1)
+      END
+      SUBROUTINE CHECKD(X, *)
+      REAL X
+      IF (X .GT. 1000.0) RETURN 1
+      X = X * 0.5
+      RETURN
+      END

@@ -1,0 +1,12 @@
+      PROGRAM AGOTO
+      REAL A(16)
+      INTEGER I, LAB
+      ASSIGN 20 TO LAB
+      GO TO LAB, (10, 20)
+   10 A(1) = 1.0
+   20 CONTINUE
+      DO 30 I = 1, 16
+         A(I) = A(I) + 2.0
+   30 CONTINUE
+      WRITE(6,*) A(2)
+      END

@@ -1,0 +1,9 @@
+      PROGRAM BADLAB
+      REAL A(8)
+      INTEGER I
+      DO 10 I = 1, 8
+         A(I) = 1.5
+   10 CONTINUE
+  X9Z A(1) = A(1) + 1.0
+      WRITE(6,*) A(1)
+      END

@@ -1,0 +1,10 @@
+      PROGRAM CARRY
+      REAL A(65)
+      INTEGER I
+      DATA A /65*0.0/
+      A(1) = 1.0
+      DO 10 I = 1, 64
+         A(I+1) = A(I) * 1.5
+   10 CONTINUE
+      WRITE(6,*) A(65)
+      END

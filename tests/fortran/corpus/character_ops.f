@@ -1,0 +1,13 @@
+      PROGRAM CHAROP
+      CHARACTER*8 NAME
+      CHARACTER*16 TITLE
+      REAL A(24)
+      INTEGER I
+      NAME = 'RESULT'
+      TITLE = NAME // ': OK'
+      NAME(1:3) = 'OUT'
+      DO 10 I = 1, 24
+         A(I) = REAL(I) + 0.25
+   10 CONTINUE
+      WRITE(6,*) NAME, TITLE, A(5)
+      END

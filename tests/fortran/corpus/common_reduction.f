@@ -1,0 +1,13 @@
+      PROGRAM COMRED
+      COMMON /SHARED/ V(48), TOTAL
+      REAL V, TOTAL
+      INTEGER I
+      DO 10 I = 1, 48
+         V(I) = REAL(I) * 0.5
+   10 CONTINUE
+      TOTAL = 0.0
+      DO 20 I = 1, 48
+         TOTAL = TOTAL + V(I)
+   20 CONTINUE
+      WRITE(6,*) TOTAL
+      END

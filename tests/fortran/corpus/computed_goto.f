@@ -1,0 +1,16 @@
+      PROGRAM CGOTO
+      REAL A(32)
+      INTEGER I, K
+      K = 2
+      GO TO (10, 20, 30), K
+   10 K = K + 7
+      GO TO 40
+   20 K = K + 11
+      GO TO 40
+   30 K = K + 13
+   40 CONTINUE
+      DO 50 I = 1, 32
+         A(I) = REAL(I) * 0.5
+   50 CONTINUE
+      WRITE(6,*) A(3), K
+      END

@@ -1,0 +1,10 @@
+      PROGRAM DATAID
+      REAL W(12), A(12)
+      INTEGER I
+      DATA (W(I), I = 1, 6) /6*1.5/
+      DATA (W(I), I = 7, 12) /2.0, 2.5, 3.0, 3.5, 4.0, 4.5/
+      DO 10 I = 1, 12
+         A(I) = W(I) * 2.0
+   10 CONTINUE
+      WRITE(6,*) A(1), A(12)
+      END

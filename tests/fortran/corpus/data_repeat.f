@@ -1,0 +1,9 @@
+      PROGRAM DATARP
+      REAL W(10)
+      INTEGER I
+      DATA W /10*0.5/
+      DO 10 I = 1, 10
+         W(I) = W(I) + REAL(I)
+   10 CONTINUE
+      WRITE(6,*) W(10)
+      END

@@ -1,0 +1,16 @@
+      PROGRAM ENTRYP
+      REAL A(16)
+      INTEGER I
+      DO 10 I = 1, 16
+         CALL FIRST(A(I))
+   10 CONTINUE
+      WRITE(6,*) A(7)
+      END
+      SUBROUTINE FIRST(X)
+      REAL X
+      X = X + 1.0
+      RETURN
+      ENTRY SECOND(X)
+      X = X - 1.0
+      RETURN
+      END

@@ -1,0 +1,12 @@
+      PROGRAM EQUIV
+      REAL A(64), B(64), C(64)
+      INTEGER I
+      EQUIVALENCE (A(1), B(1))
+      DO 10 I = 1, 64
+         A(I) = B(I) + 1.0
+   10 CONTINUE
+      DO 20 I = 1, 64
+         C(I) = 2.0 * C(I)
+   20 CONTINUE
+      WRITE(6,*) A(1), C(1)
+      END

@@ -1,0 +1,17 @@
+      PROGRAM INTERP
+      REAL A(64), B(64)
+      INTEGER I
+      DO 10 I = 1, 64
+         A(I) = REAL(I)
+         B(I) = 0.0
+   10 CONTINUE
+      DO 20 I = 1, 64
+         CALL SCALE1(A(I), B(I))
+   20 CONTINUE
+      WRITE(6,*) B(32)
+      END
+      SUBROUTINE SCALE1(X, Y)
+      REAL X, Y
+      Y = X * 2.0 + 1.0
+      RETURN
+      END

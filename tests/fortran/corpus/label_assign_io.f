@@ -1,0 +1,11 @@
+      PROGRAM LABIO
+      REAL A(16)
+      INTEGER I, HOP
+      ASSIGN 30 TO HOP
+      DO 10 I = 1, 16
+         A(I) = REAL(I) * 0.125
+   10 CONTINUE
+      GO TO HOP, (20, 30)
+   20 WRITE(6,*) 'NOT TAKEN'
+   30 WRITE(6,*) A(16)
+      END

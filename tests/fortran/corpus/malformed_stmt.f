@@ -1,0 +1,9 @@
+      PROGRAM BADSTM
+      REAL A(16)
+      INTEGER I
+      THIS LINE IS NOT FORTRAN AT ALL %%%
+      DO 10 I = 1, 16
+         A(I) = REAL(I) * 3.0
+   10 CONTINUE
+      WRITE(6,*) A(8)
+      END

@@ -1,0 +1,7 @@
+      PROGRAM NOEND
+      REAL A(8)
+      INTEGER I
+      DO 10 I = 1, 8
+         A(I) = 4.0
+   10 CONTINUE
+      WRITE(6,*) A(2)

@@ -1,0 +1,7 @@
+      PROGRAM NOENDO
+      REAL A(16)
+      INTEGER I
+      DO I = 1, 16
+         A(I) = REAL(I) * 0.5
+      WRITE(6,*) A(3)
+      END

@@ -1,0 +1,7 @@
+      PROGRAM NOENIF
+      REAL X
+      X = 2.0
+      IF (X .GT. 1.0) THEN
+         X = X - 1.0
+      WRITE(6,*) X
+      END

@@ -1,0 +1,22 @@
+      PROGRAM MIXED
+      REAL A(64), B(64), C(64), D(64)
+      CHARACTER*8 TAG
+      INTEGER I, K
+      EQUIVALENCE (A(1), B(1))
+      DATA C /64*1.0/
+      TAG = 'MIXED'
+      TAG(6:8) = 'RUN'
+      K = 1
+      GO TO (10, 20), K
+   10 K = K + 1
+      GO TO 30
+   20 K = K + 2
+   30 CONTINUE
+      DO 40 I = 1, 64
+         A(I) = B(I) + C(I)
+   40 CONTINUE
+      DO 50 I = 1, 64
+         D(I) = C(I) * 2.0 + REAL(I)
+   50 CONTINUE
+      WRITE(6,*) TAG, A(1), D(64), K
+      END

@@ -1,0 +1,7 @@
+     &X = 3.0
+      PROGRAM ORPHAN
+      REAL X
+      X = 2.0
+      X = X * 2.0
+      WRITE(6,*) X
+      END

@@ -1,0 +1,7 @@
+      PROGRAM STRAYC
+      REAL X
+      X = 1.0
+      ENDIF
+      X = X + 1.0
+      WRITE(6,*) X
+      END

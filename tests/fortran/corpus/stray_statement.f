@@ -1,0 +1,9 @@
+      X = 99.0
+      PROGRAM STRAYS
+      REAL A(8)
+      INTEGER I
+      DO 10 I = 1, 8
+         A(I) = 2.5
+   10 CONTINUE
+      WRITE(6,*) A(5)
+      END

@@ -1,0 +1,11 @@
+      PROGRAM SUBSTR
+      CHARACTER*64 BUF
+      REAL A(8)
+      INTEGER I
+      BUF = ' '
+      DO 10 I = 1, 8
+         BUF(I:I) = '*'
+         A(I) = REAL(I)
+   10 CONTINUE
+      WRITE(6,*) BUF, A(4)
+      END

@@ -1,0 +1,10 @@
+      PROGRAM UNTERM
+      CHARACTER*12 MSG
+      REAL A(8)
+      INTEGER I
+      MSG = 'NO CLOSING QUOTE
+      DO 10 I = 1, 8
+         A(I) = 0.75
+   10 CONTINUE
+      WRITE(6,*) A(1)
+      END

@@ -1,0 +1,180 @@
+"""Dialect-construct goldens: parsing and unparsing of EQUIVALENCE,
+full DATA, computed/assigned GOTO, ENTRY, alternate returns and
+CHARACTER operations through the strict frontend."""
+
+from repro.fortran import ast
+from repro.fortran.parser import parse_source
+from repro.fortran.unparser import unparse
+
+
+def roundtrip(src):
+    tree = parse_source(src)
+    text = unparse(tree)
+    assert parse_source(text).units == tree.units, text
+    return tree, text
+
+
+def main_of(src):
+    return parse_source(src).units[0]
+
+
+def wrap(*stmts):
+    return ("      PROGRAM P\n"
+            + "".join(f"      {s}\n" for s in stmts)
+            + "      END\n")
+
+
+class TestEquivalence:
+    def test_parse_groups(self):
+        unit = main_of("      PROGRAM P\n"
+                       "      REAL A(4), B(4)\n"
+                       "      EQUIVALENCE (A(1), B(2)), (X, Y)\n"
+                       "      END\n")
+        eq = [d for d in unit.decls
+              if isinstance(d, ast.EquivalenceDecl)][0]
+        assert len(eq.groups) == 2
+        first = eq.groups[0]
+        assert isinstance(first[0], ast.ArrayRef) and first[0].name == "A"
+        assert isinstance(first[1], ast.ArrayRef) and first[1].name == "B"
+        assert [v.name for v in eq.groups[1]] == ["X", "Y"]
+
+    def test_unparse_golden(self):
+        _, text = roundtrip("      PROGRAM P\n"
+                            "      REAL A(4), B(4)\n"
+                            "      EQUIVALENCE (A(1), B(2)), (X, Y)\n"
+                            "      END\n")
+        assert "EQUIVALENCE (A(1),B(2)),(X,Y)" in text
+
+
+class TestData:
+    def test_repeat_counts_expand(self):
+        unit = main_of("      PROGRAM P\n"
+                       "      REAL A(4)\n"
+                       "      DATA A /2*1.0, 2*2.0/\n"
+                       "      END\n")
+        data = [d for d in unit.decls if isinstance(d, ast.DataDecl)][0]
+        assert [v.value for v in data.values] == [1.0, 1.0, 2.0, 2.0]
+
+    def test_implied_do_expands(self):
+        unit = main_of("      PROGRAM P\n"
+                       "      REAL B(4)\n"
+                       "      DATA (B(I), I = 1, 4) /4*0.5/\n"
+                       "      END\n")
+        data = [d for d in unit.decls if isinstance(d, ast.DataDecl)][0]
+        assert len(data.targets) == 4
+        assert all(isinstance(t, ast.ArrayRef) for t in data.targets)
+        assert data.targets[2].subs[0] == ast.IntLit(3)
+
+    def test_unparse_golden(self):
+        _, text = roundtrip("      PROGRAM P\n"
+                            "      REAL A(4)\n"
+                            "      DATA A /2*1.0, 2*2.0/\n"
+                            "      END\n")
+        assert "DATA A/1.0,1.0,2.0,2.0/" in text
+
+
+class TestComputedGoto:
+    SRC = wrap("K = 2",
+               "GO TO (10, 20, 30), K",
+               "X = 9.0") + ""
+
+    def test_parse(self):
+        unit = main_of(wrap("K = 2", "GO TO (10, 20, 30), K"))
+        cg = unit.body[1]
+        assert isinstance(cg, ast.ComputedGoto)
+        assert cg.targets == (10, 20, 30)
+        assert cg.index == ast.Var("K")
+
+    def test_unparse_golden(self):
+        _, text = roundtrip(wrap("K = 2", "GO TO (10, 20, 30), K"))
+        assert "GO TO (10,20,30), K" in text
+
+
+class TestAssignedGoto:
+    def test_parse_assign_and_goto(self):
+        unit = main_of("      PROGRAM P\n"
+                       "      ASSIGN 40 TO IGO\n"
+                       "      GO TO IGO, (40, 50)\n"
+                       "   40 CONTINUE\n"
+                       "   50 CONTINUE\n"
+                       "      END\n")
+        la, ag = unit.body[0], unit.body[1]
+        assert isinstance(la, ast.LabelAssign)
+        assert (la.target_label, la.var) == (40, "IGO")
+        assert isinstance(ag, ast.AssignedGoto)
+        assert (ag.var, ag.targets) == ("IGO", (40, 50))
+
+    def test_goto_without_target_list(self):
+        unit = main_of("      PROGRAM P\n"
+                       "      ASSIGN 40 TO IGO\n"
+                       "      GO TO IGO\n"
+                       "   40 CONTINUE\n"
+                       "      END\n")
+        ag = unit.body[1]
+        assert isinstance(ag, ast.AssignedGoto)
+        assert ag.targets == ()
+
+    def test_unparse_golden(self):
+        _, text = roundtrip("      PROGRAM P\n"
+                            "      ASSIGN 40 TO IGO\n"
+                            "      GO TO IGO, (40, 50)\n"
+                            "   40 CONTINUE\n"
+                            "   50 CONTINUE\n"
+                            "      END\n")
+        assert "ASSIGN 40 TO IGO" in text
+        assert "GO TO IGO, (40,50)" in text
+
+
+class TestEntryAndAlternateReturn:
+    SRC = ("      PROGRAM P\n"
+           "      REAL A(4)\n"
+           "      CALL SUB(A, *10)\n"
+           "   10 CONTINUE\n"
+           "      END\n"
+           "      SUBROUTINE SUB(V, *)\n"
+           "      REAL V(4)\n"
+           "      ENTRY SUB2(V)\n"
+           "      RETURN 1\n"
+           "      END\n")
+
+    def test_parse(self):
+        tree = parse_source(self.SRC)
+        call = tree.units[0].body[0]
+        assert isinstance(call.args[1], ast.AltReturn)
+        assert call.args[1].target == 10
+        sub = tree.units[1]
+        assert sub.params == ["V", "*"]
+        entry = [s for s in sub.body if isinstance(s, ast.EntryStmt)][0]
+        assert (entry.name, entry.params) == ("SUB2", ("V",))
+        ret = [s for s in sub.body if isinstance(s, ast.Return)][0]
+        assert ret.alt == ast.IntLit(1)
+
+    def test_unparse_golden(self):
+        _, text = roundtrip(self.SRC)
+        assert "CALL SUB(A,*10)" in text
+        assert "SUBROUTINE SUB(V,*)" in text
+        assert "ENTRY SUB2(V)" in text
+        assert "RETURN 1" in text
+
+
+class TestCharacterOps:
+    def test_concat_and_substring(self):
+        unit = main_of("      PROGRAM P\n"
+                       "      CHARACTER*8 NAME\n"
+                       "      NAME = 'AB' // 'CD'\n"
+                       "      NAME(3:4) = 'ZZ'\n"
+                       "      END\n")
+        concat = unit.body[0].value
+        assert isinstance(concat, ast.BinOp) and concat.op == "//"
+        sub = unit.body[1].target
+        # substring target lowers to a ranged reference on NAME
+        assert getattr(sub, "name", None) == "NAME"
+
+    def test_unparse_golden(self):
+        _, text = roundtrip("      PROGRAM P\n"
+                            "      CHARACTER*8 NAME\n"
+                            "      NAME = 'AB' // 'CD'\n"
+                            "      NAME(3:4) = 'ZZ'\n"
+                            "      END\n")
+        assert "NAME = 'AB'//'CD'" in text
+        assert "NAME(3:4) = 'ZZ'" in text

@@ -71,3 +71,27 @@ def test_array_bounds_are_respected():
     text = fuzz.source_text()
     for array in ARRAYS:
         assert f"{array}({ARRAY_EXTENT})" in text
+
+
+def test_core_dialect_never_emits_extended_features():
+    for seed in SAMPLE:
+        fuzz = generate(seed)
+        assert "computed-goto" not in fuzz.features
+        assert "data" not in fuzz.features
+
+
+def test_extended_dialect_emits_and_executes():
+    opts = GeneratorOptions(dialect="extended")
+    seen = set()
+    for seed in SAMPLE:
+        fuzz = generate(seed, opts)
+        seen.update(f for f in fuzz.features
+                    if f in ("computed-goto", "data"))
+        program = fuzz.program()
+        result = Interpreter(program, machine=None,
+                             honor_directives=False).run()
+        assert result.output
+        # the shipped text stays the reparse fixpoint with the new
+        # productions in play
+        assert "".join(program.unparse().values()) == fuzz.source_text()
+    assert seen == {"computed-goto", "data"}

@@ -134,6 +134,64 @@ class TestExecutePayload:
                              "config": "bogus"})
 
 
+class TestParallelizePayload:
+    DIALECT_SOURCE = ("      PROGRAM P\n"
+                      "      COMMON /R/ A(8)\n"
+                      "      X = = 1.0\n"
+                      "      DO 10 I = 1, 8\n"
+                      "        A(I) = A(I) + 1.0\n"
+                      "   10 CONTINUE\n"
+                      "      END\n")
+
+    def _payload(self, **extra):
+        payload = {"kind": "parallelize",
+                   "sources": {"prog.f": self.DIALECT_SOURCE}}
+        payload.update(extra)
+        return payload
+
+    def test_tolerant_pipeline_with_diagnostics(self):
+        result = execute_payload(self._payload())
+        assert "!$OMP PARALLEL DO" in result["output"]
+        assert result["parallel_count"] == 1
+        assert result["annotations_mode"] == "inferred"
+        # the malformed statement surfaces as a structured diagnostic
+        # carrying the offending source excerpt and position
+        (diag,) = result["diagnostics"]
+        assert diag["code"] == "parse-error"
+        assert diag["severity"] == "recovered"
+        assert diag["line"] == 3
+        assert "X = = 1.0" in diag["excerpt"]
+
+    def test_loop_records_carry_explanations(self):
+        result = execute_payload(self._payload())
+        (loop,) = result["loops"]
+        assert loop["parallel"] is True
+        assert loop["var"] == "I"
+        assert "PARALLEL" in loop["explanation"]
+
+    def test_interprocedural_sources(self):
+        result = execute_payload(
+            {"kind": "parallelize", "sources": {"prog.f": SOURCE}})
+        assert result["diagnostics"] == []
+        assert result["parallel_count"] >= 2
+        assert "CALL FILLR" in result["output"]
+
+    def test_empty_sources_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            execute_payload({"kind": "parallelize", "sources": {}})
+
+    def test_bad_mode_raises(self):
+        with pytest.raises(ValueError, match="annotations mode"):
+            execute_payload(self._payload(annotations_mode="bogus"))
+
+    def test_strict_mode_surfaces_excerpt(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError) as err:
+            execute_payload(self._payload(tolerant=False))
+        payload = err.value.payload()
+        assert "X = = 1.0" in payload.get("excerpt", "")
+
+
 class TestSubmitAndCache:
     def test_submit_runs_and_caches(self, make_server):
         server = make_server()

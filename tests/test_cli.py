@@ -73,6 +73,72 @@ class TestParallelize:
         assert "PARALLEL" in err
 
 
+DIALECT_SOURCE = """      PROGRAM MIX
+      COMMON /R/ A(8)
+      REAL W(8)
+      EQUIVALENCE (W(1), V)
+      DATA W /8*0.25/
+      X = = 1.0
+      DO 10 I = 1, 8
+        A(I) = A(I) + W(I)
+   10 CONTINUE
+      END
+"""
+
+
+@pytest.fixture()
+def dialect_file(tmp_path):
+    src = tmp_path / "mix.f"
+    src.write_text(DIALECT_SOURCE)
+    return str(src)
+
+
+class TestParallelizeTolerant:
+    def test_tolerant_recovers_and_annotates(self, dialect_file, capsys):
+        assert main(["parallelize", "--tolerant", dialect_file]) == 0
+        captured = capsys.readouterr()
+        # the W loop reads equivalenced storage and stays serial; the
+        # malformed card is reported on stderr, not fatal
+        assert "PROGRAM MIX" in captured.out
+        assert "parse-error" in captured.err
+
+    def test_json_result_schema(self, dialect_file, capsys):
+        import json as json_mod
+        assert main(["parallelize", "--tolerant", "--json",
+                     dialect_file]) == 0
+        result = json_mod.loads(capsys.readouterr().out)
+        assert set(result) >= {"output", "diagnostics", "loops",
+                               "parallel_count", "units", "config"}
+        assert result["units"] == ["MIX"]
+        assert [d["code"] for d in result["diagnostics"]] == ["parse-error"]
+
+    def test_explain_prints_per_loop_decisions(self, dialect_file, capsys):
+        assert main(["parallelize", "--tolerant", "--explain",
+                     dialect_file]) == 0
+        err = capsys.readouterr().err
+        assert "DO I" in err
+        assert "equivalence" in err
+
+    def test_strict_mode_still_fails_fast(self, dialect_file):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            main(["parallelize", dialect_file])
+
+    def test_output_file(self, dialect_file, tmp_path, capsys):
+        out = tmp_path / "mix_omp.f"
+        assert main(["parallelize", "--tolerant", dialect_file,
+                     "-o", str(out)]) == 0
+        assert "PROGRAM MIX" in out.read_text()
+        assert "1 diagnostics" in capsys.readouterr().out
+
+
+class TestFuzzDialect:
+    def test_unknown_dialect_env_rejected(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FUZZ_DIALECT", "bogus")
+        assert main(["fuzz", "--count", "1"]) == 2
+        assert "unknown dialect" in capsys.readouterr().err
+
+
 class TestReportRunVerify:
     def test_report(self, files, capsys):
         src, ann = files
