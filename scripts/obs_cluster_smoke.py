@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Observability cluster smoke test (used by CI, runnable locally).
+
+Spawns the full distributed topology with telemetry enabled, drives a
+traced batch through it, and proves the observability plane end to end:
+
+  1. runs a traced loadtest — one root trace context, every submission
+     carries it beside the payload,
+  2. polls the gateway ``telemetry`` op and asserts a merged snapshot
+     with worker health (heartbeat ages, lease ages) arrives, and that
+     ``repro top`` renders it,
+  3. collects the stitched Chrome trace via ``trace-export`` and
+     asserts spans from all three tiers — gateway, worker fleet, shard
+     servers — share the run's single trace id, the stitched JSON
+     passes :func:`validate_chrome_trace`, and parent/child timestamps
+     are monotonic after skew correction,
+  4. gates the loadtest report against the committed ``SLO.json``
+     (must pass) and against an absurdly tight injected spec (must
+     report violations).
+
+Usage: PYTHONPATH=src python scripts/obs_cluster_smoke.py [--sessions N]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cluster.loadtest import run_loadtest  # noqa: E402
+from repro.cluster.topology import LocalCluster  # noqa: E402
+from repro.obs.distributed import (ClockModel, parent_child_monotonic,  # noqa: E402
+                                   stitch_spans)
+from repro.obs.slo import (evaluate_slo, load_slo_spec,  # noqa: E402
+                           measurements_from_loadtest, render_slo)
+from repro.obs.top import render_top  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.trace.chrome import validate_chrome_trace  # noqa: E402
+
+REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+
+TIGHT_SPEC = {
+    "name": "injected-tight",
+    "objectives": [
+        # nothing real finishes in a nanosecond: guaranteed violation
+        {"name": "impossible-latency", "kind": "p99_latency",
+         "threshold_seconds": 1e-9},
+    ],
+}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--sessions", type=int, default=24)
+    parser.add_argument("--out", default=None,
+                        help="keep the stitched trace at this path")
+    args = parser.parse_args()
+
+    failures = []
+    telemetry_dir = tempfile.mkdtemp(prefix="obs-smoke-telemetry-")
+    with LocalCluster(shards=2, workers=2, worker_threads=1,
+                      heartbeat_timeout=2.0, retry_backoff=0.1,
+                      telemetry_dir=telemetry_dir,
+                      run_id="obs-smoke") as cluster:
+        host, port = cluster.gateway_address
+        client = ServiceClient(host, port, timeout=60.0)
+        deadline = time.monotonic() + 20
+        while client.health()["cluster"]["workers_alive"] < 2 \
+                and time.monotonic() < deadline:
+            time.sleep(0.2)
+
+        # 1. traced batch -------------------------------------------------
+        report = run_loadtest(host, port, sessions=args.sessions,
+                              jobs_per_session=2, distinct=8,
+                              kind="probe", wait_timeout=60.0,
+                              trace=True)
+        print(f"loadtest: {report['jobs']} jobs ok={report['ok']} "
+              f"trace={report['trace_id']}")
+        if not report["ok"]:
+            failures.append("traced loadtest lost jobs or mismatched")
+        time.sleep(1.5)  # heartbeats ship the last worker spans
+
+        # 2. telemetry plane ----------------------------------------------
+        frame = client.telemetry()
+        snapshot = frame.get("snapshot") or {}
+        workers = ((snapshot.get("health") or {}).get("cluster") or {}) \
+            .get("worker_nodes") or {}
+        if len(workers) < 2:
+            failures.append(f"telemetry snapshot shows {len(workers)} "
+                            f"workers, expected 2")
+        for name, node in workers.items():
+            if node.get("last_heartbeat_age") is None:
+                failures.append(f"worker {name} missing heartbeat age")
+        board = render_top(snapshot, frame.get("events"))
+        if "workers" not in board:
+            failures.append("repro top board missing the worker table")
+        print("telemetry: snapshot ok, "
+              f"{len(frame.get('events') or [])} events, "
+              f"{frame.get('spans_stored')} spans stored")
+
+        # 3. stitched trace -----------------------------------------------
+        export = client.trace_export(trace_id=report["trace_id"])
+        spans = export["spans"]
+        cats = {s.get("cat") for s in spans}
+        trace_ids = {s.get("trace_id") for s in spans}
+        for tier in ("gateway", "worker", "shard"):
+            if tier not in cats:
+                failures.append(f"no spans from the {tier} tier "
+                                f"(got {sorted(cats)})")
+        if trace_ids != {report["trace_id"]}:
+            failures.append(f"spans carry {len(trace_ids)} trace ids, "
+                            f"expected exactly the run's one")
+        chrome = stitch_spans(
+            spans, ClockModel.from_offsets(export["clock_offsets"]),
+            trace_id=report["trace_id"], label="obs-smoke")
+        problems = validate_chrome_trace(chrome)
+        if problems:
+            failures.append("stitched trace invalid: "
+                            + "; ".join(problems[:3]))
+        disorder = parent_child_monotonic(chrome)
+        if disorder:
+            failures.append("parent/child timestamps not monotonic: "
+                            + "; ".join(disorder[:3]))
+        out = args.out or os.path.join(telemetry_dir, "trace.json")
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(chrome, fh)
+        print(f"trace: {len(spans)} spans, tiers={sorted(cats)}, "
+              f"stitched -> {out}")
+
+        # the CLI collector must agree with the library path
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "trace-collect",
+             "--host", host, "--port", str(port),
+             "--out", os.path.join(telemetry_dir, "trace-cli.json")],
+            env=dict(os.environ,
+                     PYTHONPATH=os.path.join(REPO_ROOT, "src")),
+            capture_output=True, text=True, timeout=60)
+        if proc.returncode != 0:
+            failures.append(f"repro trace-collect exited "
+                            f"{proc.returncode}: {proc.stderr.strip()}")
+        else:
+            print(f"trace-collect: {proc.stdout.strip()}")
+
+    # 4. SLO gates (outside the cluster: pure report math) ----------------
+    spec = load_slo_spec(os.path.join(REPO_ROOT, "SLO.json"))
+    measurements = measurements_from_loadtest(report)
+    evaluation = evaluate_slo(spec, measurements, source="loadtest")
+    print(render_slo(evaluation))
+    if not evaluation["ok"]:
+        failures.append("committed SLO.json violated by a healthy run: "
+                        + ", ".join(evaluation["violations"]))
+    tight = evaluate_slo(TIGHT_SPEC, measurements, source="loadtest")
+    if tight["ok"]:
+        failures.append("injected nanosecond SLO passed — the gate "
+                        "cannot detect violations")
+    else:
+        print(f"injected violation detected: {tight['violations']}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("obs cluster smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -472,7 +472,9 @@ def cmd_serve(args) -> int:
         queue_capacity=args.queue_capacity, cache_dir=directory,
         default_deadline=args.default_deadline,
         max_retries=args.max_retries,
-        drain_timeout=args.drain_timeout)
+        drain_timeout=args.drain_timeout,
+        telemetry_dir=args.telemetry_dir,
+        run_id=args.run_id)
     host, port = server.start()
     print(f"repro service listening on {host}:{port} "
           f"({server.workers} worker{'s' if server.workers != 1 else ''}, "
@@ -503,7 +505,10 @@ def cmd_cluster_gateway(args) -> int:
         drain_timeout=args.drain_timeout,
         heartbeat_timeout=args.heartbeat_timeout,
         local_workers=args.local_workers,
-        inline=True if args.inline else None)
+        inline=True if args.inline else None,
+        telemetry_dir=args.telemetry_dir,
+        telemetry_interval=args.telemetry_interval,
+        run_id=args.run_id)
     host, port = gateway.start_background()
     print(f"repro cluster gateway listening on {host}:{port} "
           f"({len(shards.shard_names)} cache shard"
@@ -566,6 +571,14 @@ def cmd_cluster_worker(args) -> int:
 def cmd_loadtest(args) -> int:
     import json
     from repro.cluster.loadtest import append_history, run_loadtest
+    slo_spec = None
+    if args.slo:
+        from repro.obs.slo import load_slo_spec
+        try:
+            slo_spec = load_slo_spec(args.slo)
+        except (OSError, ValueError) as exc:
+            print(f"repro loadtest: bad SLO spec: {exc}", file=sys.stderr)
+            return 2
     cluster = None
     host, port = args.host, args.port
     if args.spawn:
@@ -587,10 +600,18 @@ def cmd_loadtest(args) -> int:
             distinct=args.distinct, kind=args.kind,
             benchmark=args.benchmark,
             wait_timeout=args.wait_timeout,
-            verify=not args.no_verify)
+            verify=not args.no_verify,
+            trace=args.trace)
     finally:
         if cluster is not None:
             cluster.stop()
+    evaluation = None
+    if slo_spec is not None:
+        from repro.obs.slo import evaluate_slo, measurements_from_loadtest
+        evaluation = evaluate_slo(slo_spec,
+                                  measurements_from_loadtest(report),
+                                  source="loadtest")
+        report["slo"] = evaluation
     if args.gate:
         append_history(report, path=args.history)
     if args.json:
@@ -612,10 +633,20 @@ def cmd_loadtest(args) -> int:
         steals = service.get("repro_cluster_steals_total")
         if retried is not None or steals is not None:
             print(f"  service: retries={retried} steals={steals}")
+        if report.get("trace_id"):
+            print(f"  trace: {report['trace_id']} "
+                  f"(collect with `repro trace-collect`)")
+        if evaluation is not None:
+            from repro.obs.slo import render_slo
+            print(render_slo(evaluation))
     if not report["ok"]:
         print("loadtest FAILED: jobs were lost or returned wrong "
               "results", file=sys.stderr)
         return 1
+    if evaluation is not None and not evaluation["ok"]:
+        print("loadtest SLO VIOLATED: "
+              + ", ".join(evaluation["violations"]), file=sys.stderr)
+        return 3
     return 0
 
 
@@ -756,6 +787,89 @@ def cmd_svc_status(args) -> int:
         print(f"repro svc-status: error ({exc.code}): {exc}",
               file=sys.stderr)
         return 2
+
+
+def cmd_top(args) -> int:
+    from repro.obs.top import run_top
+    slo_spec = None
+    if args.slo:
+        from repro.obs.slo import load_slo_spec
+        try:
+            slo_spec = load_slo_spec(args.slo)
+        except (OSError, ValueError) as exc:
+            print(f"repro top: bad SLO spec: {exc}", file=sys.stderr)
+            return 2
+    iterations = 1 if args.once else args.iterations
+    return run_top(args.host, args.port, interval=args.interval,
+                   iterations=iterations, slo_spec=slo_spec)
+
+
+def cmd_trace_collect(args) -> int:
+    import json
+    from repro.obs.distributed import ClockModel, stitch_spans
+    from repro.trace.chrome import validate_chrome_trace
+
+    if args.telemetry_dir:
+        # offline: read the spans/snapshots the gateway persisted
+        from repro.obs.telemetry import SpanStore, TelemetryStore
+        run_id = args.run_id
+        if not run_id:
+            runs = TelemetryStore.runs(args.telemetry_dir)
+            if len(runs) == 1:
+                run_id = runs[0]
+            else:
+                print("repro trace-collect: --telemetry-dir holds "
+                      f"{len(runs)} runs {runs}; name one RUN_ID",
+                      file=sys.stderr)
+                return 2
+        spans = SpanStore.load_run(args.telemetry_dir, run_id).spans()
+        snapshots = TelemetryStore.load_run(
+            args.telemetry_dir, run_id).snapshots()
+        offsets = {}
+        if snapshots:
+            offsets = ((snapshots[-1].get("health") or {})
+                       .get("cluster") or {}).get("clock_offsets") or {}
+        decisions, site_decisions = [], []
+    else:
+        # live: ask the gateway (or daemon) for everything
+        from repro.service.client import ServiceClient, ServiceError
+        client = ServiceClient(host=args.host, port=args.port)
+        try:
+            export = client.trace_export(trace_id=args.trace_id)
+        except ServiceError as exc:
+            print(f"repro trace-collect: error ({exc.code}): {exc}",
+                  file=sys.stderr)
+            return 2
+        run_id = args.run_id or export.get("run_id") or "run"
+        spans = export.get("spans") or []
+        offsets = export.get("clock_offsets") or {}
+        decisions = export.get("decisions") or []
+        site_decisions = export.get("site_decisions") or []
+
+    if not spans:
+        print("repro trace-collect: no spans recorded "
+              "(did the run carry trace contexts?)", file=sys.stderr)
+        return 1
+    chrome = stitch_spans(spans, ClockModel.from_offsets(offsets),
+                          trace_id=args.trace_id, label=run_id,
+                          decisions=decisions,
+                          site_decisions=site_decisions)
+    problems = validate_chrome_trace(chrome)
+    if problems:
+        print("repro trace-collect: stitched trace is not valid "
+              "Chrome JSON: " + "; ".join(problems), file=sys.stderr)
+        return 1
+    out = args.out or f"trace-{run_id}.json"
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(chrome, fh, indent=1, sort_keys=True)
+    other = chrome.get("otherData", {})
+    print(f"wrote {out}: {len(chrome.get('traceEvents', []))} events, "
+          f"nodes={other.get('nodes')}, "
+          f"traces={len(other.get('trace_ids', []))}, "
+          f"decisions={len(chrome.get('loopDecisions', []))}"
+          f"+{len(chrome.get('siteDecisions', []))} "
+          f"(open in Perfetto / chrome://tracing)")
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -978,6 +1092,11 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="on SIGTERM or `shutdown drain`, wait up to "
                         "this long for in-flight jobs (default 30)")
+    p.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                   help="persist telemetry snapshots/events and spans "
+                        "as JSONL under DIR (default: memory only)")
+    p.add_argument("--run-id", default=None,
+                   help="telemetry run id (default svc-<pid>)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("cluster",
@@ -1023,6 +1142,15 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--inline", action="store_true",
                    help="run embedded workers in-thread instead of a "
                         "process pool (tests/sandboxes)")
+    c.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                   help="persist telemetry snapshots/events and spans "
+                        "as JSONL under DIR (default: memory only)")
+    c.add_argument("--telemetry-interval", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="seconds between background telemetry "
+                        "snapshots (default 2)")
+    c.add_argument("--run-id", default=None,
+                   help="telemetry run id (default gw-<pid>)")
     c.set_defaults(fn=cmd_cluster_gateway)
 
     c = csub.add_parser("shard", help="one cache-shard node")
@@ -1101,6 +1229,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default BENCH_history.jsonl)")
     p.add_argument("--json", action="store_true",
                    help="print the full JSON report")
+    p.add_argument("--trace", action="store_true",
+                   help="open one distributed trace for the run (every "
+                        "submit carries the root context; stitch with "
+                        "`repro trace-collect` afterwards)")
+    p.add_argument("--slo", default=None, metavar="SPEC.json",
+                   help="evaluate the report against a declarative SLO "
+                        "spec; violations exit 3 (the CI gate)")
     p.set_defaults(fn=cmd_loadtest)
 
     p = sub.add_parser("submit",
@@ -1136,6 +1271,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prometheus", action="store_true",
                    help="print Prometheus text-format metrics only")
     p.set_defaults(fn=cmd_svc_status)
+
+    p = sub.add_parser("top",
+                       help="live terminal status board: queue, "
+                            "workers, shards, events, SLO burn rates")
+    add_endpoint(p)
+    p.add_argument("--interval", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="seconds between frames (default 2)")
+    p.add_argument("--iterations", type=int, default=None, metavar="N",
+                   help="stop after N frames (default: run forever)")
+    p.add_argument("--once", action="store_true",
+                   help="print a single frame and exit")
+    p.add_argument("--slo", default=None, metavar="SPEC.json",
+                   help="render live SLO burn rates from this spec")
+    p.set_defaults(fn=cmd_top)
+
+    p = sub.add_parser("trace-collect",
+                       help="stitch one run's distributed spans into a "
+                            "Perfetto-loadable Chrome trace")
+    p.add_argument("run_id", nargs="?", default=None,
+                   help="run id (required with --telemetry-dir when "
+                        "several runs are stored; otherwise defaults "
+                        "to the gateway's)")
+    add_endpoint(p)
+    p.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                   help="stitch offline from persisted JSONL instead "
+                        "of asking a live gateway")
+    p.add_argument("--trace-id", default=None,
+                   help="keep only this trace's spans")
+    p.add_argument("--out", "-o", default=None,
+                   help="output file (default trace-<run_id>.json)")
+    p.set_defaults(fn=cmd_trace_collect)
     return parser
 
 

@@ -27,7 +27,15 @@ Scale-out happens behind that front door:
   seconds: their unstarted leases re-enter the queue immediately and
   their running jobs take the crash-retry path (exponential backoff,
   attempts respected) — the same semantics PR 2 gave in-process worker
-  crashes.
+  crashes;
+* an observability plane: traced submissions (a ``trace_ctx`` beside
+  the payload, like ``ctx``) open gateway spans for the cache lookup,
+  queue wait, execution, and the whole job; worker/shard spans arrive
+  piggybacked on heartbeats and cache responses together with remote
+  wall clocks that feed a per-node :class:`ClockModel`; a ``telemetry``
+  op streams merged metric snapshots + health events, and a
+  ``trace-export`` op hands everything to ``repro trace-collect`` for
+  cross-node stitching.
 
 Concurrency model: all mutable state (job table, queue, leases, node
 table) is owned by the event loop and touched only from coroutines, so
@@ -44,6 +52,7 @@ process can serve a full cluster surface (tests, small deployments).
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
 from collections import deque
@@ -54,7 +63,9 @@ from repro.experiments.executor import (WorkerCrashError, WorkerPool,
                                         WorkerTimeout, resolve_jobs)
 from repro.obs import logging as obs_logging
 from repro.obs import metrics as obs_metrics
+from repro.obs.distributed import (ClockModel, SpanRecorder, TraceContext)
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import SpanStore, TelemetryStore
 from repro.service import ops, protocol
 from repro.service.execution import PAYLOAD_KINDS, run_job_observed
 from repro.service.jobs import (FINAL_STATES, Job, JobState, payload_digest)
@@ -70,16 +81,19 @@ DEFAULT_HEARTBEAT_TIMEOUT = 5.0
 class _Node:
     """Loop-owned view of one worker node (remote or embedded)."""
 
-    __slots__ = ("name", "local", "last_seen", "last_seq", "unstarted",
-                 "running", "done", "failed", "stolen_from", "info")
+    __slots__ = ("name", "local", "last_seen", "last_seq", "boot",
+                 "unstarted", "running", "lease_at", "done", "failed",
+                 "stolen_from", "info")
 
     def __init__(self, name: str, local: bool = False):
         self.name = name
         self.local = local
         self.last_seen = time.monotonic()
-        self.last_seq = 0            # highest merged metrics-delta seq
+        self.last_seq = 0            # highest merged metrics/span seq
+        self.boot: Optional[str] = None  # node process incarnation id
         self.unstarted: set = set()  # leased job ids not yet started
         self.running: set = set()    # leased job ids executing
+        self.lease_at: Dict[str, float] = {}  # job id -> lease monotonic
         self.done = 0
         self.failed = 0
         self.stolen_from = 0
@@ -102,7 +116,10 @@ class ClusterGateway:
                  drain_timeout: float = 30.0,
                  heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
                  local_workers: int = 0,
-                 inline: Optional[bool] = None):
+                 inline: Optional[bool] = None,
+                 telemetry_dir: Optional[str] = None,
+                 telemetry_interval: float = 2.0,
+                 run_id: Optional[str] = None):
         self.host = host
         self.port = port
         self.queue_capacity = queue_capacity
@@ -112,11 +129,23 @@ class ClusterGateway:
         self.drain_timeout = drain_timeout
         self.heartbeat_timeout = heartbeat_timeout
         self.local_workers = local_workers
+        self.telemetry_interval = telemetry_interval
         self.metrics = MetricsRegistry()
         self.cache = shards if shards is not None else ShardedCache(
             {"local": LocalShard()}, registry=self.metrics)
         self.pool = WorkerPool(resolve_jobs(local_workers or 1),
                                inline=inline) if local_workers else None
+
+        # observability plane: spans recorded here + shipped from
+        # workers/shards, wall-clock offsets per node, periodic
+        # snapshots/events (persisted when telemetry_dir is given)
+        self.run_id = run_id or f"gw-{os.getpid()}"
+        self.clock = ClockModel()
+        self.spans = SpanRecorder("gateway")
+        self.span_store = SpanStore(telemetry_dir, self.run_id)
+        self.telemetry = TelemetryStore(telemetry_dir, self.run_id)
+        self._traced: Dict[str, Dict[str, Any]] = {}  # job id -> trace
+        self.cache.set_span_sink(self._ingest_spans)
 
         self.address: Optional[Tuple[str, int]] = None
         self._jobs: Dict[str, Job] = {}
@@ -198,6 +227,7 @@ class ClusterGateway:
             self._serve_connection, self.host, self.port)
         self.address = self._server.sockets[0].getsockname()[:2]
         self._tasks.append(asyncio.ensure_future(self._sweep_loop()))
+        self._tasks.append(asyncio.ensure_future(self._telemetry_loop()))
         for i in range(self.local_workers):
             self._tasks.append(asyncio.ensure_future(
                 self._local_worker_loop(f"local-{i}")))
@@ -362,8 +392,9 @@ class ClusterGateway:
             self._m_requests.inc(op="unknown")
             return protocol.error_response(
                 f"unknown op {op!r}; expected submit/status/result/cancel/"
-                f"health/metrics/shutdown or work-pull/work-start/"
-                f"work-done/work-fail/heartbeat", code="bad-op")
+                f"health/metrics/telemetry/trace-export/shutdown or "
+                f"work-pull/work-start/work-done/work-fail/heartbeat",
+                code="bad-op")
         self._m_requests.inc(op=op)
         return await handler(self, request)
 
@@ -385,6 +416,12 @@ class ClusterGateway:
         ctx_problem = ops.validate_ctx(ctx)
         if ctx_problem:
             return protocol.error_response(ctx_problem, code="bad-request")
+        trace_ctx = request.get("trace_ctx")
+        trace_problem = ops.validate_trace_ctx(trace_ctx)
+        if trace_problem:
+            return protocol.error_response(trace_problem,
+                                           code="bad-request")
+        trace = self._open_trace(trace_ctx)
         if self._draining or self._stopping:
             self._m_rejected.inc()
             return protocol.error_response(
@@ -395,8 +432,13 @@ class ClusterGateway:
         job, deduped = self._live_job(digest), True
         if job is None:
             # probe the shard tier off-loop; competitors may admit the
-            # same digest while we wait, so re-check dedup afterwards
-            cached = await asyncio.to_thread(self.cache.get, digest)
+            # same digest while we wait, so re-check dedup afterwards.
+            # When traced, the cache carries the job span's context and
+            # the shard piggybacks its own span on the response.
+            cached = await asyncio.to_thread(
+                self.cache.get, digest,
+                None if trace is None
+                else {"traceparent": trace["span"].to_traceparent()})
             job = self._live_job(digest)
             if job is not None:
                 self._m_deduped.inc()
@@ -407,7 +449,8 @@ class ClusterGateway:
                     "accepted", code="backpressure")
             else:
                 deduped = False
-                job = self._admit(digest, payload, request, ctx, cached)
+                job = self._admit(digest, payload, request, ctx, cached,
+                                  trace=trace)
                 if job is None:
                     self._m_rejected.inc()
                     return protocol.error_response(
@@ -423,6 +466,24 @@ class ClusterGateway:
             include_result=bool(request.get("wait")),
             include_trace=bool(request.get("include_trace")))
 
+    def _open_trace(self, trace_ctx: Any) -> Optional[Dict[str, Any]]:
+        """Open the gateway-side 'job' span for a traced submission.
+
+        Returns None for untraced submits (the overwhelmingly common
+        case — one dict lookup and an ``is None`` test is the whole
+        cost of tracing being off).
+        """
+        if trace_ctx is None:
+            return None
+        try:
+            root = TraceContext.from_dict(trace_ctx)
+        except ValueError:
+            return None  # validated earlier; defensive
+        if root is None:
+            return None
+        return {"root": root, "span": root.child(),
+                "submit_wall": time.time()}
+
     def _live_job(self, digest: str) -> Optional[Job]:
         live_id = self._by_digest.get(digest)
         if live_id is None:
@@ -435,7 +496,8 @@ class ClusterGateway:
 
     def _admit(self, digest: str, payload: Dict[str, Any],
                request: Dict[str, Any], ctx: Optional[Dict[str, Any]],
-               cached: Optional[Dict[str, Any]]) -> Optional[Job]:
+               cached: Optional[Dict[str, Any]],
+               trace: Optional[Dict[str, Any]] = None) -> Optional[Job]:
         deadline = request.get("deadline")
         if deadline is None:
             deadline = self.default_deadline
@@ -444,15 +506,23 @@ class ClusterGateway:
             max_retries = self.max_retries
         job = Job(digest=digest, payload=payload, deadline=deadline,
                   max_retries=max_retries, ctx=dict(ctx or {}))
+        if trace is not None:
+            # workers receive the *job span's* context, so worker-side
+            # execute spans nest under the gateway's job span
+            job.trace_ctx = {"traceparent": trace["span"].to_traceparent()}
+            self._traced[job.id] = trace
         if cached is not None:
             self._m_cache_hits.inc()
             job.cached = True
             job.finish(JobState.DONE, result=cached)
             self._m_completed.inc(state=JobState.DONE)
             self._jobs[job.id] = job
+            if trace is not None:
+                self._record_job_span(job, trace)
             return job
         self._m_cache_misses.inc()
         if len(self._pending) >= self.queue_capacity:
+            self._traced.pop(job.id, None)
             return None
         self._m_submitted.inc()
         self._jobs[job.id] = job
@@ -521,6 +591,7 @@ class ClusterGateway:
             # drop any unstarted lease so a later work-start is refused
             for node in self._nodes.values():
                 node.unstarted.discard(job.id)
+                node.lease_at.pop(job.id, None)
             self._finish_job(job, JobState.CANCELED,
                              error="canceled by client")
             ok, reason = True, "canceled"
@@ -537,12 +608,18 @@ class ClusterGateway:
         workers = {}
         for name, node in sorted(self._nodes.items()):
             age = now - node.last_seen
+            leases = {job_id: round(now - at, 3)
+                      for job_id, at in sorted(node.lease_at.items())}
             workers[name] = {
                 "local": node.local,
                 "alive": node.local or age <= self.heartbeat_timeout,
                 "heartbeat_age": round(age, 3),
+                "last_heartbeat_age": round(age, 3),
+                "boot": node.boot,
                 "unstarted": len(node.unstarted),
                 "running": len(node.running),
+                "leases": leases,
+                "oldest_lease_age": max(leases.values(), default=None),
                 "done": node.done,
                 "failed": node.failed,
                 "info": node.info,
@@ -569,6 +646,9 @@ class ClusterGateway:
                 "worker_nodes": workers,
                 "workers_alive": sum(
                     1 for w in workers.values() if w["alive"]),
+                "gateway_uptime": self.uptime(),
+                "run_id": self.run_id,
+                "clock_offsets": self.clock.to_dict(),
             },
         }
 
@@ -609,14 +689,19 @@ class ClusterGateway:
             node = _Node(name, local=local)
             self._nodes[name] = node
             _log.info("node-join", node=name, local=local)
+            self.telemetry.add_event("node-join", node=name, local=local)
         node.last_seen = time.monotonic()
         return node
 
     def _job_descriptor(self, job: Job) -> Dict[str, Any]:
-        return {"job_id": job.id, "digest": job.digest,
-                "payload": job.payload, "ctx": job.ctx,
-                "attempts": job.attempts, "max_retries": job.max_retries,
-                "remaining": job.remaining()}
+        descriptor = {"job_id": job.id, "digest": job.digest,
+                      "payload": job.payload, "ctx": job.ctx,
+                      "attempts": job.attempts,
+                      "max_retries": job.max_retries,
+                      "remaining": job.remaining()}
+        if job.trace_ctx is not None:
+            descriptor["trace_ctx"] = job.trace_ctx
+        return descriptor
 
     def _claim_jobs(self, node: _Node, limit: int) -> List[Job]:
         """Lease up to ``limit`` queued jobs to ``node``, finalizing any
@@ -632,6 +717,7 @@ class ClusterGateway:
                                  error="deadline expired while queued")
                 continue
             node.unstarted.add(job.id)
+            node.lease_at[job.id] = time.monotonic()
             claimed.append(job)
         self._m_depth.set(len(self._pending))
         if not self._pending and self._work_available is not None:
@@ -654,11 +740,15 @@ class ClusterGateway:
                 victim.unstarted.discard(job_id)
                 continue
             victim.unstarted.discard(job_id)
+            victim.lease_at.pop(job_id, None)
             victim.stolen_from += 1
             thief.unstarted.add(job_id)
+            thief.lease_at[job_id] = time.monotonic()
             self._m_steals.inc()
             _log.info("job-stolen", job_id=job_id, victim=victim.name,
                       thief=thief.name)
+            self.telemetry.add_event("job-stolen", job_id=job_id,
+                                     victim=victim.name, thief=thief.name)
             return job
         return None
 
@@ -715,9 +805,11 @@ class ClusterGateway:
                               "unknown job)"}
         node.unstarted.discard(job_id)
         if job.state != JobState.QUEUED:
+            node.lease_at.pop(job_id, None)
             return {"ok": True, "granted": False,
                     "reason": f"job is {job.state}"}
         if job.expired():
+            node.lease_at.pop(job_id, None)
             self._finish_job(job, JobState.TIMEOUT,
                              error="deadline expired while queued")
             return {"ok": True, "granted": False, "reason": "job timed out"}
@@ -726,6 +818,19 @@ class ClusterGateway:
         job.attempts += 1
         node.running.add(job_id)
         self._m_running.inc()
+        trace = self._traced.get(job_id)
+        if trace is not None:
+            # submit -> first execution start = queue wait (includes any
+            # lease hand-offs); crash retries open a second segment
+            now = time.time()
+            self.spans.record(
+                "queue-wait", trace["span"].child(), cat="gateway",
+                start_wall=trace.get("last_wait", trace["submit_wall"]),
+                duration=max(0.0, now - trace.get("last_wait",
+                                                  trace["submit_wall"])),
+                parent_id=trace["span"].span_id, job_id=job_id,
+                node=node.name, attempt=job.attempts)
+            trace["last_wait"] = now
         _log.info("job-start", job_id=job_id, node=node.name,
                   attempt=job.attempts, digest=job.digest[:12])
         return {"ok": True, "granted": True, "attempts": job.attempts,
@@ -760,9 +865,11 @@ class ClusterGateway:
             return protocol.error_response(
                 "work-done needs a 'result' object", code="bad-request")
         node.running.discard(job.id)
+        node.lease_at.pop(job.id, None)
         node.done += 1
         self._m_running.dec()
-        await asyncio.to_thread(self.cache.put, job.digest, result)
+        await asyncio.to_thread(self.cache.put, job.digest, result,
+                                job.trace_ctx)
         self._finish_job(job, JobState.DONE, result=result)
         _log.info("job-done", job_id=job.id, node=node.name,
                   latency=round(job.latency() or 0.0, 4))
@@ -778,6 +885,7 @@ class ClusterGateway:
         kind = request.get("kind", "error")
         error = str(request.get("error", ""))
         node.running.discard(job.id)
+        node.lease_at.pop(job.id, None)
         node.failed += 1
         self._m_running.dec()
         if kind == "timeout":
@@ -804,6 +912,25 @@ class ClusterGateway:
         info = request.get("info")
         if isinstance(info, dict):
             node.info = info
+        boot = request.get("boot")
+        if isinstance(boot, str) and boot and boot != node.boot:
+            if node.boot is not None:
+                # the node process restarted: its sequence counter is
+                # back at zero, so accept its stream from scratch — a
+                # replayed heartbeat from the *old* incarnation carries
+                # the old boot id and never reaches this branch
+                _log.info("node-reboot", node=name, boot=boot,
+                          previous=node.boot)
+                self.telemetry.add_event("node-restart", node=name,
+                                         boot=boot, previous=node.boot)
+                node.last_seq = 0
+            node.boot = boot
+        wall = request.get("wall")
+        if isinstance(wall, (int, float)):
+            # one clock-offset sample per heartbeat: the worker's wall
+            # clock vs ours, biased by one-way delay — the ClockModel's
+            # min-filter keeps the least-delayed sample
+            self.clock.observe(name, float(wall))
         seq = request.get("seq")
         delta = request.get("metrics")
         merged = False
@@ -811,13 +938,117 @@ class ClusterGateway:
                 and seq > node.last_seq:
             # exactly-once: deltas are cumulative per ship, tagged with a
             # monotonic sequence; replays (worker retrying a heartbeat it
-            # never saw acked) never double-count
+            # never saw acked) never double-count.  Spans ride the same
+            # sequence, so they inherit the same guarantee.
             obs_metrics.get_registry().merge(delta)
+            spans = request.get("spans")
+            if isinstance(spans, list) and spans:
+                self._ingest_spans(spans)
             node.last_seq = seq
             merged = True
         return {"ok": True, "draining": self._draining,
                 "stopping": self._stopping, "merged": merged,
                 "seq": node.last_seq}
+
+    # ------------------------------------------------------------------
+    # telemetry plane: spans, snapshots, trace export
+    # ------------------------------------------------------------------
+
+    def _ingest_spans(self, spans: List[Dict[str, Any]],
+                      remote_wall: Optional[float] = None) -> None:
+        """Accept spans recorded on another node's clock.
+
+        ``remote_wall`` (the sender's clock at response/heartbeat time)
+        contributes one offset sample per distinct span node, so the
+        stitcher can rebase those lanes onto gateway time.
+        """
+        if remote_wall is not None:
+            local = time.time()
+            for node in {s.get("node") for s in spans
+                         if isinstance(s, dict)}:
+                if isinstance(node, str) and node:
+                    self.clock.observe(node, float(remote_wall), local)
+        self.span_store.add(spans)
+
+    async def _snapshot_telemetry(self) -> Dict[str, Any]:
+        """One merged metric+health snapshot (also drains gateway spans
+        into the store so ``trace-export`` sees them)."""
+        self._m_uptime.set(self.uptime())
+        self.span_store.add(self.spans.drain())
+        metrics = self._exported_metrics().export()
+        health = await self._op_health({})
+        health.pop("ok", None)
+        return self.telemetry.add_snapshot(metrics, health)
+
+    async def _telemetry_loop(self) -> None:
+        interval = max(0.2, self.telemetry_interval)
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                await self._snapshot_telemetry()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                pass  # telemetry must never take the gateway down
+
+    async def _op_telemetry(self, request: Dict[str, Any]
+                            ) -> Dict[str, Any]:
+        snapshot = await self._snapshot_telemetry()
+        since = request.get("events_since")
+        events = self.telemetry.events_since(
+            since if isinstance(since, int) else 0)
+        return {"ok": True, "tier": "cluster", "run_id": self.run_id,
+                "snapshot": snapshot, "events": events,
+                "event_seq": self.telemetry.event_seq(),
+                "spans_stored": len(self.span_store)}
+
+    async def _op_trace_export(self, request: Dict[str, Any]
+                               ) -> Dict[str, Any]:
+        """Everything ``repro trace-collect`` needs to stitch one run:
+        all stored spans (every tier), per-node clock offsets, and the
+        decision records of finished traced jobs stamped with the span
+        ids that produced them."""
+        from repro.trace.tracer import Tracer
+        self.span_store.add(self.spans.drain())
+        trace_id = request.get("trace_id")
+        if trace_id is not None and not isinstance(trace_id, str):
+            return protocol.error_response(
+                "'trace_id' must be a string", code="bad-request")
+        spans = self.span_store.spans(trace_id)
+        seen: set = set()
+        decisions: List[Dict[str, Any]] = []
+        site_decisions: List[Dict[str, Any]] = []
+        for job_id, trace in list(self._traced.items()):
+            job = self._jobs.get(job_id)
+            if job is None or not isinstance(job.result, dict):
+                continue
+            if trace_id and trace["span"].trace_id != trace_id:
+                continue
+            export = job.result.get("trace")
+            if not isinstance(export, dict):
+                continue
+            link = {"job_id": job.id, "digest": job.digest,
+                    "span_id": trace["span"].span_id,
+                    "trace_id": trace["span"].trace_id}
+            for kind, field, out in (
+                    ("loop", "decisions", decisions),
+                    ("site", "site_decisions", site_decisions)):
+                for d in export.get(field) or ():
+                    if not isinstance(d, dict):
+                        continue
+                    # same identity rule as Tracer.merge: a crash-retried
+                    # job's re-exported decisions count exactly once
+                    key = Tracer._decision_key(job.digest, kind, d)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    out.append({**d, **link})
+        return {"ok": True, "run_id": self.run_id, "spans": spans,
+                "clock_offsets": self.clock.to_dict(),
+                "trace_ids": self.span_store.trace_ids(),
+                "decisions": decisions,
+                "site_decisions": site_decisions,
+                "dropped": self.span_store.dropped + self.spans.dropped}
 
     # ------------------------------------------------------------------
     # crash retry + dead-node sweeping
@@ -857,11 +1088,29 @@ class ClusterGateway:
         else:
             loop.call_later(delay, requeue)
 
+    def _record_job_span(self, job: Job,
+                         trace: Dict[str, Any]) -> None:
+        """The whole-job span: submit to finish, child of the client's
+        root context, parent of queue-wait/execute/cache spans."""
+        if trace.get("recorded"):
+            return
+        trace["recorded"] = True
+        self.spans.record(
+            "job", trace["span"], cat="gateway",
+            start_wall=trace["submit_wall"],
+            duration=job.latency() or 0.0,
+            parent_id=trace["root"].span_id,
+            job_id=job.id, digest=job.digest, state=job.state,
+            cached=job.cached, attempts=job.attempts)
+
     def _finish_job(self, job: Job, state: str,
                     result: Optional[Dict[str, Any]] = None,
                     error: str = "") -> None:
         job.finish(state, result=result, error=error)
         self._m_completed.inc(state=state)
+        trace = self._traced.get(job.id)
+        if trace is not None:
+            self._record_job_span(job, trace)
         if self._by_digest.get(job.digest) == job.id:
             del self._by_digest[job.digest]
         event = self._waiters.get(job.id)
@@ -904,6 +1153,10 @@ class ClusterGateway:
                          unstarted=len(node.unstarted),
                          running=len(node.running),
                          silent=round(now - node.last_seen, 3))
+            self.telemetry.add_event(
+                "node-dead", node=name, unstarted=len(node.unstarted),
+                running=len(node.running),
+                silent=round(now - node.last_seen, 3))
             for job_id in sorted(node.unstarted):
                 job = self._jobs.get(job_id)
                 if job is not None and job.state == JobState.QUEUED:
@@ -943,19 +1196,24 @@ class ClusterGateway:
                 {"node": name, "job_id": job.id})
             if not start.get("granted"):
                 continue
+            outcome = "done"
+            t0_wall, t0 = time.time(), time.perf_counter()
             try:
                 result, delta = await asyncio.to_thread(
                     self.pool.run, run_job_observed,
                     (job.payload, job.ctx), timeout=job.remaining())
             except WorkerTimeout:
+                outcome = "timeout"
                 await self._op_work_fail(
                     {"node": name, "job_id": job.id, "kind": "timeout",
                      "error": "deadline expired while running"})
             except WorkerCrashError as exc:
+                outcome = "crash"
                 await self._op_work_fail(
                     {"node": name, "job_id": job.id, "kind": "crash",
                      "error": str(exc)})
             except Exception as exc:
+                outcome = "error"
                 await self._op_work_fail(
                     {"node": name, "job_id": job.id, "kind": "error",
                      "error": f"{type(exc).__name__}: {exc}"})
@@ -964,6 +1222,15 @@ class ClusterGateway:
                     obs_metrics.get_registry().merge(delta)
                 await self._op_work_done(
                     {"node": name, "job_id": job.id, "result": result})
+            trace = self._traced.get(job.id)
+            if trace is not None:
+                self.spans.record(
+                    "execute", trace["span"].child(), cat="worker",
+                    start_wall=t0_wall,
+                    duration=time.perf_counter() - t0,
+                    parent_id=trace["span"].span_id, job_id=job.id,
+                    digest=job.digest, node=name, outcome=outcome,
+                    attempt=job.attempts)
 
     # op dispatch table (client surface + worker surface)
     _OPS = {
@@ -979,4 +1246,6 @@ class ClusterGateway:
         "work-done": _op_work_done,
         "work-fail": _op_work_fail,
         "heartbeat": _op_heartbeat,
+        "telemetry": _op_telemetry,
+        "trace-export": _op_trace_export,
     }

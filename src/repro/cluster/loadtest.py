@@ -84,7 +84,8 @@ def _comparable(result: Optional[Dict[str, Any]]
 
 async def _session(host: str, port: int, payloads: List[Dict[str, Any]],
                    wait_timeout: float, samples: List[Dict[str, Any]],
-                   start_gate: asyncio.Event) -> None:
+                   start_gate: asyncio.Event,
+                   trace_ctx: Optional[Dict[str, Any]] = None) -> None:
     """One client session: connect, then submit-and-wait each payload."""
     await start_gate.wait()
     try:
@@ -97,10 +98,12 @@ async def _session(host: str, port: int, payloads: List[Dict[str, Any]],
     try:
         for payload in payloads:
             t0 = time.perf_counter()
+            message = {"op": "submit", "payload": payload, "wait": True,
+                       "wait_timeout": wait_timeout}
+            if trace_ctx is not None:
+                message["trace_ctx"] = trace_ctx
             try:
-                await protocol.write_message_async(writer, {
-                    "op": "submit", "payload": payload, "wait": True,
-                    "wait_timeout": wait_timeout})
+                await protocol.write_message_async(writer, message)
                 response = await protocol.read_message_async(reader)
             except (OSError, protocol.ProtocolError) as exc:
                 samples.append({"ok": False, "code": "connection",
@@ -126,11 +129,13 @@ async def _session(host: str, port: int, payloads: List[Dict[str, Any]],
 
 async def _drive(host: str, port: int,
                  plans: List[List[Dict[str, Any]]],
-                 wait_timeout: float) -> tuple:
+                 wait_timeout: float,
+                 trace_ctx: Optional[Dict[str, Any]] = None) -> tuple:
     samples: List[Dict[str, Any]] = []
     start_gate = asyncio.Event()
     tasks = [asyncio.ensure_future(
-        _session(host, port, plan, wait_timeout, samples, start_gate))
+        _session(host, port, plan, wait_timeout, samples, start_gate,
+                 trace_ctx=trace_ctx))
         for plan in plans]
     await asyncio.sleep(0)      # let every session reach the gate
     start_gate.set()            # ...then open the floodgate together
@@ -181,11 +186,25 @@ def run_loadtest(host: str, port: int, sessions: int = 1000,
                  jobs_per_session: int = 1, distinct: int = 64,
                  kind: str = "probe", benchmark: str = "tref",
                  wait_timeout: float = 120.0,
-                 verify: bool = True) -> Dict[str, Any]:
-    """Run the loadtest and return the report dict (see module doc)."""
+                 verify: bool = True,
+                 trace: bool = False) -> Dict[str, Any]:
+    """Run the loadtest and return the report dict (see module doc).
+
+    ``trace=True`` opens one distributed trace for the whole run: every
+    submission carries the run's root context, so gateway, worker, and
+    shard spans all land under a single trace id — collect the stitched
+    timeline afterwards with ``repro trace-collect``.
+    """
     distinct = max(1, min(distinct, sessions * jobs_per_session))
     payloads = build_payloads(distinct, kind=kind, benchmark=benchmark)
     expected = reference_results(payloads) if verify else {}
+
+    trace_ctx = trace_id = None
+    if trace:
+        from repro.obs.distributed import TraceContext, new_trace_id
+        root = TraceContext(new_trace_id())
+        trace_id = root.trace_id
+        trace_ctx = {"traceparent": root.to_traceparent()}
 
     # deterministic round-robin: session s starts at payload s, so with
     # distinct << sessions the dedup/cache paths get heavy concurrency
@@ -194,9 +213,9 @@ def run_loadtest(host: str, port: int, sessions: int = 1000,
              for s in range(sessions)]
     _log.info("loadtest-start", host=host, port=port, sessions=sessions,
               jobs=sessions * jobs_per_session, distinct=distinct,
-              kind=kind)
+              kind=kind, trace_id=trace_id)
     samples, duration = asyncio.run(
-        _drive(host, port, plans, wait_timeout))
+        _drive(host, port, plans, wait_timeout, trace_ctx=trace_ctx))
 
     latencies = sorted(s["latency"] for s in samples if "latency" in s)
     outcomes: Dict[str, int] = {}
@@ -242,6 +261,7 @@ def run_loadtest(host: str, port: int, sessions: int = 1000,
         "mismatches": mismatches,
         "verified": verify,
         "ok": lost == 0 and mismatches == 0,
+        "trace_id": trace_id,
         "service": _service_stats(host, port),
     }
     _observe(report)
@@ -297,6 +317,12 @@ def append_history(report: Dict[str, Any],
         "mismatches": report["mismatches"],
         "passed": report["ok"],
     }
+    if isinstance(report.get("slo"), dict):
+        # the gate's SLO evaluation rides along so the dashboard can
+        # show the latest objective/burn-rate table without re-running
+        record["slo"] = report["slo"]
+    if report.get("trace_id"):
+        record["trace_id"] = report["trace_id"]
     try:
         with open(path, "a", encoding="utf-8") as fh:
             fh.write(json.dumps(record, sort_keys=True) + "\n")

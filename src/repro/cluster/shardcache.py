@@ -26,15 +26,35 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
 from repro.obs import logging as obs_logging
 from repro.obs import metrics as obs_metrics
+from repro.obs.distributed import TraceContext
 from repro.service import protocol
 from repro.service.cache import ResultCache
 
 _log = obs_logging.get_logger("repro.cluster.shard")
+
+
+def _cache_span(node: str, name: str, trace_ctx, t0_wall: float,
+                duration: float, **args) -> Optional[Dict]:
+    """One distributed span dict for a cache operation, or None when the
+    carried ``trace_ctx`` is absent/malformed (tracing must never make a
+    cache op fail)."""
+    try:
+        parent = TraceContext.from_dict(trace_ctx)
+    except ValueError:
+        return None
+    if parent is None:
+        return None
+    ctx = parent.child()
+    return {"name": name, "cat": "shard", "node": node,
+            "trace_id": ctx.trace_id, "span_id": ctx.span_id,
+            "parent_id": parent.span_id, "ts_wall": t0_wall,
+            "dur": max(0.0, duration), "args": args}
 
 
 class ShardError(Exception):
@@ -53,10 +73,12 @@ class LocalShard:
         self.cache = cache if cache is not None \
             else ResultCache(capacity, directory=directory)
 
-    def get(self, digest: str) -> Optional[Dict]:
+    def get(self, digest: str, trace_ctx: Optional[Dict] = None
+            ) -> Optional[Dict]:
         return self.cache.get(digest)
 
-    def put(self, digest: str, result: Dict) -> None:
+    def put(self, digest: str, result: Dict,
+            trace_ctx: Optional[Dict] = None) -> None:
         self.cache.put(digest, result)
 
     def stats(self) -> Dict[str, object]:
@@ -76,6 +98,9 @@ class RemoteShard:
         self.timeout = timeout
         self._lock = threading.Lock()
         self._sock: Optional[socket.socket] = None
+        #: callable(spans, remote_wall) receiving spans the shard node
+        #: piggybacked on a traced response (set by the gateway)
+        self.on_spans = None
 
     def _connect(self) -> socket.socket:
         sock = socket.create_connection((self.host, self.port),
@@ -104,17 +129,34 @@ class RemoteShard:
                             f"shard {self.host}:{self.port} unreachable "
                             f"({exc})") from None
 
-    def get(self, digest: str) -> Optional[Dict]:
-        response = self.request({"op": "cache-get", "digest": digest})
+    def _harvest_spans(self, response: Dict) -> None:
+        spans = response.get("spans")
+        if isinstance(spans, list) and spans and self.on_spans is not None:
+            try:
+                self.on_spans(spans, response.get("wall"))
+            except Exception:
+                pass  # span delivery must never fail a cache op
+
+    def get(self, digest: str, trace_ctx: Optional[Dict] = None
+            ) -> Optional[Dict]:
+        message = {"op": "cache-get", "digest": digest}
+        if trace_ctx is not None:
+            message["trace_ctx"] = trace_ctx
+        response = self.request(message)
         if not response.get("ok"):
             raise ShardError(response.get("error", "cache-get failed"))
+        self._harvest_spans(response)
         return response.get("result") if response.get("found") else None
 
-    def put(self, digest: str, result: Dict) -> None:
-        response = self.request({"op": "cache-put", "digest": digest,
-                                 "result": result})
+    def put(self, digest: str, result: Dict,
+            trace_ctx: Optional[Dict] = None) -> None:
+        message = {"op": "cache-put", "digest": digest, "result": result}
+        if trace_ctx is not None:
+            message["trace_ctx"] = trace_ctx
+        response = self.request(message)
         if not response.get("ok"):
             raise ShardError(response.get("error", "cache-put failed"))
+        self._harvest_spans(response)
 
     def stats(self) -> Dict[str, object]:
         response = self.request({"op": "cache-stats"})
@@ -165,8 +207,22 @@ class ShardedCache:
             "repro_cluster_shard_requests_total",
             "shard cache requests by shard and outcome "
             "(hit/miss/put/error)")
+        self._span_sink = None
         for name, backend in (shards or {}).items():
             self.add_shard(name, backend)
+
+    def set_span_sink(self, sink) -> None:
+        """Route distributed spans to ``sink(spans, remote_wall)``.
+
+        Remote shards piggyback their own spans (recorded on the shard
+        node's clock — ``remote_wall`` lets the receiver estimate the
+        offset); local shards get a client-side span recorded here with
+        ``remote_wall=None`` (same clock, no skew)."""
+        with self._lock:
+            self._span_sink = sink
+            for backend in self._shards.values():
+                if hasattr(backend, "on_spans"):
+                    backend.on_spans = sink
 
     @classmethod
     def from_specs(cls, specs: List[str], timeout: float = 10.0,
@@ -186,6 +242,9 @@ class ShardedCache:
         with self._lock:
             self._shards[name] = backend
             self._ring.add_node(name)
+            if self._span_sink is not None \
+                    and hasattr(backend, "on_spans"):
+                backend.on_spans = self._span_sink
 
     def remove_shard(self, name: str) -> None:
         with self._lock:
@@ -210,30 +269,63 @@ class ShardedCache:
 
     # -- the ResultCache surface -------------------------------------
 
-    def get(self, digest: str) -> Optional[Dict]:
+    def _local_span(self, name: str, op: str, trace_ctx,
+                    t0_wall: float, duration: float, **args) -> None:
+        """Record a client-side span for a backend that cannot piggyback
+        its own (in-process LocalShard)."""
+        if trace_ctx is None or self._span_sink is None:
+            return
+        span = _cache_span(f"shard:{name}", op, trace_ctx, t0_wall,
+                           duration, **args)
+        if span is not None:
+            try:
+                self._span_sink([span], None)
+            except Exception:
+                pass
+
+    def get(self, digest: str,
+            trace_ctx: Optional[Dict] = None) -> Optional[Dict]:
         name, shard = self._route(digest)
         if shard is None:
             return None
+        remote = hasattr(shard, "on_spans")
+        t0_wall, t0 = time.time(), time.perf_counter()
         try:
-            result = shard.get(digest)
+            if trace_ctx is not None:
+                result = shard.get(digest, trace_ctx=trace_ctx)
+            else:
+                result = shard.get(digest)
         except ShardError as exc:
             self._m_requests.inc(shard=name, outcome="error")
             _log.warning("shard-get-failed", shard=name, error=str(exc))
             return None
+        if not remote:
+            self._local_span(name, "cache-get", trace_ctx, t0_wall,
+                             time.perf_counter() - t0,
+                             hit=result is not None)
         self._m_requests.inc(shard=name,
                              outcome="hit" if result is not None else "miss")
         return result
 
-    def put(self, digest: str, result: Dict) -> None:
+    def put(self, digest: str, result: Dict,
+            trace_ctx: Optional[Dict] = None) -> None:
         name, shard = self._route(digest)
         if shard is None:
             return
+        remote = hasattr(shard, "on_spans")
+        t0_wall, t0 = time.time(), time.perf_counter()
         try:
-            shard.put(digest, result)
+            if trace_ctx is not None:
+                shard.put(digest, result, trace_ctx=trace_ctx)
+            else:
+                shard.put(digest, result)
         except ShardError as exc:
             self._m_requests.inc(shard=name, outcome="error")
             _log.warning("shard-put-failed", shard=name, error=str(exc))
             return
+        if not remote:
+            self._local_span(name, "cache-put", trace_ctx, t0_wall,
+                             time.perf_counter() - t0)
         self._m_requests.inc(shard=name, outcome="put")
 
     def stats(self) -> Dict[str, int]:
@@ -285,11 +377,13 @@ class CacheShardServer:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  capacity: int = 512, directory: Optional[str] = None,
-                 max_bytes: Optional[int] = None):
+                 max_bytes: Optional[int] = None,
+                 name: Optional[str] = None):
         self.cache = ResultCache(capacity, directory=directory,
                                  max_bytes=max_bytes)
         self.host = host
         self.port = port
+        self.name = name
         self.address: Optional[Tuple[str, int]] = None
         self._sock: Optional[socket.socket] = None
         self._stop = threading.Event()
@@ -301,6 +395,8 @@ class CacheShardServer:
             _log.warning("shard-sweep", removed=swept)
         self._sock = socket.create_server((self.host, self.port))
         self.address = self._sock.getsockname()[:2]
+        if self.name is None:
+            self.name = f"shard:{self.address[0]}:{self.address[1]}"
         t = threading.Thread(target=self._accept_loop,
                              name="repro-shard-accept", daemon=True)
         t.start()
@@ -357,14 +453,20 @@ class CacheShardServer:
 
     def handle_request(self, request: Dict) -> Dict:
         op = request.get("op")
+        trace_ctx = request.get("trace_ctx")
         if op == "cache-get":
             digest = request.get("digest")
             if not isinstance(digest, str):
                 return protocol.error_response("cache-get needs a "
                                                "'digest'", "bad-request")
+            t0_wall, t0 = time.time(), time.perf_counter()
             result = self.cache.get(digest)
-            return {"ok": True, "found": result is not None,
-                    "result": result}
+            response = {"ok": True, "found": result is not None,
+                        "result": result}
+            self._attach_span(response, "cache-get", trace_ctx, t0_wall,
+                              time.perf_counter() - t0,
+                              hit=result is not None)
+            return response
         if op == "cache-put":
             digest = request.get("digest")
             result = request.get("result")
@@ -372,8 +474,12 @@ class CacheShardServer:
                 return protocol.error_response(
                     "cache-put needs 'digest' and a 'result' object",
                     "bad-request")
+            t0_wall, t0 = time.time(), time.perf_counter()
             self.cache.put(digest, result)
-            return {"ok": True, "stored": True}
+            response = {"ok": True, "stored": True}
+            self._attach_span(response, "cache-put", trace_ctx, t0_wall,
+                              time.perf_counter() - t0)
+            return response
         if op in ("cache-stats", "health"):
             return {"ok": True, "role": "cache-shard",
                     "entries": len(self.cache),
@@ -386,3 +492,16 @@ class CacheShardServer:
         return protocol.error_response(
             f"unknown op {op!r}; expected cache-get/cache-put/"
             f"cache-stats/health/shutdown", code="bad-op")
+
+    def _attach_span(self, response: Dict, op: str, trace_ctx,
+                     t0_wall: float, duration: float, **args) -> None:
+        """Piggyback this operation's span (stamped with *this* node's
+        wall clock) on the response; the caller's ``wall`` sample feeds
+        its clock-offset estimate for our lane."""
+        if trace_ctx is None:
+            return
+        span = _cache_span(self.name or f"shard:{self.host}:{self.port}",
+                           op, trace_ctx, t0_wall, duration, **args)
+        if span is not None:
+            response["spans"] = [span]
+            response["wall"] = time.time()

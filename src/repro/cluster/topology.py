@@ -64,7 +64,9 @@ class LocalCluster:
                  retry_backoff: float = 0.1,
                  inline_pools: bool = True,
                  host: str = "127.0.0.1",
-                 env: Optional[Dict[str, str]] = None):
+                 env: Optional[Dict[str, str]] = None,
+                 telemetry_dir: Optional[str] = None,
+                 run_id: Optional[str] = None):
         self.host = host
         self.n_shards = shards
         self.n_workers = workers
@@ -75,6 +77,8 @@ class LocalCluster:
         self.heartbeat_timeout = heartbeat_timeout
         self.retry_backoff = retry_backoff
         self.inline_pools = inline_pools
+        self.telemetry_dir = telemetry_dir
+        self.run_id = run_id
         self.env = dict(os.environ, **(env or {}))
         # make `python -m repro` work regardless of installation state
         src = os.path.join(os.path.dirname(os.path.dirname(
@@ -118,6 +122,10 @@ class LocalCluster:
                 "--queue-capacity", str(self.queue_capacity),
                 "--heartbeat-timeout", str(self.heartbeat_timeout),
                 "--retry-backoff", str(self.retry_backoff)]
+        if self.telemetry_dir:
+            args += ["--telemetry-dir", self.telemetry_dir]
+        if self.run_id:
+            args += ["--run-id", self.run_id]
         for host, port in self.shard_addresses:
             args += ["--shard", f"{host}:{port}"]
         self.gateway_proc = self._spawn(args)

@@ -13,12 +13,17 @@ daemon's dispatcher threads:
 * pool-worker crashes surface as ``work-fail kind=crash`` and the
   *gateway* owns the retry/backoff bookkeeping — a node can die
   mid-retry without losing the count;
-* a heartbeat thread ships liveness plus a metrics-registry delta
-  tagged with a monotonic sequence number.  The same ``(seq, delta)``
-  pair is resent until the gateway acknowledges it, and the gateway
-  merges each seq at most once — metric transfer is exactly-once even
-  across lost responses (the cross-node extension of the PR 5
-  export/delta/merge arithmetic);
+* a heartbeat thread ships liveness plus a metrics-registry delta and
+  any buffered distributed spans, tagged with a monotonic sequence
+  number and this process's ``boot`` id.  The same ``(seq, delta,
+  spans)`` triple is resent until the gateway acknowledges it, and the
+  gateway merges each seq at most once — metric/span transfer is
+  exactly-once even across lost responses (the cross-node extension of
+  the PR 5 export/delta/merge arithmetic).  The boot id lets the
+  gateway distinguish a *restarted* node (sequence counter reset to
+  zero — accept from scratch) from a replayed heartbeat (drop);
+* each heartbeat carries the node's wall clock, giving the gateway a
+  stream of clock-offset samples for cross-node trace stitching;
 * when the gateway reports ``stopping`` (or the link stays dead past
   the failure budget) the node shuts itself down.
 """
@@ -29,12 +34,14 @@ import os
 import socket
 import threading
 import time
-from typing import Any, Dict, Optional, Tuple
+import uuid
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.experiments.executor import (WorkerCrashError, WorkerPool,
                                         WorkerTimeout, resolve_jobs)
 from repro.obs import logging as obs_logging
 from repro.obs import metrics as obs_metrics
+from repro.obs.distributed import SpanRecorder, TraceContext
 from repro.obs.metrics import MetricsRegistry
 from repro.service import protocol
 from repro.service.execution import run_job_observed
@@ -109,10 +116,17 @@ class WorkerNode:
         self.jobs_done = 0
         self.jobs_failed = 0
         self._count_lock = threading.Lock()
-        # exactly-once metrics shipping state (heartbeat thread only)
+        #: distinguishes this process incarnation in heartbeats, so a
+        #: restart (sequence counter back to zero) is not mistaken for
+        #: a replay by the gateway's exactly-once merge
+        self.boot = uuid.uuid4().hex[:12]
+        #: distributed spans recorded while executing traced jobs,
+        #: shipped with the heartbeat stream
+        self.spans = SpanRecorder(self.name)
+        # exactly-once metrics+span shipping state (heartbeat thread only)
         self._last_export = obs_metrics.get_registry().export()
         self._seq = 0
-        self._pending_ship: Optional[Tuple[int, Dict, Dict]] = None
+        self._pending_ship: Optional[Tuple[int, Dict, Dict, List]] = None
 
     # -- lifecycle ---------------------------------------------------
 
@@ -187,6 +201,12 @@ class WorkerNode:
         job_id = descriptor.get("job_id")
         payload = descriptor.get("payload") or {}
         ctx = descriptor.get("ctx") or {}
+        trace_parent = None
+        try:
+            trace_parent = TraceContext.from_dict(
+                descriptor.get("trace_ctx"))
+        except ValueError:
+            pass  # malformed context: run untraced rather than fail
         try:
             start = link.request({"op": "work-start", "node": self.name,
                                   "job_id": job_id})
@@ -197,24 +217,37 @@ class WorkerNode:
                       reason=start.get("reason"))
             return
         report: Dict[str, Any]
+        outcome = "done"
+        t0_wall, t0 = time.time(), time.perf_counter()
         with obs_logging.log_context(job_id=job_id, **ctx):
             try:
                 result, delta = self.pool.run(
                     run_job_observed, (payload, ctx),
                     timeout=start.get("remaining"))
             except WorkerTimeout:
+                outcome = "timeout"
                 report = {"op": "work-fail", "kind": "timeout",
                           "error": "deadline expired while running"}
             except WorkerCrashError as exc:
+                outcome = "crash"
                 report = {"op": "work-fail", "kind": "crash",
                           "error": str(exc)}
             except Exception as exc:
+                outcome = "error"
                 report = {"op": "work-fail", "kind": "error",
                           "error": f"{type(exc).__name__}: {exc}"}
             else:
                 if delta:
                     obs_metrics.get_registry().merge(delta)
                 report = {"op": "work-done", "result": result}
+        if trace_parent is not None:
+            self.spans.record(
+                "execute", trace_parent.child(), cat="worker",
+                start_wall=t0_wall,
+                duration=time.perf_counter() - t0,
+                parent_id=trace_parent.span_id, job_id=job_id,
+                digest=descriptor.get("digest"), outcome=outcome,
+                attempt=start.get("attempts"))
         report.update(node=self.name, job_id=job_id)
         with self._count_lock:
             if report["op"] == "work-done":
@@ -228,31 +261,43 @@ class WorkerNode:
             # dedup/caching keeps the re-run cheap and correct
             _log.warning("report-lost", node=self.name, job_id=job_id)
 
-    # -- heartbeats + exactly-once metric shipping -------------------
+    # -- heartbeats + exactly-once metric/span shipping --------------
 
-    def _capture_ship(self) -> Tuple[int, Dict, Dict]:
+    def _capture_ship(self) -> Tuple[int, Dict, Dict, List]:
         if self._pending_ship is None:
             export = obs_metrics.get_registry().export()
             delta = MetricsRegistry.delta(self._last_export, export)
-            self._pending_ship = (self._seq + 1, delta or {}, export)
+            # spans drain into the pending ship and stay there until the
+            # gateway acks the seq — a lost response resends the same
+            # batch, and the gateway's seq check drops the replay
+            self._pending_ship = (self._seq + 1, delta or {}, export,
+                                  self.spans.drain())
         return self._pending_ship
+
+    def _heartbeat_message(self) -> Tuple[Dict[str, Any], int, Dict]:
+        seq, delta, export, spans = self._capture_ship()
+        with self._count_lock:
+            info = {"pid": os.getpid(), "threads": self.threads,
+                    "pool_mode": "inline" if self.pool.inline
+                                 else "process",
+                    "boot": self.boot,
+                    "jobs_done": self.jobs_done,
+                    "jobs_failed": self.jobs_failed}
+        message = {"op": "heartbeat", "node": self.name,
+                   "boot": self.boot, "wall": time.time(),
+                   "seq": seq, "metrics": delta, "info": info}
+        if spans:
+            message["spans"] = spans
+        return message, seq, export
 
     def _heartbeat_loop(self) -> None:
         link = GatewayLink(*self.gateway)
         failures = 0
         try:
             while not self._stop.wait(timeout=self.heartbeat_interval):
-                seq, delta, export = self._capture_ship()
-                with self._count_lock:
-                    info = {"pid": os.getpid(), "threads": self.threads,
-                            "pool_mode": "inline" if self.pool.inline
-                                         else "process",
-                            "jobs_done": self.jobs_done,
-                            "jobs_failed": self.jobs_failed}
+                message, seq, export = self._heartbeat_message()
                 try:
-                    response = link.request(
-                        {"op": "heartbeat", "node": self.name,
-                         "seq": seq, "metrics": delta, "info": info})
+                    response = link.request(message)
                 except GatewayUnreachable:
                     failures += 1
                     if failures >= self.link_failure_budget:
@@ -272,4 +317,15 @@ class WorkerNode:
                     self._stop.set()
                     return
         finally:
+            # best-effort final flush so the last jobs' spans/metrics
+            # reach the gateway before this process exits
+            try:
+                message, seq, export = self._heartbeat_message()
+                response = link.request(message)
+                if response and response.get("ok"):
+                    self._seq = seq
+                    self._last_export = export
+                    self._pending_ship = None
+            except (GatewayUnreachable, Exception):
+                pass
             link.close()

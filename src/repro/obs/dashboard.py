@@ -32,6 +32,7 @@ from repro.experiments.pipeline import BASE_CACHE_STATS, CONFIGS
 from repro.experiments.table1 import table1_rows
 from repro.experiments.table2 import Table2Row, table2_outcomes
 from repro.obs import metrics as obs_metrics
+from repro.obs.slo import ALERT_BURN_RATE
 from repro.perfect.suite import (PROGRAM_CACHE_STATS, all_benchmarks,
                                  cache_dir)
 from repro.polaris.report import merge_timings
@@ -66,6 +67,7 @@ class DashboardData:
     bench_history: List[Dict[str, object]] = field(default_factory=list)
     fuzz_stats: Optional[Dict[str, object]] = None
     figure20: Optional[List[object]] = None  # SpeedupCell list
+    slo: Optional[Dict[str, object]] = None  # latest gate evaluation
 
 
 def verify_counts(rows: Sequence[Table2Row],
@@ -113,6 +115,17 @@ def read_fuzz_stats(path: Optional[str] = None
     return data if isinstance(data, dict) else None
 
 
+def latest_slo(entries: List[Dict[str, object]]
+               ) -> Optional[Dict[str, object]]:
+    """The most recent loadtest history record's SLO evaluation (the
+    ``repro loadtest --slo`` gate writes one per --gate run)."""
+    for entry in reversed(entries):
+        if entry.get("suite") == "loadtest" \
+                and isinstance(entry.get("slo"), dict):
+            return entry["slo"]
+    return None
+
+
 def collect(benchmarks: Optional[List[str]] = None,
             jobs: Optional[int] = None,
             include_figure20: bool = False,
@@ -134,6 +147,7 @@ def collect(benchmarks: Optional[List[str]] = None,
     if include_figure20:
         from repro.experiments.figure20 import figure20_all
         figure20 = figure20_all(benchmarks=bench_objs, jobs=jobs)
+    bench_history = read_bench_history(history_path)
     return DashboardData(
         benchmarks=[b.name for b in bench_objs],
         table1=table1_rows(jobs=jobs),
@@ -144,9 +158,10 @@ def collect(benchmarks: Optional[List[str]] = None,
         parse_cache=PROGRAM_CACHE_STATS.as_dict(),
         base_cache=BASE_CACHE_STATS.as_dict(),
         metrics_text=obs_metrics.get_registry().to_prometheus(),
-        bench_history=read_bench_history(history_path),
+        bench_history=bench_history,
         fuzz_stats=read_fuzz_stats(fuzz_path),
         figure20=figure20,
+        slo=latest_slo(bench_history),
     )
 
 
@@ -547,6 +562,50 @@ def _figure20_section(data: DashboardData) -> str:
     return "".join(parts)
 
 
+def _slo_section(data: DashboardData) -> str:
+    evaluation = data.slo
+    if not isinstance(evaluation, dict):
+        return ("<section><h2>Service SLOs</h2>"
+                '<p class="dim">No SLO gate recorded yet — run '
+                "<code>repro loadtest --gate --slo SLO.json</code>."
+                "</p></section>")
+    overall = ('<span class="ok">&#10003; OK</span>'
+               if evaluation.get("ok") else
+               '<span class="warn">&#9888; VIOLATED</span>')
+    rows = []
+    for r in evaluation.get("objectives", ()):
+        if not isinstance(r, dict):
+            continue
+        if r.get("no_data"):
+            status, shown = '<span class="dim">no data</span>', "-"
+        elif r.get("ok"):
+            status = '<span class="ok">&#10003; ok</span>'
+            shown = r.get("value")
+        else:
+            status = '<span class="warn">&#9888; violated</span>'
+            shown = r.get("value")
+        burn = r.get("burn_rate")
+        alert = (' <span class="warn">ALERT</span>'
+                 if r.get("alert") and r.get("ok") else "")
+        rows.append(
+            f"<tr><td>{_e(r.get('name', '?'))}</td>"
+            f"<td>{_e(r.get('kind', '?'))}</td>"
+            f"<td class=num>{_e(shown)}</td>"
+            f"<td>{_e(r.get('target', ''))}</td>"
+            f"<td class=num>{_e(burn if burn is not None else '-')}"
+            f"{alert}</td><td>{status}</td></tr>")
+    return (f"<section><h2>Service SLOs {overall}</h2>"
+            f'<p class="sub">Latest <code>repro loadtest --slo</code> '
+            f"gate evaluation (spec "
+            f"<code>{_e(evaluation.get('spec', 'slo'))}</code>, source "
+            f"{_e(evaluation.get('source', '?'))}). Burn rate 1.0 = at "
+            f"the threshold; alerts fire above {ALERT_BURN_RATE}.</p>"
+            f"<table><tr><th>Objective</th><th>Kind</th>"
+            f"<th class=num>Value</th><th>Target</th>"
+            f"<th class=num>Burn</th><th>Status</th></tr>"
+            f"{''.join(rows)}</table></section>")
+
+
 def _metrics_section(data: DashboardData) -> str:
     if not data.metrics_text.strip():
         return ""
@@ -575,6 +634,7 @@ def render_dashboard(data: DashboardData) -> str:
         f"{_drilldown_section(data)}"
         f"{_cache_section(data)}"
         f"{_history_section(data)}"
+        f"{_slo_section(data)}"
         f"{_fuzz_section(data)}"
         f"{_metrics_section(data)}"
         "</main></body></html>\n")

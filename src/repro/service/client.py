@@ -56,7 +56,9 @@ class ServiceClient:
                deadline: Optional[float] = None,
                max_retries: Optional[int] = None,
                wait_timeout: Optional[float] = None,
-               include_trace: bool = False) -> Dict[str, Any]:
+               include_trace: bool = False,
+               trace_ctx: Optional[Dict[str, Any]] = None
+               ) -> Dict[str, Any]:
         message: Dict[str, Any] = {"op": "submit", "payload": payload,
                                    "wait": wait}
         ctx = current_context()
@@ -64,6 +66,10 @@ class ServiceClient:
             # correlation IDs ride next to the payload (never inside it:
             # they must not perturb the dedup digest)
             message["ctx"] = ctx
+        if trace_ctx is not None:
+            # distributed trace context: same rule as ctx — beside the
+            # payload, never part of the dedup digest
+            message["trace_ctx"] = trace_ctx
         if deadline is not None:
             message["deadline"] = deadline
         if max_retries is not None:
@@ -109,6 +115,21 @@ class ServiceClient:
 
     def metrics(self, format: str = "json") -> Dict[str, Any]:
         return self.request({"op": "metrics", "format": format})
+
+    def telemetry(self, events_since: int = 0) -> Dict[str, Any]:
+        """One live telemetry frame: a fresh metric+health snapshot plus
+        events newer than ``events_since`` (feeds ``repro top``)."""
+        return self.request({"op": "telemetry",
+                             "events_since": events_since})
+
+    def trace_export(self, trace_id: Optional[str] = None
+                     ) -> Dict[str, Any]:
+        """All stored spans (optionally one trace), per-node clock
+        offsets, and decision records (feeds ``repro trace-collect``)."""
+        message: Dict[str, Any] = {"op": "trace-export"}
+        if trace_id is not None:
+            message["trace_id"] = trace_id
+        return self.request(message)
 
     def shutdown(self, drain: bool = False,
                  drain_timeout: Optional[float] = None) -> Dict[str, Any]:

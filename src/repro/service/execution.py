@@ -58,9 +58,10 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     if kind == "benchmark":
         from repro.perfect import get_benchmark
         benchmark = get_benchmark(payload["benchmark"])
-        return _run_pipeline(benchmark, payload.get("config", "annotation"),
-                             trace=trace, backend=backend,
-                             annotations_mode=annotations_mode)
+        return _tag_trace(_run_pipeline(
+            benchmark, payload.get("config", "annotation"),
+            trace=trace, backend=backend,
+            annotations_mode=annotations_mode), payload)
     if kind == "sources":
         from repro.perfect.suite import Benchmark
         sources = payload.get("sources")
@@ -72,11 +73,24 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             description="submitted via repro.service",
             sources=dict(sources),
             annotations=payload.get("annotations", ""))
-        return _run_pipeline(benchmark, payload.get("config", "annotation"),
-                             trace=trace, backend=backend,
-                             annotations_mode=annotations_mode)
+        return _tag_trace(_run_pipeline(
+            benchmark, payload.get("config", "annotation"),
+            trace=trace, backend=backend,
+            annotations_mode=annotations_mode), payload)
     raise ValueError(f"unknown payload kind {kind!r}; "
                      f"expected one of {PAYLOAD_KINDS}")
+
+
+def _tag_trace(result: Dict[str, Any],
+               payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Stamp a traced result's export with its job identity (the payload
+    digest), so any later :meth:`Tracer.merge` of a crash-retried job's
+    attempts counts each decision record exactly once."""
+    trace = result.get("trace")
+    if isinstance(trace, dict) and "job" not in trace:
+        from repro.service.jobs import payload_digest
+        trace["job"] = payload_digest(payload)
+    return result
 
 
 def _execute_parallelize(payload: Dict[str, Any]) -> Dict[str, Any]:

@@ -74,6 +74,10 @@ class Job:
     #: Deliberately NOT part of the payload: two clients submitting the
     #: same work must dedup to one job regardless of who asked.
     ctx: Dict[str, Any] = field(default_factory=dict)
+    #: W3C-traceparent-style distributed trace context, carried beside
+    #: the payload exactly like ``ctx`` (never inside it — digests and
+    #: dedup are identical with tracing on or off).  None = untraced.
+    trace_ctx: Optional[Dict[str, Any]] = None
     finished: threading.Event = field(default_factory=threading.Event,
                                       repr=False)
 

@@ -29,6 +29,17 @@ def validate_ctx(ctx: Any) -> Optional[str]:
     return None
 
 
+def validate_trace_ctx(trace_ctx: Any) -> Optional[str]:
+    """Problem description for a submit ``trace_ctx`` field, or None.
+
+    Delegates to :func:`repro.obs.distributed.validate_trace_ctx`
+    (W3C-traceparent shape); re-exported here so both tiers validate
+    submissions through one module, like ``validate_ctx``.
+    """
+    from repro.obs.distributed import validate_trace_ctx as _validate
+    return _validate(trace_ctx)
+
+
 def strip_trace(result: Optional[Dict[str, Any]],
                 include_trace: bool) -> Optional[Dict[str, Any]]:
     """Drop the bulky ``trace`` key unless the client asked for it."""

@@ -24,15 +24,18 @@ already-finished job.  Both paths are visible in the metrics
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import socket
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.experiments.executor import (WorkerCrashError, WorkerPool,
                                         WorkerTimeout, resolve_jobs)
 from repro.obs import logging as obs_logging
 from repro.obs import metrics as obs_metrics
+from repro.obs.distributed import ClockModel, SpanRecorder, TraceContext
+from repro.obs.telemetry import SpanStore, TelemetryStore
 from repro.service import ops, protocol
 from repro.service.cache import ResultCache
 # re-exported for compatibility: execution moved to its own module so the
@@ -68,7 +71,9 @@ class ParallelizationServer:
                  default_deadline: Optional[float] = None,
                  max_retries: int = 1, retry_backoff: float = 0.5,
                  drain_timeout: float = 30.0,
-                 inline: Optional[bool] = None):
+                 inline: Optional[bool] = None,
+                 telemetry_dir: Optional[str] = None,
+                 run_id: Optional[str] = None):
         self.host = host
         self.port = port
         self.workers = resolve_jobs(jobs)
@@ -81,6 +86,15 @@ class ParallelizationServer:
         self.cache = ResultCache(cache_capacity, directory=cache_dir)
         self.metrics = MetricsRegistry()
         self.pool = WorkerPool(self.workers, inline=inline)
+
+        # observability plane (single-node flavor: everything on one
+        # clock, so ClockModel stays empty and stitching is trivial)
+        self.run_id = run_id or f"svc-{os.getpid()}"
+        self.clock = ClockModel()
+        self.spans = SpanRecorder("daemon")
+        self.span_store = SpanStore(telemetry_dir, self.run_id)
+        self.telemetry = TelemetryStore(telemetry_dir, self.run_id)
+        self._traced: Dict[str, Dict[str, Any]] = {}
 
         self._jobs: Dict[str, Job] = {}          # job id -> Job
         self._by_digest: Dict[str, str] = {}     # digest -> live job id
@@ -216,12 +230,14 @@ class ParallelizationServer:
     def submit(self, payload: Dict[str, Any],
                deadline: Optional[float] = None,
                max_retries: Optional[int] = None,
-               ctx: Optional[Dict[str, Any]] = None) -> Job:
+               ctx: Optional[Dict[str, Any]] = None,
+               trace_ctx: Optional[Dict[str, Any]] = None) -> Job:
         """Admit a payload: dedup against in-flight work, answer from
         cache, or enqueue.  Raises :class:`QueueFullError` on
         backpressure and ValueError on malformed payloads.  ``ctx``
-        carries the client's correlation IDs into the job's logs; it
-        never participates in dedup (see :class:`Job`)."""
+        carries the client's correlation IDs into the job's logs;
+        ``trace_ctx`` carries a distributed trace context.  Neither
+        participates in dedup (see :class:`Job`)."""
         kind = payload.get("kind")
         if kind not in PAYLOAD_KINDS:
             raise ValueError(f"unknown payload kind {kind!r}; "
@@ -235,6 +251,7 @@ class ParallelizationServer:
             deadline = self.default_deadline
         if max_retries is None:
             max_retries = self.max_retries
+        trace = self._open_trace(trace_ctx)
 
         with self._lock:
             live_id = self._by_digest.get(digest)
@@ -247,25 +264,64 @@ class ParallelizationServer:
 
             job = Job(digest=digest, payload=payload, deadline=deadline,
                       max_retries=max_retries, ctx=dict(ctx or {}))
+            if trace is not None:
+                job.trace_ctx = {
+                    "traceparent": trace["span"].to_traceparent()}
+                self._traced[job.id] = trace
+            t0_wall, t0 = time.time(), time.perf_counter()
             cached = self.cache.get(digest)
+            if trace is not None:
+                self.spans.record(
+                    "cache-lookup", trace["span"].child(), cat="cache",
+                    start_wall=t0_wall,
+                    duration=time.perf_counter() - t0,
+                    parent_id=trace["span"].span_id,
+                    digest=digest, hit=cached is not None)
             if cached is not None:
                 self._m_cache_hits.inc()
                 job.cached = True
                 job.finish(JobState.DONE, result=cached)
                 self._m_completed.inc(state=JobState.DONE)
                 self._jobs[job.id] = job
+                if trace is not None:
+                    self._record_job_span(job, trace)
                 return job
             self._m_cache_misses.inc()
             try:
                 self.queue.put(job)
             except QueueFullError:
                 self._m_rejected.inc()
+                self._traced.pop(job.id, None)
                 raise
             self._m_submitted.inc()
             self._jobs[job.id] = job
             self._by_digest[digest] = job.id
             self._m_depth.set(self.queue.depth())
             return job
+
+    def _open_trace(self, trace_ctx: Optional[Dict[str, Any]]
+                    ) -> Optional[Dict[str, Any]]:
+        """Open the daemon-side 'job' span for a traced submission
+        (None — the common case — costs one ``is None`` test)."""
+        if trace_ctx is None:
+            return None
+        root = TraceContext.from_dict(trace_ctx)  # raises on malformed
+        if root is None:
+            return None
+        return {"root": root, "span": root.child(),
+                "submit_wall": time.time()}
+
+    def _record_job_span(self, job: Job, trace: Dict[str, Any]) -> None:
+        if trace.get("recorded"):
+            return
+        trace["recorded"] = True
+        self.spans.record(
+            "job", trace["span"], cat="daemon",
+            start_wall=trace["submit_wall"],
+            duration=job.latency() or 0.0,
+            parent_id=trace["root"].span_id,
+            job_id=job.id, digest=job.digest, state=job.state,
+            cached=job.cached, attempts=job.attempts)
 
     def get_job(self, job_id: str) -> Optional[Job]:
         with self._lock:
@@ -312,6 +368,17 @@ class ParallelizationServer:
         job.started_at = time.monotonic()
         job.attempts += 1
         self._m_running.inc()
+        trace = self._traced.get(job.id)
+        t0_wall, t0 = time.time(), time.perf_counter()
+        if trace is not None:
+            wait_from = trace.get("last_wait", trace["submit_wall"])
+            self.spans.record(
+                "queue-wait", trace["span"].child(), cat="daemon",
+                start_wall=wait_from,
+                duration=max(0.0, t0_wall - wait_from),
+                parent_id=trace["span"].span_id, job_id=job.id,
+                attempt=job.attempts)
+            trace["last_wait"] = t0_wall
         with obs_logging.log_context(job_id=job.id, **job.ctx):
             _log.info("job-start", digest=job.digest[:12],
                       attempt=job.attempts,
@@ -342,6 +409,14 @@ class ParallelizationServer:
                           latency=round(job.latency() or 0.0, 4))
             finally:
                 self._m_running.dec()
+                if trace is not None:
+                    self.spans.record(
+                        "execute", trace["span"].child(), cat="worker",
+                        start_wall=t0_wall,
+                        duration=time.perf_counter() - t0,
+                        parent_id=trace["span"].span_id, job_id=job.id,
+                        digest=job.digest, outcome=job.state,
+                        attempt=job.attempts)
 
     def _handle_crash(self, job: Job, exc: WorkerCrashError) -> None:
         if job.attempts > job.max_retries:
@@ -378,6 +453,9 @@ class ParallelizationServer:
             job.finish(state, result=result, error=error)
             self._m_completed.inc(state=state)
             self._drop_digest(job)
+            trace = self._traced.get(job.id)
+            if trace is not None:
+                self._record_job_span(job, trace)
         latency = job.latency()
         if latency is not None:
             self._m_latency.observe(latency)
@@ -439,15 +517,26 @@ class ParallelizationServer:
                                 "drain_timeout": drain_timeout}).start()
                     return
 
+    #: hyphenated wire ops that cannot be reached via ``_op_<name>``
+    #: attribute lookup (kept identical to the gateway's op names)
+    _OP_ALIASES = {"trace-export": "_op_trace_export"}
+
     def handle_request(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Answer one protocol request (also the unit-test entry point)."""
         op = request.get("op")
-        handler = getattr(self, f"_op_{op}", None) if op else None
-        if handler is None or not str(op).isidentifier():
+        alias = self._OP_ALIASES.get(op) if isinstance(op, str) else None
+        if alias is not None:
+            handler = getattr(self, alias)
+        else:
+            handler = getattr(self, f"_op_{op}", None) if op else None
+            if handler is not None and not str(op).isidentifier():
+                handler = None
+        if handler is None:
             self._m_requests.inc(op="unknown")
             return protocol.error_response(
                 f"unknown op {op!r}; expected submit/status/result/"
-                f"cancel/health/metrics/shutdown", code="bad-op")
+                f"cancel/health/metrics/telemetry/trace-export/shutdown",
+                code="bad-op")
         self._m_requests.inc(op=str(op))
         with self._m_request_seconds.time():
             return handler(request)
@@ -473,11 +562,16 @@ class ParallelizationServer:
         ctx_problem = ops.validate_ctx(ctx)
         if ctx_problem:
             return protocol.error_response(ctx_problem, code="bad-request")
+        trace_ctx = request.get("trace_ctx")
+        trace_problem = ops.validate_trace_ctx(trace_ctx)
+        if trace_problem:
+            return protocol.error_response(trace_problem,
+                                           code="bad-request")
         try:
             job = self.submit(payload,
                               deadline=request.get("deadline"),
                               max_retries=request.get("max_retries"),
-                              ctx=ctx)
+                              ctx=ctx, trace_ctx=trace_ctx)
         except QueueFullError as exc:
             return protocol.error_response(exc.reason, code="backpressure")
         except (ValueError, KeyError) as exc:
@@ -573,6 +667,72 @@ class ParallelizationServer:
                 f"unknown metrics format {fmt!r}", code="bad-request")
         return {"ok": True, "format": "json",
                 "metrics": self._exported_metrics().to_json()}
+
+    def _snapshot_telemetry(self) -> Dict[str, Any]:
+        """One merged metric+health snapshot (the daemon has no
+        background telemetry loop; snapshots happen on demand)."""
+        self._m_uptime.set(self.uptime())
+        self.span_store.add(self.spans.drain())
+        metrics = self._exported_metrics().export()
+        health = self._op_health({})
+        health.pop("ok", None)
+        return self.telemetry.add_snapshot(metrics, health)
+
+    def _op_telemetry(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        snapshot = self._snapshot_telemetry()
+        since = request.get("events_since")
+        events = self.telemetry.events_since(
+            since if isinstance(since, int) else 0)
+        return {"ok": True, "tier": "single-node", "run_id": self.run_id,
+                "snapshot": snapshot, "events": events,
+                "event_seq": self.telemetry.event_seq(),
+                "spans_stored": len(self.span_store)}
+
+    def _op_trace_export(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Same shape as the gateway's ``trace-export``: all spans, the
+        (empty — one clock) offset table, and finished traced jobs'
+        decision records stamped with their producing span ids."""
+        from repro.trace.tracer import Tracer
+        self.span_store.add(self.spans.drain())
+        trace_id = request.get("trace_id")
+        if trace_id is not None and not isinstance(trace_id, str):
+            return protocol.error_response(
+                "'trace_id' must be a string", code="bad-request")
+        spans = self.span_store.spans(trace_id)
+        seen: set = set()
+        decisions: List[Dict[str, Any]] = []
+        site_decisions: List[Dict[str, Any]] = []
+        with self._lock:
+            traced = list(self._traced.items())
+        for job_id, trace in traced:
+            job = self._jobs.get(job_id)
+            if job is None or not isinstance(job.result, dict):
+                continue
+            if trace_id and trace["span"].trace_id != trace_id:
+                continue
+            export = job.result.get("trace")
+            if not isinstance(export, dict):
+                continue
+            link = {"job_id": job.id, "digest": job.digest,
+                    "span_id": trace["span"].span_id,
+                    "trace_id": trace["span"].trace_id}
+            for kind, field, out in (
+                    ("loop", "decisions", decisions),
+                    ("site", "site_decisions", site_decisions)):
+                for d in export.get(field) or ():
+                    if not isinstance(d, dict):
+                        continue
+                    key = Tracer._decision_key(job.digest, kind, d)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    out.append({**d, **link})
+        return {"ok": True, "run_id": self.run_id, "spans": spans,
+                "clock_offsets": self.clock.to_dict(),
+                "trace_ids": self.span_store.trace_ids(),
+                "decisions": decisions,
+                "site_decisions": site_decisions,
+                "dropped": self.span_store.dropped + self.spans.dropped}
 
     def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
         drain = bool(request.get("drain"))

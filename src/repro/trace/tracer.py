@@ -91,6 +91,11 @@ class Tracer:
         self.site_decisions: List[SiteDecision] = []
         self._perf0 = time.perf_counter()
         self._wall0 = time.time()
+        # decision-record identities already merged, keyed by job — a
+        # crash-retried job re-executes and its retry export repeats the
+        # first attempt's decisions; counting them twice breaks the
+        # Table II ↔ trace cross-check
+        self._merged_decision_keys: set = set()
 
     # -- recording ---------------------------------------------------
 
@@ -136,9 +141,14 @@ class Tracer:
 
     # -- merge / export ----------------------------------------------
 
-    def export(self) -> Dict[str, Any]:
-        """JSON-safe snapshot for crossing a process or wire boundary."""
-        return {
+    def export(self, job: Optional[str] = None) -> Dict[str, Any]:
+        """JSON-safe snapshot for crossing a process or wire boundary.
+
+        ``job`` (usually the payload digest) tags the export so a
+        receiver can merge retried attempts of the same job without
+        double-counting decisions.
+        """
+        out = {
             "label": self.label,
             "pid": self.pid,
             "wall0": self._wall0,
@@ -146,15 +156,42 @@ class Tracer:
             "decisions": [d.to_dict() for d in self.decisions],
             "site_decisions": [d.to_dict() for d in self.site_decisions],
         }
+        if job is not None:
+            out["job"] = job
+        return out
+
+    @staticmethod
+    def _decision_key(job: str, kind: str, d: Dict[str, Any]) -> tuple:
+        """Stable identity of one decision record within one job.
+
+        A loop is (benchmark, config, unit, var, origin); a call site is
+        (benchmark, config, unit, callee, site id).  Two attempts of the
+        same job produce records with equal keys — one survives.
+        """
+        if kind == "loop":
+            return (job, kind, d.get("benchmark", ""), d.get("config", ""),
+                    d.get("unit", ""), d.get("var", ""),
+                    d.get("origin") or "")
+        return (job, kind, d.get("benchmark", ""), d.get("config", ""),
+                d.get("unit", ""), d.get("callee", ""),
+                d.get("site_id", 0))
 
     def merge(self, exported: Optional[Dict[str, Any]],
-              pid: Optional[int] = None) -> None:
+              pid: Optional[int] = None,
+              job: Optional[str] = None) -> None:
         """Fold a child tracer's :meth:`export` into this trace.
 
         Child timestamps are re-based onto this tracer's clock via the
         wall-clock epochs, so worker spans land where they actually ran
         on the parent timeline.  ``pid`` overrides the child's process
         lane (useful for deterministic lane numbering in tests).
+
+        When the export carries a job tag (or ``job`` is passed),
+        decision records are deduplicated against every previous merge
+        of the same job: a worker that exported partially, was
+        SIGKILLed, and re-ran contributes each decision exactly once.
+        Span events are *not* deduplicated — both attempts really
+        consumed wall clock and belong on the timeline.
         """
         if not self.enabled or not exported:
             return
@@ -166,10 +203,19 @@ class Tracer:
             merged["ts"] = round(float(merged.get("ts", 0.0)) + offset_us, 1)
             merged["pid"] = child_pid
             self.events.append(merged)
-        for d in exported.get("decisions", ()):
-            self.decisions.append(LoopDecision.from_dict(d))
-        for d in exported.get("site_decisions", ()):
-            self.site_decisions.append(SiteDecision.from_dict(d))
+        job = job if job is not None else exported.get("job")
+        for kind, records, cls, target in (
+                ("loop", exported.get("decisions", ()),
+                 LoopDecision, self.decisions),
+                ("site", exported.get("site_decisions", ()),
+                 SiteDecision, self.site_decisions)):
+            for d in records:
+                if job is not None:
+                    key = self._decision_key(job, kind, d)
+                    if key in self._merged_decision_keys:
+                        continue
+                    self._merged_decision_keys.add(key)
+                target.append(cls.from_dict(d))
 
     def to_chrome(self) -> Dict[str, Any]:
         """The Chrome trace-event JSON object for this trace.

@@ -1,0 +1,244 @@
+"""Distributed-tracing primitives: contexts, recorders, clocks, stitching."""
+
+import pytest
+
+from repro.obs.distributed import (ClockModel, SpanRecorder, TraceContext,
+                                   new_trace_id, parent_child_monotonic,
+                                   spans_by_trace, stitch_spans,
+                                   validate_trace_ctx)
+from repro.trace.chrome import validate_chrome_trace
+
+
+class TestTraceContext:
+    def test_roundtrip(self):
+        ctx = TraceContext()
+        parsed = TraceContext.from_traceparent(ctx.to_traceparent())
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+        assert parsed.sampled is True
+
+    def test_traceparent_shape(self):
+        header = TraceContext().to_traceparent()
+        version, trace_id, span_id, flags = header.split("-")
+        assert version == "00"
+        assert len(trace_id) == 32
+        assert len(span_id) == 16
+        assert flags == "01"
+
+    def test_child_shares_trace_id_with_fresh_span(self):
+        root = TraceContext()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.span_id != root.span_id
+
+    def test_unsampled_flag_survives(self):
+        ctx = TraceContext(sampled=False)
+        assert ctx.to_traceparent().endswith("-00")
+        assert TraceContext.from_traceparent(
+            ctx.to_traceparent()).sampled is False
+
+    @pytest.mark.parametrize("header", [
+        "", "garbage", "00-abc-def-01",
+        "00-" + "0" * 32 + "-" + "1" * 16 + "-01",   # zero trace id
+        "00-" + "1" * 32 + "-" + "0" * 16 + "-01",   # zero span id
+        "zz-" + "1" * 32 + "-" + "2" * 16 + "-01",   # bad version hex
+    ])
+    def test_malformed_traceparent_rejected(self, header):
+        with pytest.raises(ValueError):
+            TraceContext.from_traceparent(header)
+
+    def test_from_dict_none_is_none(self):
+        assert TraceContext.from_dict(None) is None
+
+    def test_from_dict_non_object_raises(self):
+        with pytest.raises(ValueError):
+            TraceContext.from_dict("00-aa-bb-01")
+
+    def test_validate_trace_ctx(self):
+        assert validate_trace_ctx(None) is None
+        assert validate_trace_ctx(TraceContext().to_dict()) is None
+        assert "trace_ctx" in validate_trace_ctx({"traceparent": "nope"})
+        assert "trace_ctx" in validate_trace_ctx([1, 2])
+
+
+class TestSpanRecorder:
+    def test_record_and_drain(self):
+        rec = SpanRecorder("node-a")
+        ctx = TraceContext()
+        rec.record("execute", ctx.child(), cat="worker",
+                   start_wall=100.0, duration=0.5,
+                   parent_id=ctx.span_id, job_id="job-1")
+        spans = rec.drain()
+        assert len(spans) == 1 and len(rec) == 0
+        span = spans[0]
+        assert span["name"] == "execute"
+        assert span["node"] == "node-a"
+        assert span["trace_id"] == ctx.trace_id
+        assert span["parent_id"] == ctx.span_id
+        assert span["ts_wall"] == 100.0 and span["dur"] == 0.5
+        assert span["args"]["job_id"] == "job-1"
+
+    def test_span_context_manager_times_and_parents(self):
+        rec = SpanRecorder("node-a")
+        root = TraceContext()
+        with rec.span("lookup", root, cat="cache", digest="d1") as open_span:
+            downstream = open_span.ctx
+        (span,) = rec.snapshot()
+        assert span["parent_id"] == root.span_id
+        assert span["span_id"] == downstream.span_id
+        assert span["dur"] >= 0.0
+        assert span["args"]["digest"] == "d1"
+
+    def test_span_records_error_class_on_exception(self):
+        rec = SpanRecorder("node-a")
+        with pytest.raises(RuntimeError):
+            with rec.span("boom", TraceContext()):
+                raise RuntimeError("x")
+        (span,) = rec.drain()
+        assert span["args"]["error"] == "RuntimeError"
+
+    def test_bounded_buffer_counts_drops(self):
+        rec = SpanRecorder("node-a", max_buffer=3)
+        ctx = TraceContext()
+        for i in range(5):
+            rec.record(f"s{i}", ctx.child(), start_wall=float(i))
+        assert len(rec) == 3
+        assert rec.dropped == 2
+        assert [s["name"] for s in rec.drain()] == ["s2", "s3", "s4"]
+
+    def test_drain_limit_keeps_pending(self):
+        rec = SpanRecorder("node-a")
+        ctx = TraceContext()
+        for i in range(4):
+            rec.record(f"s{i}", ctx.child())
+        first = rec.drain(limit=3)
+        assert [s["name"] for s in first] == ["s0", "s1", "s2"]
+        assert [s["name"] for s in rec.drain()] == ["s3"]
+
+
+class TestClockModel:
+    def test_min_filter_keeps_least_delayed_sample(self):
+        clock = ClockModel()
+        # true offset 2.0s; delays 0.5, 0.1, 0.9
+        clock.observe("w", remote_wall=100.0, local_wall=102.5)
+        clock.observe("w", remote_wall=200.0, local_wall=202.1)
+        clock.observe("w", remote_wall=300.0, local_wall=302.9)
+        assert clock.offset("w") == pytest.approx(2.1)
+        assert clock.rebase("w", 50.0) == pytest.approx(52.1)
+
+    def test_unknown_node_offset_is_zero(self):
+        clock = ClockModel()
+        assert clock.offset("nobody") == 0.0
+        assert clock.rebase("nobody", 7.0) == 7.0
+
+    def test_roundtrip_through_dict(self):
+        clock = ClockModel()
+        clock.observe("w", 10.0, local_wall=10.25)
+        exported = clock.to_dict()
+        assert exported["w"]["samples"] == 1
+        rebuilt = ClockModel.from_offsets(exported)
+        assert rebuilt.offset("w") == pytest.approx(0.25)
+
+
+def _span(node, name, ctx, parent=None, ts=0.0, dur=0.1, cat="x", **args):
+    span = {"name": name, "cat": cat, "node": node,
+            "trace_id": ctx.trace_id, "span_id": ctx.span_id,
+            "parent_id": parent.span_id if parent else None,
+            "ts_wall": ts, "dur": dur}
+    if args:
+        span["args"] = args
+    return span
+
+
+class TestStitching:
+    def test_nodes_get_distinct_pid_lanes(self):
+        root = TraceContext()
+        spans = [_span("gateway", "job", root.child(), root, ts=1.0),
+                 _span("worker-0", "execute", root.child(), root, ts=1.1)]
+        chrome = stitch_spans(spans)
+        meta = {e["args"]["name"]: e["pid"]
+                for e in chrome["traceEvents"] if e.get("ph") == "M"}
+        assert set(meta) == {"gateway", "worker-0"}
+        assert meta["gateway"] != meta["worker-0"]
+        assert not validate_chrome_trace(chrome)
+
+    def test_rebase_applies_clock_offsets(self):
+        root = TraceContext()
+        clock = ClockModel.from_offsets({"worker-0": {"offset": -5.0,
+                                                      "samples": 3}})
+        spans = [_span("gateway", "job", root.child(), root, ts=10.0,
+                       dur=1.0),
+                 # worker clock runs 5s ahead; raw ts is later on paper
+                 _span("worker-0", "execute", root.child(), root,
+                       ts=15.2, dur=0.2)]
+        chrome = stitch_spans(spans, clock)
+        xs = {e["name"]: e["ts"] for e in chrome["traceEvents"]
+              if e.get("ph") == "X"}
+        # rebased: worker 15.2 - 5.0 = 10.2, i.e. 0.2s after the job span
+        assert xs["execute"] - xs["job"] == pytest.approx(0.2e6, abs=1.0)
+
+    def test_child_clamped_to_parent_start(self):
+        root = TraceContext()
+        parent_ctx = root.child()
+        child_ctx = root.child()
+        spans = [_span("gateway", "parent", parent_ctx, root, ts=10.0),
+                 # residual skew: child "starts" before its parent
+                 _span("worker-0", "child", child_ctx, parent_ctx,
+                       ts=9.9995)]
+        chrome = stitch_spans(spans)
+        assert parent_child_monotonic(chrome) == []
+        xs = {e["name"]: e["ts"] for e in chrome["traceEvents"]
+              if e.get("ph") == "X"}
+        assert xs["child"] >= xs["parent"]
+
+    def test_trace_id_filter(self):
+        a, b = TraceContext(), TraceContext()
+        spans = [_span("g", "one", a.child(), ts=1.0),
+                 _span("g", "two", b.child(), ts=2.0)]
+        chrome = stitch_spans(spans, trace_id=a.trace_id)
+        names = [e["name"] for e in chrome["traceEvents"]
+                 if e.get("ph") == "X"]
+        assert names == ["one"]
+        assert chrome["otherData"]["trace_ids"] == [a.trace_id]
+
+    def test_decisions_ride_along(self):
+        root = TraceContext()
+        spans = [_span("g", "job", root.child(), root, ts=1.0)]
+        chrome = stitch_spans(
+            spans,
+            decisions=[{"unit": "MAIN", "var": "I", "parallel": True}],
+            site_decisions=[{"callee": "F", "site_id": 1}])
+        assert chrome["loopDecisions"] == [
+            {"unit": "MAIN", "var": "I", "parallel": True}]
+        assert chrome["siteDecisions"] == [{"callee": "F", "site_id": 1}]
+        assert not validate_chrome_trace(chrome)
+
+    def test_spans_by_trace_groups(self):
+        a, b = TraceContext(), TraceContext()
+        spans = [_span("g", "s1", a.child()), _span("g", "s2", a.child()),
+                 _span("g", "s3", b.child())]
+        grouped = spans_by_trace(spans)
+        assert len(grouped[a.trace_id]) == 2
+        assert len(grouped[b.trace_id]) == 1
+
+    def test_monotonic_detects_disorder(self):
+        # hand-build a chrome dict whose child precedes its parent
+        chrome = {"traceEvents": [
+            {"ph": "X", "name": "parent", "pid": 1, "tid": 0,
+             "ts": 100.0, "dur": 10.0, "args": {"span_id": "p", }},
+            {"ph": "X", "name": "child", "pid": 1, "tid": 1,
+             "ts": 50.0, "dur": 5.0,
+             "args": {"span_id": "c", "parent_id": "p"}},
+        ]}
+        assert parent_child_monotonic(chrome)
+
+    def test_empty_input_is_valid(self):
+        chrome = stitch_spans([])
+        assert not validate_chrome_trace(chrome)
+        assert chrome["otherData"]["nodes"] == []
+
+
+def test_new_trace_id_is_32_hex():
+    tid = new_trace_id()
+    assert len(tid) == 32
+    int(tid, 16)

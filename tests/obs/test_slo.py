@@ -1,0 +1,196 @@
+"""SLO specs, measurements, burn rates, and the evaluation gate."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (ALERT_BURN_RATE, evaluate_slo, load_slo_spec,
+                           measurements_from_loadtest,
+                           measurements_from_telemetry,
+                           quantile_from_histogram, render_slo,
+                           validate_slo_spec)
+
+GOOD_SPEC = {
+    "name": "test-slo",
+    "window_seconds": 60,
+    "objectives": [
+        {"name": "lat", "kind": "p99_latency", "threshold_seconds": 2.0},
+        {"name": "err", "kind": "error_rate", "threshold": 0.1},
+        {"name": "hit", "kind": "cache_hit_rate", "floor": 0.5},
+    ],
+}
+
+
+class TestSpecs:
+    def test_good_spec_validates(self):
+        assert validate_slo_spec(GOOD_SPEC) == []
+
+    @pytest.mark.parametrize("mutate,needle", [
+        (lambda s: s.pop("objectives"), "objectives"),
+        (lambda s: s["objectives"].append({"name": "x", "kind": "bogus"}),
+         "bogus"),
+        (lambda s: s["objectives"].append(
+            {"name": "lat", "kind": "p99_latency",
+             "threshold_seconds": 1}), "duplicates"),
+        (lambda s: s["objectives"][0].pop("threshold_seconds"),
+         "threshold_seconds"),
+        (lambda s: s["objectives"][1].update(threshold=1.5), "threshold"),
+        (lambda s: s["objectives"][2].update(floor=-0.1), "floor"),
+        (lambda s: s.update(window_seconds=-1), "window_seconds"),
+    ])
+    def test_bad_specs_report_problems(self, mutate, needle):
+        spec = json.loads(json.dumps(GOOD_SPEC))
+        mutate(spec)
+        problems = validate_slo_spec(spec)
+        assert problems and any(needle in p for p in problems)
+
+    def test_load_slo_spec(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(GOOD_SPEC))
+        assert load_slo_spec(str(path))["name"] == "test-slo"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_slo_spec(str(path))
+        path.write_text(json.dumps({"objectives": []}))
+        with pytest.raises(ValueError, match="objectives"):
+            load_slo_spec(str(path))
+
+    def test_committed_repo_spec_is_valid(self):
+        import os
+        root = os.path.join(os.path.dirname(__file__), "..", "..")
+        spec = load_slo_spec(os.path.join(root, "SLO.json"))
+        assert validate_slo_spec(spec) == []
+
+
+class TestQuantile:
+    def test_interpolates_inside_bucket(self):
+        # 10 observations <= 1.0, 10 in (1.0, 2.0]
+        exported = {"buckets": [1.0, 2.0], "counts": [10, 10, 0],
+                    "count": 20}
+        assert quantile_from_histogram(exported, 0.5) \
+            == pytest.approx(1.0)
+        assert quantile_from_histogram(exported, 0.75) \
+            == pytest.approx(1.5)
+
+    def test_inf_bucket_reports_last_finite_bound(self):
+        exported = {"buckets": [1.0], "counts": [0, 5], "count": 5}
+        assert quantile_from_histogram(exported, 0.99) == 1.0
+
+    def test_empty_histogram_is_none(self):
+        assert quantile_from_histogram({"buckets": [], "counts": [],
+                                        "count": 0}, 0.99) is None
+
+
+class TestMeasurements:
+    def test_from_loadtest_report(self):
+        report = {"jobs": 100, "lost": 1, "mismatches": 1,
+                  "latency": {"p99": 0.5},
+                  "service": {"repro_cache_hits_total": 30,
+                              "repro_cache_misses_total": 70}}
+        m = measurements_from_loadtest(report)
+        assert m["p99_latency"] == 0.5
+        assert m["error_rate"] == pytest.approx(0.02)
+        assert m["cache_hit_rate"] == pytest.approx(0.3)
+
+    def test_from_loadtest_missing_data_is_none(self):
+        m = measurements_from_loadtest({"jobs": 0, "latency": {}})
+        assert m == {"p99_latency": None, "error_rate": None,
+                     "cache_hit_rate": None}
+
+    def _snapshot(self, registry):
+        return {"at": 0.0, "metrics": registry.export(), "health": {}}
+
+    def test_from_telemetry_window_uses_deltas(self):
+        registry = MetricsRegistry()
+        completed = registry.counter("repro_jobs_completed_total")
+        hits = registry.counter("repro_cache_hits_total")
+        misses = registry.counter("repro_cache_misses_total")
+        completed.inc(state="done")
+        hits.inc(9)
+        misses.inc(1)
+        first = self._snapshot(registry)
+        # window activity: 1 done + 1 failed, 1 hit + 1 miss
+        completed.inc(state="done")
+        completed.inc(state="failed")
+        hits.inc()
+        misses.inc()
+        last = self._snapshot(registry)
+        m = measurements_from_telemetry([first, last])
+        assert m["error_rate"] == pytest.approx(0.5)
+        assert m["cache_hit_rate"] == pytest.approx(0.5)
+
+    def test_single_snapshot_measures_since_start(self):
+        registry = MetricsRegistry()
+        hits = registry.counter("repro_cache_hits_total")
+        hits.inc(4)
+        registry.counter("repro_cache_misses_total").inc(1)
+        m = measurements_from_telemetry([self._snapshot(registry)])
+        assert m["cache_hit_rate"] == pytest.approx(0.8)
+
+    def test_empty_window(self):
+        m = measurements_from_telemetry([])
+        assert m["p99_latency"] is None
+
+
+class TestEvaluation:
+    def test_all_ok(self):
+        evaluation = evaluate_slo(GOOD_SPEC, {"p99_latency": 0.5,
+                                              "error_rate": 0.0,
+                                              "cache_hit_rate": 0.9})
+        assert evaluation["ok"] is True
+        assert evaluation["violations"] == []
+        assert {r["name"] for r in evaluation["objectives"]} \
+            == {"lat", "err", "hit"}
+
+    def test_violation_and_exit_worthy_report(self):
+        evaluation = evaluate_slo(GOOD_SPEC, {"p99_latency": 5.0,
+                                              "error_rate": 0.5,
+                                              "cache_hit_rate": 0.1})
+        assert evaluation["ok"] is False
+        assert set(evaluation["violations"]) == {"lat", "err", "hit"}
+
+    def test_burn_rate_normalized_to_threshold(self):
+        evaluation = evaluate_slo(GOOD_SPEC, {"p99_latency": 1.0,
+                                              "error_rate": 0.05,
+                                              "cache_hit_rate": 0.75})
+        by_name = {r["name"]: r for r in evaluation["objectives"]}
+        assert by_name["lat"]["burn_rate"] == pytest.approx(0.5)
+        assert by_name["err"]["burn_rate"] == pytest.approx(0.5)
+        # miss share 0.25 over allowed 0.5
+        assert by_name["hit"]["burn_rate"] == pytest.approx(0.5)
+
+    def test_alert_fires_before_breach(self):
+        value = 2.0 * (ALERT_BURN_RATE + 0.05)  # inside budget, burning
+        evaluation = evaluate_slo(GOOD_SPEC, {"p99_latency": value,
+                                              "error_rate": None,
+                                              "cache_hit_rate": None})
+        lat = next(r for r in evaluation["objectives"]
+                   if r["name"] == "lat")
+        assert lat["ok"] is True and lat["alert"] is True
+        assert evaluation["alerts"] == ["lat"]
+
+    def test_no_data_passes_but_flagged(self):
+        evaluation = evaluate_slo(GOOD_SPEC, {"p99_latency": None,
+                                              "error_rate": None,
+                                              "cache_hit_rate": None})
+        assert evaluation["ok"] is True
+        assert all(r["no_data"] for r in evaluation["objectives"])
+
+    def test_zero_threshold_error_rate(self):
+        spec = {"name": "s", "objectives": [
+            {"name": "err", "kind": "error_rate", "threshold": 0.0}]}
+        ok = evaluate_slo(spec, {"error_rate": 0.0})
+        bad = evaluate_slo(spec, {"error_rate": 0.001})
+        assert ok["ok"] is True
+        assert bad["ok"] is False
+        assert bad["objectives"][0]["burn_rate"] == float("inf")
+
+    def test_render_is_stable_text(self):
+        evaluation = evaluate_slo(GOOD_SPEC, {"p99_latency": 5.0,
+                                              "error_rate": 0.0,
+                                              "cache_hit_rate": None})
+        text = render_slo(evaluation)
+        assert "VIOLATED" in text
+        assert "VIOLATE" in text and "no data" in text
+        assert "test-slo" in text
